@@ -1,0 +1,50 @@
+package rebalance
+
+import (
+	"repro/internal/instance"
+	"repro/internal/lpbound"
+	"repro/internal/scheduling"
+)
+
+// Lower bounds and the k = n scheduling baselines.
+
+// LPBoundMoves returns an integer lower bound on the optimal makespan
+// achievable with at most k relocations, from the LP relaxation of the
+// assignment polytope with a fractional move budget. It scales to
+// hundreds of jobs, far past the exact solver, and certifies solution
+// quality at realistic sizes (experiment E13).
+func LPBoundMoves(in *Instance, k int) (int64, error) {
+	return lpbound.Moves(in, k)
+}
+
+// LPBoundBudget is LPBoundMoves for the arbitrary-cost budget model.
+func LPBoundBudget(in *Instance, budget int64) (int64, error) {
+	return lpbound.Budget(in, budget)
+}
+
+// ScheduleLPT schedules the instance's jobs from scratch (the k = n
+// regime) with Graham's LPT rule — a (4/3 − 1/(3m))-approximation — and
+// returns the solution relative to the instance's initial assignment.
+func ScheduleLPT(in *Instance) Solution {
+	assign, _ := scheduling.LPT(scheduling.FromInstance(in), in.M)
+	return solutionOf(in, assign)
+}
+
+// ScheduleMultifit schedules from scratch with MULTIFIT
+// (13/11-approximation).
+func ScheduleMultifit(in *Instance) Solution {
+	assign, _ := scheduling.Multifit(scheduling.FromInstance(in), in.M, 0)
+	return solutionOf(in, assign)
+}
+
+// SchedulePTAS schedules from scratch with the Hochbaum–Shmoys dual
+// approximation scheme: makespan at most (1+eps)·OPT over all
+// assignments.
+func SchedulePTAS(in *Instance, eps float64) Solution {
+	assign, _ := scheduling.DualPTAS(scheduling.FromInstance(in), in.M, eps)
+	return solutionOf(in, assign)
+}
+
+func solutionOf(in *Instance, assign []int) Solution {
+	return instance.NewSolution(in, assign)
+}

@@ -1,0 +1,82 @@
+package rebalance
+
+import "testing"
+
+func TestLPBoundMovesAPI(t *testing.T) {
+	in := Generate(WorkloadConfig{N: 10, M: 3, MaxSize: 25, Placement: PlaceRandom, Seed: 1})
+	for _, k := range []int{0, 3, 10} {
+		lb, err := LPBoundMoves(in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Exact(in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb > opt.Makespan {
+			t.Fatalf("k=%d: LP bound %d > OPT %d", k, lb, opt.Makespan)
+		}
+		sol := Partition(in, k)
+		if sol.Makespan < lb {
+			t.Fatalf("k=%d: solution %d below its own lower bound %d", k, sol.Makespan, lb)
+		}
+	}
+}
+
+func TestLPBoundBudgetAPI(t *testing.T) {
+	in := Generate(WorkloadConfig{
+		N: 8, M: 3, MaxSize: 20, Costs: CostRandom, Placement: PlaceRandom, Seed: 4,
+	})
+	lb, err := LPBoundBudget(in, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := ExactBudget(in, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb > opt.Makespan {
+		t.Fatalf("LP bound %d > OPT %d", lb, opt.Makespan)
+	}
+}
+
+func TestSchedulersAPI(t *testing.T) {
+	in := Generate(WorkloadConfig{
+		N: 40, M: 4, MaxSize: 50, Placement: PlaceOneHot, Seed: 2,
+	})
+	lb := in.LowerBound()
+	for name, sol := range map[string]Solution{
+		"lpt":      ScheduleLPT(in),
+		"multifit": ScheduleMultifit(in),
+		"hs-ptas":  SchedulePTAS(in, 0.2),
+	} {
+		if _, err := Check(in, sol); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sol.Makespan < lb {
+			t.Fatalf("%s: makespan %d below lower bound %d", name, sol.Makespan, lb)
+		}
+		// All three are well under 1.5× the packing bound on this easy
+		// family (uniform sizes, plenty of jobs per machine).
+		if 2*sol.Makespan > 3*lb {
+			t.Fatalf("%s: makespan %d implausibly high vs bound %d", name, sol.Makespan, lb)
+		}
+	}
+}
+
+func TestSchedulePTASBeatsWorstCaseLPT(t *testing.T) {
+	// The classic LPT-adversarial family via the public API.
+	m := 4
+	var sizes []int64
+	for s := 2*m - 1; s > m; s-- {
+		sizes = append(sizes, int64(s), int64(s))
+	}
+	sizes = append(sizes, int64(m), int64(m), int64(m))
+	assign := make([]int, len(sizes))
+	in := MustNew(m, sizes, nil, assign)
+	lpt := ScheduleLPT(in)
+	ptas := SchedulePTAS(in, 0.1)
+	if ptas.Makespan >= lpt.Makespan {
+		t.Fatalf("PTAS %d did not beat LPT %d on the adversarial family", ptas.Makespan, lpt.Makespan)
+	}
+}

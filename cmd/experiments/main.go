@@ -1,0 +1,86 @@
+// Command experiments runs the full evaluation suite (DESIGN.md §3) and
+// prints one markdown table per experiment — the content recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-only E1,E5] [-list] [-parallel]
+//
+// -parallel runs the experiments concurrently (output order preserved);
+// leave it off when recording timing-sensitive tables (E3, E11).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	parallel := flag.Bool("parallel", false, "run experiments concurrently (distorts timing tables)")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			selected[strings.ToUpper(id)] = true
+		}
+	}
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var chosen []experiments.Experiment
+	for _, e := range all {
+		if len(selected) == 0 || selected[e.ID] {
+			chosen = append(chosen, e)
+		}
+	}
+	if len(chosen) == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; use -list\n", *only)
+		os.Exit(1)
+	}
+
+	type result struct {
+		tab     *stats.Table
+		elapsed time.Duration
+	}
+	results := make([]result, len(chosen))
+	if *parallel {
+		var wg sync.WaitGroup
+		for i := range chosen {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				start := time.Now()
+				results[i] = result{tab: chosen[i].Run(), elapsed: time.Since(start)}
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range chosen {
+			start := time.Now()
+			results[i] = result{tab: chosen[i].Run(), elapsed: time.Since(start)}
+		}
+	}
+
+	for i, e := range chosen {
+		fmt.Printf("## %s — %s\n\n", e.ID, e.Title)
+		fmt.Printf("Expected shape: %s.\n\n", e.Note)
+		results[i].tab.Render(os.Stdout)
+		fmt.Printf("\n(%s in %v)\n\n", e.ID, results[i].elapsed.Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,47 @@
+// Command genwork generates synthetic load rebalancing instances as
+// JSON, consumable by cmd/rebalance.
+//
+// Usage:
+//
+//	genwork -n 200 -m 8 -sizes zipf -place skewed -costs proportional -seed 7 > instance.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genwork: ")
+	n := flag.Int("n", 100, "number of jobs")
+	m := flag.Int("m", 8, "number of processors")
+	maxSize := flag.Int64("max", 1000, "maximum job size")
+	sizes := flag.String("sizes", "zipf", "size distribution: uniform|zipf|bimodal|equal")
+	place := flag.String("place", "skewed", "initial placement: random|skewed|balanced|onehot")
+	costs := flag.String("costs", "unit", "cost model: unit|proportional|anticorrelated|random")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	cfg := workload.Config{N: *n, M: *m, MaxSize: *maxSize, Seed: *seed}
+	var err error
+	if cfg.Sizes, err = workload.ParseSizeDist(*sizes); err != nil {
+		log.Fatal(err)
+	}
+	if cfg.Placement, err = workload.ParsePlacement(*place); err != nil {
+		log.Fatal(err)
+	}
+	if cfg.Costs, err = workload.ParseCostModel(*costs); err != nil {
+		log.Fatal(err)
+	}
+
+	in := workload.Generate(cfg)
+	if err := in.Encode(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "generated %s\n", in)
+}

@@ -1,0 +1,134 @@
+// Command rebalance reads a load rebalancing instance (JSON, as written
+// by genwork; the extended format may add "allowed" machine sets and
+// "conflicts" pairs) and runs one of the paper's algorithms on it.
+//
+// Usage:
+//
+//	rebalance -alg mpartition -k 10 < instance.json
+//	rebalance -alg budget -budget 500 instance.json
+//	rebalance -alg greedy -k 3 -show instance.json
+//	rebalance -alg constrained -k 5 extended.json
+//	rebalance -alg conflict extended.json
+//	rebalance -alg frontier instance.json
+//
+// Algorithms: greedy, mpartition, budget, ptas, exact, gap, lpt,
+// multifit, hs-ptas, constrained, conflict, frontier.
+// greedy/mpartition/exact/constrained take -k; budget/ptas/gap take
+// -budget; ptas/hs-ptas take -eps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/instance"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rebalance: ")
+	alg := flag.String("alg", "mpartition",
+		"algorithm: greedy|mpartition|budget|ptas|exact|gap|lpt|multifit|hs-ptas|constrained|conflict|frontier")
+	k := flag.Int("k", 0, "move budget (greedy, mpartition, exact, constrained)")
+	budget := flag.Int64("budget", 0, "relocation cost budget (budget, ptas, gap)")
+	eps := flag.Float64("eps", 1.0, "approximation parameter (ptas, hs-ptas)")
+	show := flag.Bool("show", false, "print the resulting assignment")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	ext, err := instance.DecodeExtended(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := &ext.Instance
+
+	var sol rebalance.Solution
+	switch *alg {
+	case "greedy":
+		sol = rebalance.Greedy(in, *k)
+	case "mpartition":
+		sol = rebalance.Partition(in, *k)
+	case "budget":
+		sol = rebalance.PartitionBudget(in, *budget)
+	case "ptas":
+		sol, err = rebalance.PTAS(in, *budget, rebalance.PTASOptions{Eps: *eps})
+	case "exact":
+		sol, err = rebalance.Exact(in, *k)
+	case "gap":
+		sol, err = rebalance.GAPBaseline(in, *budget)
+	case "lpt":
+		sol = rebalance.ScheduleLPT(in)
+	case "multifit":
+		sol = rebalance.ScheduleMultifit(in)
+	case "hs-ptas":
+		sol = rebalance.SchedulePTAS(in, *eps)
+	case "constrained":
+		ci := &rebalance.ConstrainedInstance{Base: in, Allowed: ext.Allowed}
+		if err := ci.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		sol, err = rebalance.ConstrainedExact(ci, *k)
+	case "conflict":
+		ci := &rebalance.ConflictInstance{Base: in, Conflicts: ext.Conflicts}
+		sol, err = rebalance.ConflictMinMakespan(ci)
+	case "frontier":
+		runFrontier(in)
+		return
+	default:
+		log.Fatalf("unknown algorithm %q", *alg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := rebalance.Check(in, sol)
+	if err != nil {
+		log.Fatalf("solution failed verification: %v", err)
+	}
+
+	fmt.Printf("instance:   %s\n", in)
+	fmt.Printf("algorithm:  %s\n", *alg)
+	fmt.Printf("makespan:   %d -> %d (lower bound %d)\n",
+		in.InitialMakespan(), rep.Makespan, in.LowerBound())
+	fmt.Printf("moves:      %d (cost %d)\n", rep.Moves, rep.MoveCost)
+	if *show {
+		for j, p := range sol.Assign {
+			marker := " "
+			if p != in.Assign[j] {
+				marker = "*"
+			}
+			fmt.Printf("  job %3d size %6d cost %6d: %d -> %d %s\n",
+				j, in.Jobs[j].Size, in.Jobs[j].Cost, in.Assign[j], p, marker)
+		}
+	}
+}
+
+// runFrontier prints the makespan-vs-k tradeoff for doubling budgets.
+func runFrontier(in *rebalance.Instance) {
+	var ks []int
+	for k := 0; k <= in.N(); {
+		ks = append(ks, k)
+		if k == 0 {
+			k = 1
+		} else {
+			k *= 2
+		}
+	}
+	fmt.Printf("instance: %s\n", in)
+	fmt.Printf("%8s %12s %8s %14s\n", "k", "makespan", "moves", "vs lower bound")
+	for _, pt := range rebalance.Frontier(in, ks) {
+		fmt.Printf("%8d %12d %8d %14.3f\n",
+			pt.K, pt.Makespan, pt.Moves, float64(pt.Makespan)/float64(in.LowerBound()))
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: build a small instance by hand, rebalance it with each
+// algorithm under a 2-move budget, and print what happened.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Three servers; server 0 is overloaded.
+	//   server 0: jobs of size 9, 7, 6   (load 22)
+	//   server 1: jobs of size 5, 4      (load  9)
+	//   server 2: job  of size 3         (load  3)
+	in := rebalance.MustNew(3,
+		[]int64{9, 7, 6, 5, 4, 3},
+		nil, // unit relocation costs
+		[]int{0, 0, 0, 1, 1, 2})
+
+	const k = 2
+	fmt.Printf("initial makespan %d, lower bound %d, move budget %d\n\n",
+		in.InitialMakespan(), in.LowerBound(), k)
+
+	opt, err := rebalance.Exact(in, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(name string, sol rebalance.Solution) {
+		if err := rebalance.CheckMoves(in, sol, k); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-12s makespan %2d  moves %d  (ratio %.3f vs OPT %d)\n",
+			name, sol.Makespan, sol.Moves, float64(sol.Makespan)/float64(opt.Makespan), opt.Makespan)
+	}
+
+	show("exact", opt)
+	show("mpartition", rebalance.Partition(in, k)) // ≤ 1.5·OPT, §3
+	show("greedy", rebalance.Greedy(in, k))        // ≤ (2−1/m)·OPT, §2
+
+	ptas, err := rebalance.PTAS(in, k, rebalance.PTASOptions{Eps: 0.75})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("ptas(0.75)", ptas) // ≤ (1+ε)·OPT, §4
+
+	gap, err := rebalance.GAPBaseline(in, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("gap", gap) // ≤ 2·OPT, Shmoys–Tardos via the §2 reduction
+}

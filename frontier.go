@@ -1,0 +1,49 @@
+package rebalance
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// FrontierPoint is one point of the makespan-vs-moves tradeoff curve.
+type FrontierPoint struct {
+	K        int   // move budget
+	Makespan int64 // M-PARTITION makespan at that budget (≤ 1.5·OPT(K))
+	Moves    int   // moves actually used (≤ K)
+}
+
+// Frontier computes the paper's central tradeoff — the best achievable
+// makespan as the move budget k varies — by running M-PARTITION at each
+// requested budget. Budgets are processed concurrently on up to
+// GOMAXPROCS workers (each run is independent and read-only on the
+// instance); results are returned in the order of ks.
+func Frontier(in *Instance, ks []int) []FrontierPoint {
+	points := make([]FrontierPoint, len(ks))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ks) {
+		workers = len(ks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				sol := core.MPartition(in, ks[i], core.IncrementalScan)
+				points[i] = FrontierPoint{K: ks[i], Makespan: sol.Makespan, Moves: sol.Moves}
+			}
+		}()
+	}
+	for i := range ks {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return points
+}

@@ -1,0 +1,75 @@
+package rebalance
+
+import (
+	"testing"
+)
+
+func TestFrontierBoundsAndOrder(t *testing.T) {
+	in := Generate(WorkloadConfig{
+		N: 60, M: 6, Sizes: SizeZipf, Placement: PlaceOneHot, Seed: 5,
+	})
+	ks := []int{0, 1, 2, 4, 8, 16, 32, 60}
+	pts := Frontier(in, ks)
+	if len(pts) != len(ks) {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i, pt := range pts {
+		if pt.K != ks[i] {
+			t.Fatalf("point %d has K=%d, want %d (order must be preserved)", i, pt.K, ks[i])
+		}
+		if pt.Moves > pt.K {
+			t.Fatalf("K=%d used %d moves", pt.K, pt.Moves)
+		}
+		if pt.Makespan < in.LowerBound() || pt.Makespan > in.InitialMakespan() {
+			t.Fatalf("K=%d makespan %d outside [%d, %d]",
+				pt.K, pt.Makespan, in.LowerBound(), in.InitialMakespan())
+		}
+	}
+	// k=0 pins the initial makespan; the largest budget must improve on
+	// a one-hot placement.
+	if pts[0].Makespan != in.InitialMakespan() {
+		t.Fatalf("K=0 makespan %d != initial %d", pts[0].Makespan, in.InitialMakespan())
+	}
+	if pts[len(pts)-1].Makespan >= pts[0].Makespan {
+		t.Fatal("large budget did not improve a one-hot placement")
+	}
+}
+
+func TestFrontierMatchesSequentialRuns(t *testing.T) {
+	in := Generate(WorkloadConfig{
+		N: 40, M: 4, Sizes: SizeUniform, Placement: PlaceSkewed, Seed: 9,
+	})
+	ks := []int{0, 3, 7, 15}
+	pts := Frontier(in, ks)
+	for i, k := range ks {
+		seq := PartitionWithMode(in, k, IncrementalScan)
+		if pts[i].Makespan != seq.Makespan || pts[i].Moves != seq.Moves {
+			t.Fatalf("k=%d: parallel (%d,%d) != sequential (%d,%d)",
+				k, pts[i].Makespan, pts[i].Moves, seq.Makespan, seq.Moves)
+		}
+	}
+}
+
+func TestFrontierEmpty(t *testing.T) {
+	in := MustNew(2, []int64{1, 2}, nil, []int{0, 1})
+	if pts := Frontier(in, nil); len(pts) != 0 {
+		t.Fatalf("empty ks produced %d points", len(pts))
+	}
+}
+
+func TestFrontierWithinBoundOfExact(t *testing.T) {
+	in := Generate(WorkloadConfig{
+		N: 10, M: 3, MaxSize: 25, Placement: PlaceRandom, Seed: 3,
+	})
+	ks := []int{0, 1, 2, 3, 5, 10}
+	pts := Frontier(in, ks)
+	for i, k := range ks {
+		opt, err := Exact(in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if 2*pts[i].Makespan > 3*opt.Makespan {
+			t.Fatalf("k=%d: frontier %d > 1.5·OPT (%d)", k, pts[i].Makespan, opt.Makespan)
+		}
+	}
+}

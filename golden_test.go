@@ -1,0 +1,121 @@
+package rebalance
+
+import "testing"
+
+// Golden regression suite: hand-analyzed instances with known optimal
+// values for every budget, pinned across the whole algorithm stack. Any
+// behavioural drift in the solvers shows up here first.
+func TestGoldenInstances(t *testing.T) {
+	cases := []struct {
+		name   string
+		m      int
+		sizes  []int64
+		assign []int
+		k      int
+		opt    int64 // exact optimum with k moves
+	}{
+		{
+			// Everything on processor 0; one move takes the 4.
+			name: "two-jobs-one-move",
+			m:    2, sizes: []int64{4, 3}, assign: []int{0, 0},
+			k: 1, opt: 4,
+		},
+		{
+			// {6,5,4,3,2,1} piled up; full freedom reaches ceil(21/3)=7.
+			name: "six-jobs-full-freedom",
+			m:    3, sizes: []int64{6, 5, 4, 3, 2, 1}, assign: []int{0, 0, 0, 0, 0, 0},
+			k: 6, opt: 7,
+		},
+		{
+			// Zero budget pins the initial makespan.
+			name: "zero-budget",
+			m:    2, sizes: []int64{4, 3, 2}, assign: []int{0, 0, 1},
+			k: 0, opt: 7,
+		},
+		{
+			// One move: the best single relocation moves the 4 from
+			// processor 0 ({4,3} vs {5}) to reach max(3, 5+... no:
+			// moving 4 onto p1 gives {3} vs {5,4}=9; moving 5 from p1
+			// to p0 gives {4,3,5} — worse; moving 3: {4} vs {5,3}=8.
+			// Best is moving the 3: makespan 8? No — {4} and {5,3}:
+			// max = 8; moving 4: max(3, 9) = 9; keep: max(7,5)=7.
+			// Doing nothing is best: 7.
+			name: "one-move-cannot-help",
+			m:    2, sizes: []int64{4, 3, 5}, assign: []int{0, 0, 1},
+			k: 1, opt: 7,
+		},
+		{
+			// The paper's Theorem 2 instance: OPT = 2 with one move.
+			name: "paper-partition-tight",
+			m:    2, sizes: []int64{1, 2, 1}, assign: []int{0, 0, 1},
+			k: 1, opt: 2,
+		},
+		{
+			// Three equal giants on two processors: one must pair up.
+			name: "three-giants",
+			m:    2, sizes: []int64{10, 10, 10}, assign: []int{0, 0, 0},
+			k: 3, opt: 20,
+		},
+		{
+			// m = 1: moves are pointless.
+			name: "single-processor",
+			m:    1, sizes: []int64{5, 4, 3}, assign: []int{0, 0, 0},
+			k: 3, opt: 12,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			in := MustNew(c.m, c.sizes, nil, c.assign)
+			opt, err := Exact(in, c.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opt.Makespan != c.opt {
+				t.Fatalf("exact = %d, analyzed optimum %d", opt.Makespan, c.opt)
+			}
+			// Approximations within their bounds on the pinned optimum.
+			mp := Partition(in, c.k)
+			if err := CheckMoves(in, mp, c.k); err != nil {
+				t.Fatal(err)
+			}
+			if 2*mp.Makespan > 3*c.opt {
+				t.Fatalf("mpartition %d > 1.5·%d", mp.Makespan, c.opt)
+			}
+			g := Greedy(in, c.k)
+			if err := CheckMoves(in, g, c.k); err != nil {
+				t.Fatal(err)
+			}
+			if int64(c.m)*g.Makespan > (2*int64(c.m)-1)*c.opt {
+				t.Fatalf("greedy %d > (2−1/m)·%d", g.Makespan, c.opt)
+			}
+			pt, err := PTAS(in, int64(c.k), PTASOptions{Eps: 0.75})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CheckMoves(in, pt, c.k); err != nil {
+				t.Fatal(err)
+			}
+			if 4*pt.Makespan > 7*c.opt {
+				t.Fatalf("ptas %d > 1.75·%d", pt.Makespan, c.opt)
+			}
+			gp, err := GAPBaseline(in, int64(c.k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CheckMoves(in, gp, c.k); err != nil {
+				t.Fatal(err)
+			}
+			if gp.Makespan > 2*c.opt {
+				t.Fatalf("gap %d > 2·%d", gp.Makespan, c.opt)
+			}
+			// The LP bound brackets from below.
+			lb, err := LPBoundMoves(in, c.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lb > c.opt {
+				t.Fatalf("LP bound %d > optimum %d", lb, c.opt)
+			}
+		})
+	}
+}

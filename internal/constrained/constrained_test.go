@@ -1,0 +1,163 @@
+package constrained
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/hardness"
+	"repro/internal/instance"
+	"repro/internal/verify"
+)
+
+func TestValidate(t *testing.T) {
+	base := instance.MustNew(2, []int64{1, 1}, nil, []int{0, 1})
+	ok := &Instance{Base: base, Allowed: [][]int{{0, 1}, nil}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Instance{Base: base, Allowed: [][]int{{1}, nil}} // job 0 starts on 0
+	if bad.Validate() == nil {
+		t.Fatal("disallowed initial machine accepted")
+	}
+	empty := &Instance{Base: base, Allowed: [][]int{{}, nil}}
+	if empty.Validate() == nil {
+		t.Fatal("empty allowed set accepted")
+	}
+	short := &Instance{Base: base, Allowed: [][]int{nil}}
+	if short.Validate() == nil {
+		t.Fatal("short allowed slice accepted")
+	}
+	oob := &Instance{Base: base, Allowed: [][]int{{0, 7}, nil}}
+	if oob.Validate() == nil {
+		t.Fatal("out-of-range machine accepted")
+	}
+}
+
+func TestGadgetShape(t *testing.T) {
+	d := hardness.Planted(3, 4, 1)
+	ci, target, err := FromThreeDM(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target != 2 {
+		t.Fatalf("target = %d", target)
+	}
+	m := len(d.Triples)
+	// 2n element jobs + (m − n) dummies.
+	if got, want := ci.Base.N(), 2*d.N+(m-d.N); got != want {
+		t.Fatalf("jobs = %d, want %d", got, want)
+	}
+	if ci.Base.M != m {
+		t.Fatalf("machines = %d, want %d", ci.Base.M, m)
+	}
+	// Total size = 2n + 2(m−n) = 2m, so makespan 2 means perfectly flat.
+	if ci.Base.TotalSize() != int64(2*m) {
+		t.Fatalf("total size = %d, want %d", ci.Base.TotalSize(), 2*m)
+	}
+}
+
+func TestTheorem6YesInstances(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		d := hardness.Planted(3, 3, seed)
+		ci, target, err := FromThreeDM(d)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sol, err := Exact(ci, ci.Base.N(), 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if sol.Makespan != target {
+			t.Fatalf("seed %d: makespan %d, want %d (matching exists)", seed, sol.Makespan, target)
+		}
+		if err := verify.AllowedSets(ci.Base, sol.Assign, ci.Allowed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestTheorem6NoInstance(t *testing.T) {
+	// Fully covered ground sets but no perfect matching: both
+	// a-coverings of element b_0 collide.
+	d := &hardness.ThreeDM{N: 2, Triples: []hardness.Triple{
+		{A: 0, B: 0, C: 0}, {A: 1, B: 0, C: 1}, {A: 1, B: 1, C: 0},
+	}}
+	if d.HasMatching() {
+		t.Fatal("oracle: instance unexpectedly matchable")
+	}
+	ci, target, err := FromThreeDM(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Exact(ci, ci.Base.N(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Makespan <= target {
+		t.Fatalf("NO instance achieved makespan %d ≤ %d", sol.Makespan, target)
+	}
+	// The gap of Corollary 1: next achievable value is ≥ 3 = (3/2)·2.
+	if sol.Makespan < 3 {
+		t.Fatalf("gap violated: makespan %d", sol.Makespan)
+	}
+}
+
+func TestUncoveredElementRejected(t *testing.T) {
+	d := hardness.Obstructed(3, 9, 1) // b_0 never appears
+	if _, _, err := FromThreeDM(d); !errors.Is(err, ErrUncovered) {
+		t.Fatalf("err = %v, want ErrUncovered", err)
+	}
+}
+
+func TestExactRespectsMoveBudget(t *testing.T) {
+	base := instance.MustNew(2, []int64{4, 3, 2}, nil, []int{0, 0, 0})
+	ci := &Instance{Base: base, Allowed: [][]int{nil, nil, nil}}
+	sol, err := Exact(ci, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verify.WithinMoves(base, sol.Assign, 1); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Makespan != 5 { // move the 4: {3,2} vs {4}
+		t.Fatalf("makespan = %d, want 5", sol.Makespan)
+	}
+}
+
+func TestExactHonorsAllowedSets(t *testing.T) {
+	// Job 0 locked to machine 0; the best is then 4+2=6 vs... sizes
+	// {4,3,2}: job0 fixed on m0; best split {4,2}|{3} = 6 or {4}|{3,2}=5.
+	base := instance.MustNew(2, []int64{4, 3, 2}, nil, []int{0, 0, 0})
+	ci := &Instance{Base: base, Allowed: [][]int{{0}, nil, nil}}
+	sol, err := Exact(ci, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.AllowedSets(base, sol.Assign, ci.Allowed); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Makespan != 5 {
+		t.Fatalf("makespan = %d, want 5", sol.Makespan)
+	}
+}
+
+func TestGreedyRespectsAllowedAndIsDominatedByExact(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		d := hardness.Planted(3, 2, seed)
+		ci, _, err := FromThreeDM(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := Greedy(ci)
+		if err := verify.AllowedSets(ci.Base, g.Assign, ci.Allowed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		e, err := Exact(ci, ci.Base.N(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Makespan < e.Makespan {
+			t.Fatalf("seed %d: greedy %d beat exact %d", seed, g.Makespan, e.Makespan)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/verify"
+)
+
+// fuzzInstance builds a valid instance directly from raw fuzz bytes:
+// each byte is one job (size 1–64, processor from the low bits).
+func fuzzInstance(mRaw uint8, raw []byte) *instance.Instance {
+	m := int(mRaw%6) + 1
+	if len(raw) == 0 {
+		raw = []byte{1}
+	}
+	if len(raw) > 48 {
+		raw = raw[:48]
+	}
+	sizes := make([]int64, len(raw))
+	assign := make([]int, len(raw))
+	for i, b := range raw {
+		sizes[i] = int64(b%64) + 1
+		assign[i] = int(b>>6) % m
+	}
+	return instance.MustNew(m, sizes, nil, assign)
+}
+
+// FuzzMPartitionInvariants checks on arbitrary inputs that M-PARTITION
+// (both search modes) returns a verified assignment within the move
+// budget, never worse than the initial makespan, and at least the
+// packing lower bound.
+func FuzzMPartitionInvariants(f *testing.F) {
+	f.Add(uint8(3), uint8(2), []byte{5, 9, 2, 200, 17})
+	f.Add(uint8(1), uint8(0), []byte{255})
+	f.Add(uint8(5), uint8(9), []byte{1, 1, 1, 1, 1, 1, 1, 64, 128, 192})
+	f.Add(uint8(2), uint8(1), []byte{90, 90, 90})
+	f.Fuzz(func(t *testing.T, mRaw, kRaw uint8, raw []byte) {
+		in := fuzzInstance(mRaw, raw)
+		k := int(kRaw % 16)
+		for _, mode := range []SearchMode{BinarySearch, ThresholdScan} {
+			sol := MPartition(in, k, mode)
+			if _, err := verify.WithinMoves(in, sol.Assign, k); err != nil {
+				t.Fatalf("mode %d: %v", mode, err)
+			}
+			if sol.Makespan > in.InitialMakespan() {
+				t.Fatalf("mode %d: %d worse than initial %d", mode, sol.Makespan, in.InitialMakespan())
+			}
+			if sol.Makespan < in.LowerBound() {
+				t.Fatalf("mode %d: %d below lower bound %d", mode, sol.Makespan, in.LowerBound())
+			}
+		}
+	})
+}
+
+// FuzzPartitionBudgetInvariants does the same for the §3.2 variant with
+// byte-derived costs.
+func FuzzPartitionBudgetInvariants(f *testing.F) {
+	f.Add(uint8(3), uint16(10), []byte{5, 9, 2, 200, 17})
+	f.Add(uint8(2), uint16(0), []byte{90, 90, 90})
+	f.Add(uint8(4), uint16(999), []byte{7, 6, 5, 4, 3, 2, 1})
+	f.Fuzz(func(t *testing.T, mRaw uint8, bRaw uint16, raw []byte) {
+		if len(raw) == 0 {
+			raw = []byte{1}
+		}
+		in := fuzzInstance(mRaw, raw)
+		// Derive costs from the bytes too (offset so they differ from sizes).
+		for j := range in.Jobs {
+			in.Jobs[j].Cost = int64(raw[j%len(raw)]%32) + 1
+		}
+		budget := int64(bRaw % 512)
+		sol := PartitionBudget(in, budget, BudgetOptions{})
+		if _, err := verify.WithinBudget(in, sol.Assign, budget); err != nil {
+			t.Fatal(err)
+		}
+		if sol.Makespan > in.InitialMakespan() {
+			t.Fatalf("%d worse than initial %d", sol.Makespan, in.InitialMakespan())
+		}
+	})
+}

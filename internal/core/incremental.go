@@ -1,0 +1,218 @@
+package core
+
+import (
+	"sort"
+)
+
+// incrementalScan is the paper-faithful §3.1 M-PARTITION search: walk
+// the discrete threshold values upward from the packing lower bound,
+// maintaining L_T, L_E and every a_i, b_i, c_i with O(log n) work per
+// threshold (Lemma 5/6), and evaluate the move count k̂ at each step
+// without re-running PARTITION. The first threshold with k̂ ≤ k is the
+// target; one full PARTITION pass at that value produces the solution.
+//
+// The threshold set per processor is exactly the paper's: the values
+// 2·p_j where a job's large/small classification flips, the remaining
+// totals total_i − prefix_i[q] where b_i steps (B_l in the paper), and
+// the doubled remaining small loads 2·(total_i − prefix_i[q]) where a_i
+// steps (A_l in the paper) — O(n) values overall.
+type incrementalScan struct {
+	s      *solver
+	prefix [][]int64 // per processor, prefix sums of the size-sorted jobs
+	total  []int64   // per processor, total load
+
+	// Per-processor state at the current threshold.
+	largeCnt []int
+	a, b, c  []int
+
+	sumB       int64
+	largeTotal int // L_T
+	largeProcs int // processors holding ≥1 large job
+}
+
+func newIncrementalScan(s *solver) *incrementalScan {
+	m := s.in.M
+	ic := &incrementalScan{
+		s:        s,
+		prefix:   make([][]int64, m),
+		total:    make([]int64, m),
+		largeCnt: make([]int, m),
+		a:        make([]int, m),
+		b:        make([]int, m),
+		c:        make([]int, m),
+	}
+	for p := 0; p < m; p++ {
+		list := s.byProc[p]
+		pf := make([]int64, len(list)+1)
+		for i, j := range list {
+			pf[i+1] = pf[i] + s.in.Jobs[j].Size
+		}
+		ic.prefix[p] = pf
+		ic.total[p] = pf[len(list)]
+	}
+	return ic
+}
+
+// refresh recomputes processor p's state for threshold v in O(log n_p)
+// via binary searches over the prefix sums.
+func (ic *incrementalScan) refresh(p int, v int64) {
+	list := ic.s.byProc[p]
+	pf := ic.prefix[p]
+	jobs := ic.s.in.Jobs
+
+	// Large jobs are the prefix with 2·size > v.
+	t := sort.Search(len(list), func(i int) bool { return 2*jobs[list[i]].Size <= v })
+
+	// b_p: smallest q with total − prefix[q] ≤ v (strip largest first;
+	// the retained large job is the largest, matching prefix order).
+	// Note b counts removals from the post-Step-1 configuration, whose
+	// load is total − (extra large jobs); the extras are jobs
+	// list[0..t-2] when t ≥ 1... — the paper's b_i applies after Step 1,
+	// so strip the extra-large prefix sum first.
+	var extra int64
+	if t >= 1 {
+		extra = pf[t-1] // sizes of all large jobs except the smallest
+	}
+	adjTotal := ic.total[p] - extra
+	// Removal order after Step 1: the kept large (index t−1), then the
+	// smalls (indices ≥ t). Removing q jobs removes prefix[t−1+q] −
+	// prefix[t−1] of load when t ≥ 1, or prefix[q] when t = 0.
+	base := 0
+	if t >= 1 {
+		base = t - 1
+	}
+	nAfter := len(list) - base
+	b := sort.Search(nAfter, func(q int) bool {
+		return adjTotal-(pf[base+q]-pf[base]) <= v
+	})
+
+	// a_p: smallest r with 2·(smallTotal − topSmallSum_r) ≤ v, i.e.
+	// smallest q ≥ t with 2·(total − prefix[q]) ≤ v, minus t.
+	aq := t + sort.Search(len(list)-t, func(q int) bool {
+		return 2*(ic.total[p]-pf[t+q]) <= v
+	})
+	a := aq - t
+
+	// Apply the diffs to the aggregates.
+	oldLarge := ic.largeCnt[p]
+	ic.largeTotal += t - oldLarge
+	if oldLarge > 0 && t == 0 {
+		ic.largeProcs--
+	} else if oldLarge == 0 && t > 0 {
+		ic.largeProcs++
+	}
+	ic.sumB += int64(b - ic.b[p])
+	ic.largeCnt[p] = t
+	ic.a[p] = a
+	ic.b[p] = b
+	ic.c[p] = a - b
+}
+
+// moves evaluates k̂ at the current threshold: L_E plus the a_i of the
+// L_T processors with the smallest c_i (large-holders preferred on
+// ties) plus the b_i of the rest — equivalently Σb + Σ_selected c + L_E.
+func (ic *incrementalScan) moves() (int64, bool) {
+	m := ic.s.in.M
+	if ic.largeTotal > m {
+		return 0, false
+	}
+	order := make([]int, m)
+	for p := range order {
+		order[p] = p
+	}
+	sort.Slice(order, func(x, y int) bool {
+		px, py := order[x], order[y]
+		if ic.c[px] != ic.c[py] {
+			return ic.c[px] < ic.c[py]
+		}
+		hx, hy := ic.largeCnt[px] > 0, ic.largeCnt[py] > 0
+		if hx != hy {
+			return hx
+		}
+		return px < py
+	})
+	k := ic.sumB + int64(ic.largeTotal-ic.largeProcs) // Σb + L_E
+	for i := 0; i < ic.largeTotal; i++ {
+		k += int64(ic.c[order[i]])
+	}
+	return k, true
+}
+
+// scan walks the thresholds and returns the first PARTITION result
+// using at most k moves, or ok=false if none exists (cannot happen for
+// k ≥ 0, since the initial makespan needs zero moves).
+func (ic *incrementalScan) scan(k int) (Result, bool) {
+	in := ic.s.in
+	lo, hi := in.LowerBound(), in.InitialMakespan()
+
+	// Collect events: (threshold, processor). Each processor contributes
+	// its 2·p_j flips, its remaining-total steps, and its doubled
+	// remaining-small steps.
+	type event struct {
+		v    int64
+		proc int
+	}
+	var events []event
+	for p := 0; p < in.M; p++ {
+		list := ic.s.byProc[p]
+		pf := ic.prefix[p]
+		for i, j := range list {
+			add := func(v int64) {
+				if v > lo && v <= hi {
+					events = append(events, event{v, p})
+				}
+			}
+			add(2 * in.Jobs[j].Size)
+			add(ic.total[p] - pf[i+1])
+			add(2 * (ic.total[p] - pf[i+1]))
+			// Also the no-removal boundaries.
+			if i == 0 {
+				add(ic.total[p])
+				add(2 * ic.total[p])
+			}
+		}
+	}
+	sort.Slice(events, func(x, y int) bool { return events[x].v < events[y].v })
+
+	// Initialize every processor at the lower bound.
+	for p := 0; p < in.M; p++ {
+		ic.refresh(p, lo)
+	}
+	try := func(v int64) (Result, bool) {
+		if v < in.MaxSize() || v*int64(in.M) < in.TotalSize() {
+			return Result{}, false
+		}
+		khat, ok := ic.moves()
+		if !ok || khat > int64(k) {
+			return Result{}, false
+		}
+		r := ic.s.run(v)
+		if !r.Feasible || r.Removals > k {
+			// k̂ and the full run agree by construction; treat any
+			// divergence as infeasible rather than returning an
+			// over-budget solution.
+			return Result{}, false
+		}
+		return r, true
+	}
+	if r, ok := try(lo); ok {
+		return r, true
+	}
+	for i := 0; i < len(events); {
+		v := events[i].v
+		for ; i < len(events) && events[i].v == v; i++ {
+			ic.refresh(events[i].proc, v)
+		}
+		if r, ok := try(v); ok {
+			return r, true
+		}
+	}
+	// The initial makespan itself (zero moves) as the final rung.
+	for p := 0; p < in.M; p++ {
+		ic.refresh(p, hi)
+	}
+	if r, ok := try(hi); ok {
+		return r, true
+	}
+	return Result{}, false
+}

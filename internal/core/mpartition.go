@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/instance"
+)
+
+// SearchMode selects how MPartition locates its target value (§3.1).
+type SearchMode int
+
+const (
+	// BinarySearch performs an integer binary search on the target value
+	// between the packing lower bound and the initial makespan. It is
+	// correct without monotonicity assumptions: on termination the value
+	// below the returned target is infeasible, and every value ≥ OPT is
+	// feasible (the paper's Lemma 4), so the returned target is ≤ OPT.
+	BinarySearch SearchMode = iota
+	// ThresholdScan walks the paper's discrete threshold ladder (all
+	// values at which L_T, any a_i or any b_i can change) upward from
+	// the lower bound, re-running PARTITION at each rung. Simple and
+	// faithful to Lemma 5/6, but it materializes an O(n²) candidate
+	// superset; kept as the cross-check oracle for the other modes.
+	ThresholdScan
+	// IncrementalScan is the paper's actual §3.1 algorithm: the same
+	// ladder walked with O(log n) incremental updates of L_T and every
+	// a_i, b_i, c_i per threshold, evaluating the move count k̂ directly
+	// and running PARTITION only once, at the accepted target.
+	IncrementalScan
+)
+
+// MPartition implements §3.1 M-PARTITION: it finds a target value V̂ no
+// larger than the optimal makespan achievable with at most k moves, runs
+// PARTITION against it, and returns the resulting solution. The solution
+// relocates at most k jobs and has makespan at most 1.5·OPT(k).
+//
+// k < 0 is treated as 0. The fallback for pathological infeasibility is
+// the initial assignment (always valid with 0 moves).
+func MPartition(in *instance.Instance, k int, mode SearchMode) instance.Solution {
+	if k < 0 {
+		k = 0
+	}
+	s := newSolver(in) // sort once; every probe reuses the order
+	feasible := func(v int64) (Result, bool) {
+		r := s.run(v)
+		return r, r.Feasible && r.Removals <= k
+	}
+
+	lo := in.LowerBound()
+	hi := in.InitialMakespan()
+	if lo >= hi {
+		// The initial assignment is already optimal.
+		return instance.NewSolution(in, in.Assign)
+	}
+
+	var best Result
+	var ok bool
+	switch mode {
+	case ThresholdScan:
+		for _, v := range thresholdLadder(in, lo, hi) {
+			if r, good := feasible(v); good {
+				best, ok = r, true
+				break
+			}
+		}
+	case IncrementalScan:
+		best, ok = newIncrementalScan(s).scan(k)
+	default:
+		// Invariant: hi is feasible (if it is — verified below), and
+		// whenever lo is raised the value below it was infeasible.
+		if r, good := feasible(hi); good {
+			best, ok = r, true
+			for lo < hi {
+				mid := lo + (hi-lo)/2
+				if r, good := feasible(mid); good {
+					best, hi = r, mid
+				} else {
+					lo = mid + 1
+				}
+			}
+		}
+	}
+	if !ok {
+		// Defensive: with k ≥ 0 the initial makespan is always reachable
+		// with zero moves.
+		return instance.NewSolution(in, in.Assign)
+	}
+	// Never return something worse than doing nothing.
+	if best.Solution.Makespan >= in.InitialMakespan() {
+		return instance.NewSolution(in, in.Assign)
+	}
+	return best.Solution
+}
+
+// thresholdLadder returns, sorted ascending and deduplicated, every
+// candidate target in [lo, hi] at which the execution of PARTITION can
+// change (Lemma 5): values 2·p_j where a job's large/small status flips,
+// the per-processor remaining-total sums governing b_i, and the
+// per-regime doubled remaining-small sums governing a_i; lo itself is
+// included since behaviour is constant between consecutive thresholds.
+func thresholdLadder(in *instance.Instance, lo, hi int64) []int64 {
+	set := map[int64]bool{lo: true, hi: true}
+	add := func(v int64) {
+		if v >= lo && v <= hi {
+			set[v] = true
+		}
+	}
+	byProc := instance.JobsOn(in.M, in.Assign)
+	for _, list := range byProc {
+		sort.Slice(list, func(x, y int) bool { return in.Jobs[list[x]].Size > in.Jobs[list[y]].Size })
+		var total int64
+		for _, j := range list {
+			total += in.Jobs[j].Size
+			add(2 * in.Jobs[j].Size) // L_T breakpoints
+		}
+		// b_i breakpoints: remaining totals after stripping the r
+		// largest jobs.
+		rem := total
+		add(rem)
+		for _, j := range list {
+			rem -= in.Jobs[j].Size
+			add(rem)
+		}
+		// a_i breakpoints: for each large/small cutoff position t (jobs
+		// before t are large in some regime), the doubled remaining
+		// small sums after stripping the r largest smalls.
+		suffix := make([]int64, len(list)+1)
+		for i := len(list) - 1; i >= 0; i-- {
+			suffix[i] = suffix[i+1] + in.Jobs[list[i]].Size
+		}
+		for t := 0; t <= len(list); t++ {
+			rem := suffix[t]
+			add(2 * rem)
+			for r := t; r < len(list); r++ {
+				rem -= in.Jobs[list[r]].Size
+				add(2 * rem)
+			}
+		}
+	}
+	out := make([]int64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(x, y int) bool { return out[x] < out[y] })
+	return out
+}

@@ -1,0 +1,305 @@
+// Package core implements the paper's primary contribution: the §3
+// PARTITION algorithm (a 1.5-approximation for load rebalancing given
+// the optimal value), the §3.1 M-PARTITION algorithm that removes the
+// known-OPT assumption, and the §3.2 extension to arbitrary relocation
+// costs with a budget.
+//
+// All size arithmetic is integral. A job is "large" with respect to a
+// target value V when 2·size > V (i.e. size > V/2), exactly the paper's
+// Definition 1 with OPT replaced by the current guess.
+package core
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/instance"
+)
+
+// Result is the outcome of one PARTITION run at a fixed target value.
+type Result struct {
+	// Feasible reports whether the target admits a PARTITION solution at
+	// all (target at least every unconditional lower bound and at most m
+	// large jobs). When false the other fields are zero.
+	Feasible bool
+	// Target is the value V the run was performed against.
+	Target int64
+	// Removals is the number of job removals PARTITION performed; by the
+	// paper's Lemma 4 this never exceeds the number of moves an optimal
+	// solution with makespan ≤ Target needs.
+	Removals int
+	// LargeTotal is L_T, the number of jobs larger than Target/2, and
+	// LargeExtra is L_E, how many of them shared a processor with
+	// another large job (the Step 1 removals).
+	LargeTotal, LargeExtra int
+	// Selected lists the Step 3 processors (the L_T smallest c_i values,
+	// ties preferring large-holders), in increasing index order.
+	Selected []int
+	// Solution is the produced assignment with recomputed metrics. Its
+	// Moves never exceeds Removals (a removed job may return home).
+	Solution instance.Solution
+}
+
+// solver holds the target-independent preprocessing shared by every
+// probe of the same instance: per-processor job lists sorted by
+// decreasing size. M-PARTITION probes O(log C) targets, so hoisting the
+// O(n log n) sort out of the probe is the difference between
+// O(n log n + n log C) and O(n log n · log C).
+type solver struct {
+	in     *instance.Instance
+	byProc [][]int // per processor, job IDs sorted by decreasing size
+}
+
+func newSolver(in *instance.Instance) *solver {
+	s := &solver{in: in, byProc: instance.JobsOn(in.M, in.Assign)}
+	for p := range s.byProc {
+		list := s.byProc[p]
+		sort.Slice(list, func(x, y int) bool {
+			if in.Jobs[list[x]].Size != in.Jobs[list[y]].Size {
+				return in.Jobs[list[x]].Size > in.Jobs[list[y]].Size
+			}
+			return list[x] < list[y]
+		})
+	}
+	return s
+}
+
+// procState holds the per-processor quantities of §3 Step 2.
+type procState struct {
+	jobs     []int // job IDs on the processor, decreasing size (shared, read-only)
+	largeCnt int   // number of large jobs (a prefix of jobs)
+	a        int   // Step 2 a_i: small removals to reach small-load ≤ V/2
+	b        int   // Step 2 b_i: removals to reach total load ≤ V
+	c        int   // c_i = a_i − b_i
+}
+
+// Partition runs the §3 PARTITION algorithm against target value target
+// (the guessed optimal makespan). The produced solution has makespan at
+// most 1.5·target whenever target is at least the true optimum, and its
+// removal count is minimal in the sense of the paper's Lemma 3/4.
+func Partition(in *instance.Instance, target int64) Result {
+	return newSolver(in).run(target)
+}
+
+func (s *solver) run(target int64) Result {
+	in := s.in
+	res := Result{Target: target}
+	// Unconditional lower bounds: any makespan is at least the largest
+	// job and the ceiling average. Below either, no solution of value
+	// ≤ target exists.
+	if target < in.MaxSize() || target*int64(in.M) < in.TotalSize() {
+		return res
+	}
+
+	jobs := in.Jobs
+	states := make([]procState, in.M)
+	totalLarge := 0
+	for p := 0; p < in.M; p++ {
+		st := &states[p]
+		st.jobs = s.byProc[p]
+		// Large jobs are a prefix of the size-sorted list.
+		for _, j := range st.jobs {
+			if 2*jobs[j].Size > target {
+				st.largeCnt++
+			} else {
+				break
+			}
+		}
+		totalLarge += st.largeCnt
+	}
+	// More large jobs than processors means two of them must share a
+	// processor in every assignment, forcing makespan > target.
+	if totalLarge > in.M {
+		return res
+	}
+
+	assign := append([]int(nil), in.Assign...)
+	removals := 0
+	var removedLarge, removedSmall []int
+
+	// Step 1: from each processor keep only its smallest large job (the
+	// last of the large prefix).
+	for p := range states {
+		st := &states[p]
+		for i := 0; i < st.largeCnt-1; i++ {
+			removedLarge = append(removedLarge, st.jobs[i])
+			removals++
+		}
+	}
+	res.LargeExtra = removals
+	res.LargeTotal = totalLarge
+
+	// Step 2: per-processor removal counts over the post-Step-1 config.
+	for p := range states {
+		st := &states[p]
+		smalls := st.jobs[st.largeCnt:] // sorted desc
+		var smallTotal int64
+		for _, j := range smalls {
+			smallTotal += jobs[j].Size
+		}
+		// a_i: strip largest smalls until 2·remaining ≤ target.
+		rem := smallTotal
+		for st.a = 0; 2*rem > target; st.a++ {
+			rem -= jobs[smalls[st.a]].Size
+		}
+		// b_i: strip largest jobs (retained large first — it strictly
+		// exceeds every small) until remaining ≤ target.
+		total := smallTotal
+		var keep int64 // size of the retained large job, 0 if none
+		if st.largeCnt > 0 {
+			keep = jobs[st.jobs[st.largeCnt-1]].Size
+			total += keep
+		}
+		rem = total
+		cnt := 0
+		if keep > 0 && rem > target {
+			rem -= keep
+			cnt++
+		}
+		for i := 0; rem > target; i++ {
+			rem -= jobs[smalls[i]].Size
+			cnt++
+		}
+		st.b = cnt
+		st.c = st.a - st.b
+	}
+
+	// Step 3: pick the L_T processors with the smallest c_i, preferring
+	// large-holding processors on ties, and strip their a_i largest
+	// small jobs.
+	order := make([]int, in.M)
+	for p := range order {
+		order[p] = p
+	}
+	sort.Slice(order, func(x, y int) bool {
+		sx, sy := &states[order[x]], &states[order[y]]
+		if sx.c != sy.c {
+			return sx.c < sy.c
+		}
+		hx, hy := sx.largeCnt > 0, sy.largeCnt > 0
+		if hx != hy {
+			return hx
+		}
+		return order[x] < order[y]
+	})
+	selected := make([]bool, in.M)
+	for i := 0; i < totalLarge; i++ {
+		selected[order[i]] = true
+	}
+	// Selected large-free processors, in index order, will receive the
+	// relocated large jobs.
+	var freeSlots []int
+	for p := 0; p < in.M; p++ {
+		if selected[p] {
+			res.Selected = append(res.Selected, p)
+			if states[p].largeCnt == 0 {
+				freeSlots = append(freeSlots, p)
+			}
+		}
+	}
+	for p := range states {
+		st := &states[p]
+		if !selected[p] {
+			continue
+		}
+		smalls := st.jobs[st.largeCnt:]
+		for i := 0; i < st.a; i++ {
+			removedSmall = append(removedSmall, smalls[i])
+			removals++
+		}
+	}
+
+	// Step 4: strip b_i jobs from each non-selected processor; displaced
+	// large jobs go to distinct large-free processors from Step 3.
+	for p := range states {
+		st := &states[p]
+		if selected[p] {
+			continue
+		}
+		smalls := st.jobs[st.largeCnt:]
+		cnt := st.b
+		if st.largeCnt > 0 && cnt > 0 {
+			removedLarge = append(removedLarge, st.jobs[st.largeCnt-1])
+			removals++
+			cnt--
+		}
+		for i := 0; i < cnt; i++ {
+			removedSmall = append(removedSmall, smalls[i])
+			removals++
+		}
+	}
+
+	// Steps 4–5: place every displaced large job (from Steps 1 and 4) on
+	// its own large-free selected processor. The counting argument in
+	// DESIGN.md guarantees capacity; if violated the target is rejected.
+	if len(removedLarge) > len(freeSlots) {
+		return Result{Target: target}
+	}
+	for i, j := range removedLarge {
+		assign[j] = freeSlots[i]
+	}
+
+	// Step 6: greedy placement of the removed small jobs, largest first,
+	// each onto the current minimum-load processor.
+	loads := make([]int64, in.M)
+	removedSet := make(map[int]bool, len(removedSmall))
+	for _, j := range removedSmall {
+		removedSet[j] = true
+	}
+	for j, p := range assign {
+		if !removedSet[j] {
+			loads[p] += jobs[j].Size
+		}
+	}
+	sort.Slice(removedSmall, func(x, y int) bool {
+		if jobs[removedSmall[x]].Size != jobs[removedSmall[y]].Size {
+			return jobs[removedSmall[x]].Size > jobs[removedSmall[y]].Size
+		}
+		return removedSmall[x] < removedSmall[y]
+	})
+	h := &minLoadHeap{loads: loads}
+	for p := 0; p < in.M; p++ {
+		h.items = append(h.items, p)
+	}
+	heap.Init(h)
+	for _, j := range removedSmall {
+		p := h.items[0]
+		assign[j] = p
+		loads[p] += jobs[j].Size
+		heap.Fix(h, 0)
+	}
+
+	res.Feasible = true
+	res.Removals = removals
+	res.Solution = instance.NewSolution(in, assign)
+	return res
+}
+
+// minLoadHeap orders processor indices by increasing load with index
+// tie-break, for deterministic greedy placement.
+type minLoadHeap struct {
+	items []int
+	loads []int64
+}
+
+func (h *minLoadHeap) Len() int { return len(h.items) }
+
+func (h *minLoadHeap) Less(a, b int) bool {
+	la, lb := h.loads[h.items[a]], h.loads[h.items[b]]
+	if la != lb {
+		return la < lb
+	}
+	return h.items[a] < h.items[b]
+}
+
+func (h *minLoadHeap) Swap(a, b int) { h.items[a], h.items[b] = h.items[b], h.items[a] }
+
+func (h *minLoadHeap) Push(x any) { h.items = append(h.items, x.(int)) }
+
+func (h *minLoadHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}

@@ -1,0 +1,225 @@
+package exact
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+// bruteForce enumerates every assignment with at most k moves.
+func bruteForce(in *instance.Instance, k int) int64 {
+	n := in.N()
+	best := int64(1) << 62
+	assign := make([]int, n)
+	var rec func(i, moves int)
+	rec = func(i, moves int) {
+		if moves > k {
+			return
+		}
+		if i == n {
+			if ms := in.Makespan(assign); ms < best {
+				best = ms
+			}
+			return
+		}
+		for p := 0; p < in.M; p++ {
+			assign[i] = p
+			d := 0
+			if p != in.Assign[i] {
+				d = 1
+			}
+			rec(i+1, moves+d)
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// bruteForceBudget enumerates every assignment of cost at most budget.
+func bruteForceBudget(in *instance.Instance, budget int64) int64 {
+	n := in.N()
+	best := int64(1) << 62
+	assign := make([]int, n)
+	var rec func(i int, cost int64)
+	rec = func(i int, cost int64) {
+		if cost > budget {
+			return
+		}
+		if i == n {
+			if ms := in.Makespan(assign); ms < best {
+				best = ms
+			}
+			return
+		}
+		for p := 0; p < in.M; p++ {
+			assign[i] = p
+			var d int64
+			if p != in.Assign[i] {
+				d = in.Jobs[i].Cost
+			}
+			rec(i+1, cost+d)
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestSolveTrivial(t *testing.T) {
+	in := instance.MustNew(2, []int64{4, 3}, nil, []int{0, 0})
+	sol, err := Solve(in, 1, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Makespan != 4 || sol.Moves > 1 {
+		t.Fatalf("sol = %+v, want makespan 4 with ≤1 move", sol)
+	}
+}
+
+func TestSolveZeroMoves(t *testing.T) {
+	in := instance.MustNew(2, []int64{4, 3}, nil, []int{0, 0})
+	sol, err := Solve(in, 0, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Makespan != 7 || sol.Moves != 0 {
+		t.Fatalf("sol = %+v, want initial makespan 7", sol)
+	}
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		in := workload.Generate(workload.Config{
+			N: 7, M: 3, MaxSize: 20, Sizes: workload.SizeUniform,
+			Placement: workload.PlaceRandom, Seed: seed,
+		})
+		for _, k := range []int{0, 1, 2, 4, 7} {
+			sol, err := Solve(in, k, Limits{})
+			if err != nil {
+				t.Fatalf("seed %d k %d: %v", seed, k, err)
+			}
+			if _, err := verify.WithinMoves(in, sol.Assign, k); err != nil {
+				t.Fatalf("seed %d k %d: %v", seed, k, err)
+			}
+			want := bruteForce(in, k)
+			if sol.Makespan != want {
+				t.Fatalf("seed %d k %d: makespan %d, brute %d", seed, k, sol.Makespan, want)
+			}
+		}
+	}
+}
+
+func TestSolveBudgetMatchesBruteForce(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		in := workload.Generate(workload.Config{
+			N: 6, M: 3, MaxSize: 15, Sizes: workload.SizeUniform,
+			Placement: workload.PlaceRandom, Costs: workload.CostRandom, Seed: seed,
+		})
+		for _, b := range []int64{0, 5, 12, 100} {
+			sol, err := SolveBudget(in, b, Limits{})
+			if err != nil {
+				t.Fatalf("seed %d B %d: %v", seed, b, err)
+			}
+			if _, err := verify.WithinBudget(in, sol.Assign, b); err != nil {
+				t.Fatalf("seed %d B %d: %v", seed, b, err)
+			}
+			want := bruteForceBudget(in, b)
+			if sol.Makespan != want {
+				t.Fatalf("seed %d B %d: makespan %d, brute %d", seed, b, sol.Makespan, want)
+			}
+		}
+	}
+}
+
+func TestZeroCostJobsMoveUnderZeroBudget(t *testing.T) {
+	// Job with cost 0 may relocate even with budget 0.
+	in := instance.MustNew(2, []int64{4, 3}, []int64{0, 5}, []int{0, 0})
+	sol, err := SolveBudget(in, 0, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Makespan != 4 {
+		t.Fatalf("makespan = %d, want 4 (free job moves)", sol.Makespan)
+	}
+}
+
+func TestMinMoves(t *testing.T) {
+	// Processor 0 has {3,3,3}, processor 1 empty: target 6 needs one
+	// move, target 3 needs... two jobs can't fit under 3 on one
+	// processor; with m=2 target 3 is infeasible (total 9 > 6).
+	in := instance.MustNew(2, []int64{3, 3, 3}, nil, []int{0, 0, 0})
+	k, sol, err := MinMoves(in, 6, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 || sol.Makespan > 6 {
+		t.Fatalf("k = %d sol = %+v, want 1 move", k, sol)
+	}
+	if _, _, err := MinMoves(in, 3, Limits{}); !errors.Is(err, instance.ErrInfeasible) {
+		t.Fatalf("target 3 err = %v, want ErrInfeasible", err)
+	}
+	k, _, err = MinMoves(in, 9, Limits{})
+	if err != nil || k != 0 {
+		t.Fatalf("target 9: k = %d err = %v, want 0 moves", k, err)
+	}
+}
+
+func TestGreedyTightOptimum(t *testing.T) {
+	// On the Theorem 1 instance the optimum with m−1 moves is exactly m.
+	m := 4
+	in := instance.GreedyTight(m)
+	sol, err := Solve(in, instance.GreedyTightK(m), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Makespan != int64(m) {
+		t.Fatalf("OPT = %d, want %d", sol.Makespan, m)
+	}
+}
+
+func TestPartitionTightOptimum(t *testing.T) {
+	in := instance.PartitionTight()
+	sol, err := Solve(in, instance.PartitionTightK(), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Makespan != instance.PartitionTightOPT() {
+		t.Fatalf("OPT = %d, want %d", sol.Makespan, instance.PartitionTightOPT())
+	}
+}
+
+func TestTooManyJobsRejected(t *testing.T) {
+	sizes := make([]int64, 25)
+	assign := make([]int, 25)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	in := instance.MustNew(2, sizes, nil, assign)
+	if _, err := Solve(in, 2, Limits{}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestNodeCapAborts(t *testing.T) {
+	in := workload.Generate(workload.Config{N: 14, M: 5, Seed: 1})
+	if _, err := Solve(in, 14, Limits{MaxNodes: 10}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge from node cap", err)
+	}
+}
+
+func TestMonotoneInK(t *testing.T) {
+	in := workload.Generate(workload.Config{N: 9, M: 3, MaxSize: 30, Seed: 6})
+	prev := int64(1) << 62
+	for k := 0; k <= 9; k++ {
+		sol, err := Solve(in, k, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Makespan > prev {
+			t.Fatalf("k=%d: makespan %d worse than k-1's %d", k, sol.Makespan, prev)
+		}
+		prev = sol.Makespan
+	}
+}

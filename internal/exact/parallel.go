@@ -1,0 +1,160 @@
+package exact
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/instance"
+)
+
+// SolveParallel is Solve with the branch-and-bound tree explored in
+// parallel: the root job's placements are distributed across workers
+// that share the incumbent bound atomically. The returned makespan is
+// identical to Solve's; the witness assignment may differ among equally
+// optimal ones when several workers improve the incumbent concurrently.
+func SolveParallel(in *instance.Instance, k int, lim Limits) (instance.Solution, error) {
+	lim.defaults()
+	if in.N() > lim.MaxJobs {
+		return instance.Solution{}, ErrTooLarge
+	}
+	if k < 0 {
+		k = 0
+	}
+	if in.N() == 0 {
+		return instance.NewSolution(in, in.Assign), nil
+	}
+
+	var (
+		best       atomic.Int64
+		mu         sync.Mutex
+		bestAssign []int
+		nodesTotal atomic.Int64
+	)
+	best.Store(in.InitialMakespan() + 1)
+
+	// Each worker runs a private sequential searcher whose pruning bound
+	// and improvements are routed through the shared incumbent.
+	type rootBranch struct{ proc int }
+	branches := make(chan rootBranch)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > in.M {
+		workers = in.M
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := newSearcher(in, lim)
+			s.k = k
+			for br := range branches {
+				j := s.order[0]
+				home := in.Assign[j]
+				movesLeft := k
+				if br.proc != home {
+					if movesLeft == 0 {
+						continue
+					}
+					movesLeft--
+				}
+				s.best = best.Load()
+				s.bestAssign = nil
+				s.loads[br.proc] += in.Jobs[j].Size
+				s.assign[j] = br.proc
+				s.sharedDFS(1, s.loads[br.proc], movesLeft, &best, &mu, &bestAssign)
+				s.loads[br.proc] -= in.Jobs[j].Size
+				nodesTotal.Add(s.nodes)
+			}
+		}()
+	}
+	for p := 0; p < in.M; p++ {
+		branches <- rootBranch{proc: p}
+	}
+	close(branches)
+	wg.Wait()
+
+	if nodesTotal.Load() > lim.MaxNodes {
+		return instance.Solution{}, ErrTooLarge
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if bestAssign == nil {
+		return instance.NewSolution(in, in.Assign), nil
+	}
+	return instance.NewSolution(in, bestAssign), nil
+}
+
+// sharedDFS mirrors dfs but reads and publishes the incumbent through
+// the shared atomic bound.
+func (s *searcher) sharedDFS(i int, curMax int64, movesLeft int,
+	best *atomic.Int64, mu *sync.Mutex, bestAssign *[]int) {
+	s.nodes++
+	if s.nodes > s.max {
+		return
+	}
+	incumbent := best.Load()
+	if curMax >= incumbent {
+		return
+	}
+	if i == s.in.N() {
+		mu.Lock()
+		if curMax < best.Load() {
+			best.Store(curMax)
+			*bestAssign = append((*bestAssign)[:0], s.assign...)
+		}
+		mu.Unlock()
+		return
+	}
+	var total int64
+	for _, l := range s.loads {
+		total += l
+	}
+	lb := (total + s.suffix[i] + int64(s.in.M) - 1) / int64(s.in.M)
+	if lb >= incumbent {
+		return
+	}
+
+	j := s.order[i]
+	home := s.in.Assign[j]
+	size := s.in.Jobs[j].Size
+
+	if movesLeft == 0 {
+		m := curMax
+		for _, jj := range s.order[i:] {
+			p := s.in.Assign[jj]
+			s.loads[p] += s.in.Jobs[jj].Size
+			s.assign[jj] = p
+			if s.loads[p] > m {
+				m = s.loads[p]
+			}
+		}
+		mu.Lock()
+		if m < best.Load() {
+			best.Store(m)
+			*bestAssign = append((*bestAssign)[:0], s.assign...)
+		}
+		mu.Unlock()
+		for _, jj := range s.order[i:] {
+			s.loads[s.in.Assign[jj]] -= s.in.Jobs[jj].Size
+		}
+		return
+	}
+
+	try := func(p int, ml int) {
+		s.loads[p] += size
+		s.assign[j] = p
+		nm := curMax
+		if s.loads[p] > nm {
+			nm = s.loads[p]
+		}
+		s.sharedDFS(i+1, nm, ml, best, mu, bestAssign)
+		s.loads[p] -= size
+	}
+	try(home, movesLeft)
+	for p := 0; p < s.in.M; p++ {
+		if p != home {
+			try(p, movesLeft-1)
+		}
+	}
+}

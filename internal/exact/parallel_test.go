@@ -1,0 +1,78 @@
+package exact
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		in := workload.Generate(workload.Config{
+			N: 9, M: 3, MaxSize: 25, Sizes: workload.SizeDist(seed % 3),
+			Placement: workload.PlaceRandom, Seed: seed,
+		})
+		for _, k := range []int{0, 2, 5, 9} {
+			seq, err := Solve(in, k, Limits{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := SolveParallel(in, k, Limits{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Makespan != seq.Makespan {
+				t.Fatalf("seed %d k %d: parallel %d != sequential %d",
+					seed, k, par.Makespan, seq.Makespan)
+			}
+			if _, err := verify.WithinMoves(in, par.Assign, k); err != nil {
+				t.Fatalf("seed %d k %d: %v", seed, k, err)
+			}
+		}
+	}
+}
+
+func TestParallelEmptyAndTrivial(t *testing.T) {
+	in := instance.MustNew(2, []int64{5}, nil, []int{0})
+	sol, err := SolveParallel(in, 1, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Makespan != 5 {
+		t.Fatalf("makespan = %d", sol.Makespan)
+	}
+}
+
+func TestParallelRejectsOversized(t *testing.T) {
+	sizes := make([]int64, 30)
+	assign := make([]int, 30)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	in := instance.MustNew(2, sizes, nil, assign)
+	if _, err := SolveParallel(in, 2, Limits{}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestParallelLargerInstance(t *testing.T) {
+	// A 13-job instance the sequential solver also handles; confirms
+	// the parallel version tolerates contention on the incumbent.
+	in := workload.Generate(workload.Config{
+		N: 13, M: 4, MaxSize: 40, Placement: workload.PlaceOneHot, Seed: 2,
+	})
+	seq, err := Solve(in, 6, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SolveParallel(in, 6, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Makespan != seq.Makespan {
+		t.Fatalf("parallel %d != sequential %d", par.Makespan, seq.Makespan)
+	}
+}

@@ -1,0 +1,139 @@
+package gap
+
+import (
+	"testing"
+
+	"repro/internal/constrained"
+	"repro/internal/hardness"
+	"repro/internal/instance"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+func TestConstrainedUnrestrictedMatchesPlain(t *testing.T) {
+	// With nil allowed sets the constrained variant must deliver the
+	// same guarantee as the plain one.
+	in := workload.Generate(workload.Config{
+		N: 10, M: 3, MaxSize: 25, Placement: workload.PlaceRandom, Seed: 4,
+	})
+	allowed := make([][]int, in.N())
+	sol, err := RebalanceConstrained(in, allowed, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verify.WithinBudget(in, sol.Assign, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstrainedRespectsAllowedSets(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		in := workload.Generate(workload.Config{
+			N: 12, M: 4, MaxSize: 30, Placement: workload.PlaceRandom, Seed: seed,
+		})
+		// Each job: its home machine plus one extra.
+		rng := workload.NewRNG(seed + 100)
+		allowed := make([][]int, in.N())
+		for j := range allowed {
+			extra := rng.Intn(in.M)
+			if extra == in.Assign[j] {
+				extra = (extra + 1) % in.M
+			}
+			allowed[j] = []int{in.Assign[j], extra}
+		}
+		sol, err := RebalanceConstrained(in, allowed, 1<<40)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := verify.AllowedSets(in, sol.Assign, allowed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestConstrainedTwoApproxAgainstExact(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		in := workload.Generate(workload.Config{
+			N: 9, M: 3, MaxSize: 20, Placement: workload.PlaceRandom, Seed: seed,
+		})
+		rng := workload.NewRNG(seed * 7)
+		allowed := make([][]int, in.N())
+		for j := range allowed {
+			extra := rng.Intn(in.M)
+			allowed[j] = []int{in.Assign[j]}
+			if extra != in.Assign[j] {
+				allowed[j] = append(allowed[j], extra)
+			}
+		}
+		ci := &constrained.Instance{Base: in, Allowed: allowed}
+		if err := ci.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		opt, err := constrained.Exact(ci, in.N(), 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sol, err := RebalanceConstrained(in, allowed, 1<<40)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if sol.Makespan > 2*opt.Makespan {
+			t.Fatalf("seed %d: makespan %d > 2·OPT (%d)", seed, sol.Makespan, opt.Makespan)
+		}
+	}
+}
+
+func TestConstrainedOnTheorem6Gadget(t *testing.T) {
+	// On a YES gadget the 2-approximation must land at makespan ≤ 4
+	// (2·OPT with OPT = 2); the reduction shows it can't always hit 2.
+	d := hardness.Planted(3, 3, 2)
+	ci, target, err := constrained.FromThreeDM(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := RebalanceConstrained(ci.Base, ci.Allowed, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.AllowedSets(ci.Base, sol.Assign, ci.Allowed); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Makespan > 2*target {
+		t.Fatalf("makespan %d > 2·OPT (%d)", sol.Makespan, target)
+	}
+}
+
+func TestConstrainedZeroBudget(t *testing.T) {
+	in := workload.Generate(workload.Config{
+		N: 10, M: 3, MaxSize: 20, Costs: workload.CostProportional,
+		Placement: workload.PlaceSkewed, Seed: 6,
+	})
+	allowed := make([][]int, in.N())
+	sol, err := RebalanceConstrained(in, allowed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.MoveCost != 0 {
+		t.Fatalf("cost %d with zero budget", sol.MoveCost)
+	}
+}
+
+func TestSupportMachines(t *testing.T) {
+	x := [][]float64{{0.5, 0.5, 0}, {0, 0, 1}}
+	got := SupportMachines(x)
+	if len(got[0]) != 2 || len(got[1]) != 1 || got[1][0] != 2 {
+		t.Fatalf("SupportMachines = %v", got)
+	}
+}
+
+func TestConstrainedSingletonSetsForceIdentity(t *testing.T) {
+	in := instance.MustNew(2, []int64{5, 3}, nil, []int{0, 0})
+	allowed := [][]int{{0}, {0}}
+	sol, err := RebalanceConstrained(in, allowed, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Moves != 0 || sol.Makespan != 8 {
+		t.Fatalf("locked jobs moved: %+v", sol)
+	}
+}

@@ -1,0 +1,109 @@
+package gap
+
+import (
+	"testing"
+
+	"repro/internal/lp"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+// The Shmoys–Tardos structural guarantee, checked directly on the
+// fractional/integral pair: the rounded assignment's cost never exceeds
+// the fractional optimum and its makespan stays below T + max job size.
+func TestRoundingStructuralGuarantees(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		in := workload.Generate(workload.Config{
+			N: 14, M: 4, MaxSize: 30, Costs: workload.CostRandom,
+			Placement: workload.PlaceSkewed, Seed: seed,
+		})
+		// A mid-range target between the bounds.
+		targetT := (in.LowerBound() + in.InitialMakespan()) / 2
+		cost, x, err := fractional(in, targetT)
+		if err != nil {
+			// Target below the largest job — skip.
+			continue
+		}
+		assign, err := round(in, x)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rep, err := verify.Solution(in, assign)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if float64(rep.MoveCost) > cost+1e-6 {
+			t.Fatalf("seed %d: integral cost %d exceeds fractional %g", seed, rep.MoveCost, cost)
+		}
+		if rep.Makespan >= targetT+in.MaxSize()+1 {
+			t.Fatalf("seed %d: makespan %d ≥ T (%d) + max size (%d) + 1",
+				seed, rep.Makespan, targetT, in.MaxSize())
+		}
+	}
+}
+
+// The fractional LP respects its constraints: every job fully assigned,
+// every machine within the target.
+func TestFractionalFeasibility(t *testing.T) {
+	in := workload.Generate(workload.Config{
+		N: 10, M: 3, MaxSize: 25, Placement: workload.PlaceRandom, Seed: 6,
+	})
+	targetT := in.InitialMakespan()
+	_, x, err := fractional(in, targetT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range x {
+		var sum float64
+		for i := range x[j] {
+			if x[j][i] < -1e-9 {
+				t.Fatalf("negative x[%d][%d]", j, i)
+			}
+			sum += x[j][i]
+		}
+		if sum < 1-1e-6 || sum > 1+1e-6 {
+			t.Fatalf("job %d fractionally assigned to %g", j, sum)
+		}
+	}
+	for i := 0; i < in.M; i++ {
+		var load float64
+		for j := range x {
+			load += x[j][i] * float64(in.Jobs[j].Size)
+		}
+		if load > float64(targetT)+1e-6 {
+			t.Fatalf("machine %d fractional load %g > %d", i, load, targetT)
+		}
+	}
+}
+
+func TestFractionalInfeasibleBelowMaxJob(t *testing.T) {
+	in := workload.Generate(workload.Config{
+		N: 6, M: 2, MaxSize: 50, Placement: workload.PlaceRandom, Seed: 9,
+	})
+	if _, _, err := fractional(in, in.MaxSize()-1); err != lp.ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+// The rounding LP's vertex must be integral (total unimodularity of the
+// bipartite slot/job system): round only reads 0/1 from it, so a
+// fractional vertex would show up as an unmatched job.
+func TestRoundingAlwaysMatchesEveryJob(t *testing.T) {
+	for seed := uint64(20); seed < 40; seed++ {
+		in := workload.Generate(workload.Config{
+			N: 12, M: 4, MaxSize: 20, Costs: workload.CostProportional,
+			Placement: workload.PlaceOneHot, Seed: seed,
+		})
+		_, x, err := fractional(in, in.LowerBound()+in.MaxSize())
+		if err != nil {
+			continue
+		}
+		assign, err := round(in, x)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(assign) != in.N() {
+			t.Fatalf("seed %d: %d assignments", seed, len(assign))
+		}
+	}
+}

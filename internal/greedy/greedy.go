@@ -1,0 +1,138 @@
+// Package greedy implements the §2 GREEDY algorithm of the paper, a
+// variant of Graham's greedy heuristic with a tight approximation ratio
+// of 2 − 1/m for the load rebalancing problem:
+//
+//  1. Repeat k times: from the maximum-load processor, remove the
+//     largest job.
+//  2. Consider the k removed jobs in some order and place each on the
+//     current minimum-load processor.
+//
+// The paper's Step 2 order is arbitrary; the Order option selects it,
+// which matters only for adversarial analysis (Theorem 1's tightness
+// uses the largest job last). Running time is O((n + k) log n).
+package greedy
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/instance"
+)
+
+// Order selects the Step 2 placement order of the removed jobs.
+type Order int
+
+const (
+	// OrderRemoval places jobs in the order they were removed
+	// (the paper's "arbitrary order").
+	OrderRemoval Order = iota
+	// OrderLargestFirst places big jobs first (LPT-style), the strongest
+	// practical choice.
+	OrderLargestFirst
+	// OrderSmallestFirst places big jobs last, the adversarial order
+	// realizing the 2 − 1/m lower bound of Theorem 1.
+	OrderSmallestFirst
+)
+
+// Rebalance runs GREEDY with move budget k and returns the resulting
+// assignment with recomputed metrics. k may exceed n; removals stop
+// early once every processor is empty. The instance is not modified.
+func Rebalance(in *instance.Instance, k int, order Order) instance.Solution {
+	assign := append([]int(nil), in.Assign...)
+	if k <= 0 || in.N() == 0 {
+		return instance.NewSolution(in, assign)
+	}
+
+	// Per-processor job lists sorted by decreasing size; heads[p] is the
+	// next (largest remaining) job index into byProc[p].
+	byProc := instance.JobsOn(in.M, assign)
+	for p := range byProc {
+		jobs := byProc[p]
+		sort.Slice(jobs, func(a, b int) bool {
+			if in.Jobs[jobs[a]].Size != in.Jobs[jobs[b]].Size {
+				return in.Jobs[jobs[a]].Size > in.Jobs[jobs[b]].Size
+			}
+			return jobs[a] < jobs[b]
+		})
+	}
+	heads := make([]int, in.M)
+	loads := in.Loads(assign)
+
+	// Step 1: k removals from the max-load processor.
+	maxH := &procHeap{loads: loads, max: true}
+	for p := 0; p < in.M; p++ {
+		maxH.items = append(maxH.items, p)
+	}
+	heap.Init(maxH)
+	var removed []int
+	for r := 0; r < k; r++ {
+		p := maxH.items[0]
+		if heads[p] == len(byProc[p]) {
+			// Max-load processor has no jobs left: every job is removed.
+			break
+		}
+		j := byProc[p][heads[p]]
+		heads[p]++
+		loads[p] -= in.Jobs[j].Size
+		heap.Fix(maxH, 0)
+		removed = append(removed, j)
+	}
+
+	// Step 2: place removed jobs on the current min-load processor.
+	switch order {
+	case OrderLargestFirst:
+		sort.SliceStable(removed, func(a, b int) bool {
+			return in.Jobs[removed[a]].Size > in.Jobs[removed[b]].Size
+		})
+	case OrderSmallestFirst:
+		sort.SliceStable(removed, func(a, b int) bool {
+			return in.Jobs[removed[a]].Size < in.Jobs[removed[b]].Size
+		})
+	}
+	minH := &procHeap{loads: loads}
+	for p := 0; p < in.M; p++ {
+		minH.items = append(minH.items, p)
+	}
+	heap.Init(minH)
+	for _, j := range removed {
+		p := minH.items[0]
+		assign[j] = p
+		loads[p] += in.Jobs[j].Size
+		heap.Fix(minH, 0)
+	}
+	return instance.NewSolution(in, assign)
+}
+
+// procHeap is a heap of processor indices ordered by load (min-heap by
+// default, max-heap when max is set), breaking ties by processor index
+// for determinism.
+type procHeap struct {
+	items []int
+	loads []int64
+	max   bool
+}
+
+func (h *procHeap) Len() int { return len(h.items) }
+
+func (h *procHeap) Less(a, b int) bool {
+	la, lb := h.loads[h.items[a]], h.loads[h.items[b]]
+	if la != lb {
+		if h.max {
+			return la > lb
+		}
+		return la < lb
+	}
+	return h.items[a] < h.items[b]
+}
+
+func (h *procHeap) Swap(a, b int) { h.items[a], h.items[b] = h.items[b], h.items[a] }
+
+func (h *procHeap) Push(x any) { h.items = append(h.items, x.(int)) }
+
+func (h *procHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}

@@ -1,0 +1,132 @@
+// Package hardness provides the 3-dimensional matching machinery behind
+// the paper's §5 inapproximability results: the 3DM instance type, a
+// brute-force matcher used as ground truth, and generators for planted
+// (YES) and obstructed (NO) instances. The reductions themselves live in
+// internal/constrained (Theorem 6 / Corollary 1) and internal/conflict
+// (Theorem 7).
+package hardness
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// Triple is one element of the family F ⊆ A×B×C.
+type Triple struct{ A, B, C int }
+
+// ThreeDM is a 3-dimensional matching instance: disjoint ground sets
+// A, B, C of size N each and a family of triples. The question is
+// whether some N triples cover every element exactly once.
+type ThreeDM struct {
+	N       int
+	Triples []Triple
+}
+
+// Validate checks element ranges.
+func (d *ThreeDM) Validate() error {
+	if d.N < 0 {
+		return fmt.Errorf("hardness: N = %d", d.N)
+	}
+	for i, t := range d.Triples {
+		if t.A < 0 || t.A >= d.N || t.B < 0 || t.B >= d.N || t.C < 0 || t.C >= d.N {
+			return fmt.Errorf("hardness: triple %d = %+v out of range [0,%d)", i, t, d.N)
+		}
+	}
+	return nil
+}
+
+// TypeCounts returns t_j, the number of triples containing a_j, for each
+// j — the quantity the Theorem 6 reduction sizes its dummy jobs by.
+func (d *ThreeDM) TypeCounts() []int {
+	t := make([]int, d.N)
+	for _, tr := range d.Triples {
+		t[tr.A]++
+	}
+	return t
+}
+
+// Matching searches for a perfect matching by backtracking over the A
+// elements (each must be covered by exactly one chosen triple). It
+// returns the chosen triple indices or nil. Exponential in the worst
+// case; intended for the small gadgets of the test suite.
+func (d *ThreeDM) Matching() []int {
+	byA := make([][]int, d.N)
+	for i, tr := range d.Triples {
+		byA[tr.A] = append(byA[tr.A], i)
+	}
+	for a := 0; a < d.N; a++ {
+		if len(byA[a]) == 0 {
+			return nil
+		}
+	}
+	usedB := make([]bool, d.N)
+	usedC := make([]bool, d.N)
+	chosen := make([]int, 0, d.N)
+	var rec func(a int) bool
+	rec = func(a int) bool {
+		if a == d.N {
+			return true
+		}
+		for _, ti := range byA[a] {
+			tr := d.Triples[ti]
+			if usedB[tr.B] || usedC[tr.C] {
+				continue
+			}
+			usedB[tr.B], usedC[tr.C] = true, true
+			chosen = append(chosen, ti)
+			if rec(a + 1) {
+				return true
+			}
+			chosen = chosen[:len(chosen)-1]
+			usedB[tr.B], usedC[tr.C] = false, false
+		}
+		return false
+	}
+	if !rec(0) {
+		return nil
+	}
+	return append([]int(nil), chosen...)
+}
+
+// HasMatching reports whether a perfect matching exists.
+func (d *ThreeDM) HasMatching() bool { return d.Matching() != nil }
+
+// Planted generates a YES instance: a hidden perfect matching plus
+// extra random triples as noise.
+func Planted(n, extra int, seed uint64) *ThreeDM {
+	rng := workload.NewRNG(seed)
+	permB, permC := rng.Perm(n), rng.Perm(n)
+	d := &ThreeDM{N: n}
+	for a := 0; a < n; a++ {
+		d.Triples = append(d.Triples, Triple{A: a, B: permB[a], C: permC[a]})
+	}
+	for e := 0; e < extra; e++ {
+		d.Triples = append(d.Triples, Triple{A: rng.Intn(n), B: rng.Intn(n), C: rng.Intn(n)})
+	}
+	// Shuffle so the matching is not a prefix.
+	for i := len(d.Triples) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		d.Triples[i], d.Triples[j] = d.Triples[j], d.Triples[i]
+	}
+	return d
+}
+
+// Obstructed generates a NO instance: element b_0 never appears in any
+// triple, so no perfect matching can exist, while every a_j still has
+// candidate triples.
+func Obstructed(n, triples int, seed uint64) *ThreeDM {
+	rng := workload.NewRNG(seed)
+	d := &ThreeDM{N: n}
+	if n < 2 {
+		return d
+	}
+	for len(d.Triples) < triples {
+		d.Triples = append(d.Triples, Triple{
+			A: len(d.Triples) % n, // every type inhabited
+			B: 1 + rng.Intn(n-1),  // b_0 excluded
+			C: rng.Intn(n),
+		})
+	}
+	return d
+}

@@ -1,0 +1,103 @@
+package hardness
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMatchingTinyYes(t *testing.T) {
+	d := &ThreeDM{N: 2, Triples: []Triple{
+		{0, 0, 0}, {1, 1, 1},
+	}}
+	m := d.Matching()
+	if m == nil {
+		t.Fatal("perfect matching missed")
+	}
+	if len(m) != 2 {
+		t.Fatalf("matching size %d", len(m))
+	}
+}
+
+func TestMatchingTinyNo(t *testing.T) {
+	// Both triples collide on b=0.
+	d := &ThreeDM{N: 2, Triples: []Triple{
+		{0, 0, 0}, {1, 0, 1},
+	}}
+	if d.HasMatching() {
+		t.Fatal("false matching")
+	}
+}
+
+func TestMatchingCoversExactly(t *testing.T) {
+	d := Planted(6, 10, 3)
+	m := d.Matching()
+	if m == nil {
+		t.Fatal("planted instance unsolved")
+	}
+	seenA := make([]bool, d.N)
+	seenB := make([]bool, d.N)
+	seenC := make([]bool, d.N)
+	for _, ti := range m {
+		tr := d.Triples[ti]
+		if seenA[tr.A] || seenB[tr.B] || seenC[tr.C] {
+			t.Fatalf("element covered twice in %v", m)
+		}
+		seenA[tr.A], seenB[tr.B], seenC[tr.C] = true, true, true
+	}
+	for i := 0; i < d.N; i++ {
+		if !seenA[i] || !seenB[i] || !seenC[i] {
+			t.Fatalf("element %d uncovered", i)
+		}
+	}
+}
+
+func TestPlantedAlwaysYes(t *testing.T) {
+	f := func(seed uint64, nRaw, extraRaw uint8) bool {
+		n := int(nRaw%6) + 1
+		extra := int(extraRaw % 12)
+		d := Planted(n, extra, seed)
+		return d.Validate() == nil && d.HasMatching()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObstructedAlwaysNo(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%5) + 2
+		d := Obstructed(n, 3*n, seed)
+		return d.Validate() == nil && !d.HasMatching()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeCounts(t *testing.T) {
+	d := &ThreeDM{N: 3, Triples: []Triple{
+		{0, 0, 0}, {0, 1, 2}, {2, 2, 2},
+	}}
+	got := d.TypeCounts()
+	if got[0] != 2 || got[1] != 0 || got[2] != 1 {
+		t.Fatalf("TypeCounts = %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := &ThreeDM{N: 2, Triples: []Triple{{0, 0, 5}}}
+	if d.Validate() == nil {
+		t.Fatal("out-of-range triple accepted")
+	}
+	if (&ThreeDM{N: -1}).Validate() == nil {
+		t.Fatal("negative N accepted")
+	}
+}
+
+func TestMissingTypeIsNo(t *testing.T) {
+	// a_1 appears in no triple.
+	d := &ThreeDM{N: 2, Triples: []Triple{{0, 0, 0}}}
+	if d.HasMatching() {
+		t.Fatal("matching without covering a_1")
+	}
+}

@@ -1,0 +1,122 @@
+package hardness
+
+import (
+	"errors"
+	"fmt"
+)
+
+// TwoCostGAP is the Theorem 6 gadget: a generalized-assignment instance
+// whose job costs take only two values {P, Q} per machine, a cost
+// budget of (m+n)·P, and target makespan 2. A schedule meeting both
+// exists iff the source 3DM instance has a perfect matching — hence no
+// polynomial ρ < 3/2 approximation for makespan minimization with
+// two-valued costs unless P = NP.
+//
+// Construction (§5): one machine per triple; 2n unit-size element jobs
+// for B∪C; t_j − 1 dummy jobs of size 2 per type j. A job costs P on a
+// machine whose triple "matches" it (contains the element / is of the
+// dummy's type) and Q elsewhere. The budget forces every job onto a
+// P-cost machine.
+type TwoCostGAP struct {
+	Machines int
+	Sizes    []int64
+	// Cost[j][i] ∈ {P, Q} is the cost of running job j on machine i.
+	Cost   [][]int64
+	P, Q   int64
+	Budget int64
+	Target int64 // makespan 2
+}
+
+// ErrUncoveredElement mirrors the constrained package: an element
+// outside every triple makes the gadget (and the matching) vacuous.
+var ErrUncoveredElement = errors.New("hardness: element uncovered by every triple")
+
+// NewTwoCostGAP builds the gadget with costs p ≠ q (the theorem needs
+// p ≠ 0; q is the "wrong machine" cost).
+func NewTwoCostGAP(d *ThreeDM, p, q int64) (*TwoCostGAP, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if p == 0 || p == q {
+		return nil, fmt.Errorf("hardness: need p ≠ 0 and p ≠ q, got p=%d q=%d", p, q)
+	}
+	n := d.N
+	m := len(d.Triples)
+	byB := make([][]int, n)
+	byC := make([][]int, n)
+	byType := make([][]int, n)
+	for i, tr := range d.Triples {
+		byB[tr.B] = append(byB[tr.B], i)
+		byC[tr.C] = append(byC[tr.C], i)
+		byType[tr.A] = append(byType[tr.A], i)
+	}
+	for e := 0; e < n; e++ {
+		if len(byB[e]) == 0 || len(byC[e]) == 0 || len(byType[e]) == 0 {
+			return nil, ErrUncoveredElement
+		}
+	}
+	g := &TwoCostGAP{Machines: m, P: p, Q: q, Target: 2}
+	addJob := func(size int64, cheap []int) {
+		row := make([]int64, m)
+		for i := range row {
+			row[i] = q
+		}
+		for _, i := range cheap {
+			row[i] = p
+		}
+		g.Sizes = append(g.Sizes, size)
+		g.Cost = append(g.Cost, row)
+	}
+	for e := 0; e < n; e++ {
+		addJob(1, byB[e])
+	}
+	for e := 0; e < n; e++ {
+		addJob(1, byC[e])
+	}
+	for j := 0; j < n; j++ {
+		for k := 0; k < len(byType[j])-1; k++ {
+			addJob(2, byType[j])
+		}
+	}
+	g.Budget = int64(m+n) * p
+	return g, nil
+}
+
+// Feasible searches exhaustively for an assignment with makespan ≤
+// Target and total cost ≤ Budget, returning it (job → machine) or nil.
+// Exponential; gadget-sized instances only.
+func (g *TwoCostGAP) Feasible(maxNodes int64) ([]int, bool) {
+	if maxNodes <= 0 {
+		maxNodes = 20_000_000
+	}
+	loads := make([]int64, g.Machines)
+	assign := make([]int, len(g.Sizes))
+	var nodes int64
+	var dfs func(j int, cost int64) bool
+	dfs = func(j int, cost int64) bool {
+		nodes++
+		if nodes > maxNodes {
+			return false
+		}
+		if j == len(g.Sizes) {
+			return true
+		}
+		for i := 0; i < g.Machines; i++ {
+			c := g.Cost[j][i]
+			if cost+c > g.Budget || loads[i]+g.Sizes[j] > g.Target {
+				continue
+			}
+			loads[i] += g.Sizes[j]
+			assign[j] = i
+			if dfs(j+1, cost+c) {
+				return true
+			}
+			loads[i] -= g.Sizes[j]
+		}
+		return false
+	}
+	if !dfs(0, 0) {
+		return nil, false
+	}
+	return assign, true
+}

@@ -1,0 +1,101 @@
+package hardness
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTwoCostGadgetShape(t *testing.T) {
+	d := Planted(3, 3, 1)
+	g, err := NewTwoCostGAP(d, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := len(d.Triples)
+	if g.Machines != m {
+		t.Fatalf("machines = %d, want %d", g.Machines, m)
+	}
+	// 2n element jobs + (m−n) dummies.
+	if got, want := len(g.Sizes), 2*d.N+(m-d.N); got != want {
+		t.Fatalf("jobs = %d, want %d", got, want)
+	}
+	if g.Budget != int64(m+d.N) {
+		t.Fatalf("budget = %d, want %d", g.Budget, m+d.N)
+	}
+	// Every job has at least one cheap machine and the costs are
+	// two-valued.
+	for j, row := range g.Cost {
+		cheap := 0
+		for _, c := range row {
+			switch c {
+			case g.P:
+				cheap++
+			case g.Q:
+			default:
+				t.Fatalf("job %d has cost %d outside {%d,%d}", j, c, g.P, g.Q)
+			}
+		}
+		if cheap == 0 {
+			t.Fatalf("job %d has no cheap machine", j)
+		}
+	}
+}
+
+func TestTheorem6TwoCostDecidesMatching(t *testing.T) {
+	yes := Planted(3, 3, 5)
+	no := &ThreeDM{N: 2, Triples: []Triple{
+		{A: 0, B: 0, C: 0}, {A: 1, B: 0, C: 1}, {A: 1, B: 1, C: 0},
+	}}
+	for _, tc := range []struct {
+		d    *ThreeDM
+		want bool
+	}{{yes, true}, {no, false}} {
+		g, err := NewTwoCostGAP(tc.d, 1, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assign, ok := g.Feasible(0)
+		if ok != tc.want {
+			t.Fatalf("matchable=%v but gadget feasible=%v", tc.d.HasMatching(), ok)
+		}
+		if ok {
+			// The witness must respect budget and target.
+			loads := make([]int64, g.Machines)
+			var cost int64
+			for j, i := range assign {
+				loads[i] += g.Sizes[j]
+				cost += g.Cost[j][i]
+			}
+			for i, l := range loads {
+				if l > g.Target {
+					t.Fatalf("machine %d load %d > %d", i, l, g.Target)
+				}
+			}
+			if cost > g.Budget {
+				t.Fatalf("cost %d > budget %d", cost, g.Budget)
+			}
+			// The budget forces every job onto a cheap machine.
+			for j, i := range assign {
+				if g.Cost[j][i] != g.P {
+					t.Fatalf("job %d on expensive machine within budget", j)
+				}
+			}
+		}
+	}
+}
+
+func TestTwoCostRejectsBadParams(t *testing.T) {
+	d := Planted(2, 1, 1)
+	if _, err := NewTwoCostGAP(d, 0, 5); err == nil {
+		t.Fatal("p = 0 accepted")
+	}
+	if _, err := NewTwoCostGAP(d, 5, 5); err == nil {
+		t.Fatal("p = q accepted")
+	}
+	if _, err := NewTwoCostGAP(Obstructed(3, 9, 1), 1, 5); !errors.Is(err, ErrUncoveredElement) {
+		t.Fatal("uncovered element accepted")
+	}
+	if _, err := NewTwoCostGAP(&ThreeDM{N: -1}, 1, 5); err == nil {
+		t.Fatal("invalid 3DM accepted")
+	}
+}

@@ -1,0 +1,48 @@
+package instance
+
+// Canonical instances from the paper, used by the tightness experiments
+// (E1, E2) and as fixtures throughout the test suite.
+
+// GreedyTight returns the §2 Theorem 1 instance on which GREEDY's ratio
+// approaches 2 − 1/m when the adversarial removal order is used:
+// m processors, one job of size m plus m²−m jobs of size 1. Initially
+// each processor holds m−1 unit jobs and processor 0 additionally holds
+// the size-m job, so every load is m−1 except processor 0 at 2m−1.
+// With k = m−1 moves the optimum relocates m−1 unit jobs off processor 0
+// for makespan m, while the adversarial GREEDY order reproduces the
+// initial configuration of makespan 2m−1.
+func GreedyTight(m int) *Instance {
+	n := m * m // 1 big job + m²−m unit jobs... big job replaces one unit slot count-wise
+	sizes := make([]int64, 0, n)
+	assign := make([]int, 0, n)
+	sizes = append(sizes, int64(m))
+	assign = append(assign, 0)
+	for p := 0; p < m; p++ {
+		for i := 0; i < m-1; i++ {
+			sizes = append(sizes, 1)
+			assign = append(assign, p)
+		}
+	}
+	return MustNew(m, sizes, nil, assign)
+}
+
+// GreedyTightK returns the move budget k = m−1 used by the Theorem 1
+// tightness argument for GreedyTight(m).
+func GreedyTightK(m int) int { return m - 1 }
+
+// PartitionTight returns the §3 Theorem 2 instance showing PARTITION's
+// 1.5 bound is tight: two processors, the first holding jobs of sizes
+// 1/2 and 1 and the second a single job of size 1/2, with k = 1 and
+// OPT = 1. Sizes are scaled by 2 to stay integral: {1,2} on processor 0
+// and {1} on processor 1, OPT = 2, and PARTITION makes no moves, ending
+// at makespan 3 = 1.5·OPT.
+func PartitionTight() *Instance {
+	return MustNew(2, []int64{1, 2, 1}, nil, []int{0, 0, 1})
+}
+
+// PartitionTightK returns the move budget (1) for PartitionTight.
+func PartitionTightK() int { return 1 }
+
+// PartitionTightOPT returns the optimal makespan (2, after scaling) of
+// PartitionTight with one move.
+func PartitionTightOPT() int64 { return 2 }

@@ -1,0 +1,73 @@
+package instance
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Extended is the on-disk problem format covering the §5 variants: a
+// base instance plus optional per-job allowed machine sets (Constrained
+// Load Rebalancing) and a conflict graph (Conflict Scheduling). Both
+// extension fields may be empty/nil.
+type Extended struct {
+	Instance
+	// Allowed[j] lists the machines job j may reside on; a nil entry
+	// (or a missing array) leaves the job unrestricted.
+	Allowed [][]int `json:"allowed,omitempty"`
+	// Conflicts lists job-ID pairs that may not share a machine.
+	Conflicts [][2]int `json:"conflicts,omitempty"`
+}
+
+// Validate extends Instance.Validate over the §5 fields.
+func (e *Extended) Validate() error {
+	if err := e.Instance.Validate(); err != nil {
+		return err
+	}
+	if e.Allowed != nil && len(e.Allowed) != e.N() {
+		return fmt.Errorf("instance: %d allowed sets for %d jobs", len(e.Allowed), e.N())
+	}
+	for j, set := range e.Allowed {
+		if set == nil {
+			continue
+		}
+		if len(set) == 0 {
+			return fmt.Errorf("instance: job %d has an empty allowed set", j)
+		}
+		for _, p := range set {
+			if p < 0 || p >= e.M {
+				return fmt.Errorf("instance: job %d allows invalid machine %d", j, p)
+			}
+		}
+	}
+	for i, c := range e.Conflicts {
+		if c[0] < 0 || c[0] >= e.N() || c[1] < 0 || c[1] >= e.N() {
+			return fmt.Errorf("instance: conflict %d = %v out of range", i, c)
+		}
+		if c[0] == c[1] {
+			return fmt.Errorf("instance: conflict %d pairs job %d with itself", i, c[0])
+		}
+	}
+	return nil
+}
+
+// Encode writes the extended instance as indented JSON.
+func (e *Extended) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// DecodeExtended reads a JSON extended instance and validates it. A
+// plain instance file (no extension fields) decodes with nil Allowed
+// and Conflicts, so one reader serves both formats.
+func DecodeExtended(r io.Reader) (*Extended, error) {
+	var e Extended
+	if err := json.NewDecoder(r).Decode(&e); err != nil {
+		return nil, fmt.Errorf("instance: decode: %w", err)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}

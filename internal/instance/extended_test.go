@@ -1,0 +1,98 @@
+package instance
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func extFixture() *Extended {
+	return &Extended{
+		Instance:  *MustNew(2, []int64{3, 2, 1}, nil, []int{0, 0, 1}),
+		Allowed:   [][]int{{0, 1}, nil, {1}},
+		Conflicts: [][2]int{{0, 1}},
+	}
+}
+
+func TestExtendedValidateOK(t *testing.T) {
+	if err := extFixture().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtendedValidateErrors(t *testing.T) {
+	e := extFixture()
+	e.Allowed = [][]int{{0}}
+	if e.Validate() == nil {
+		t.Fatal("short allowed slice accepted")
+	}
+
+	e = extFixture()
+	e.Allowed[0] = []int{}
+	if e.Validate() == nil {
+		t.Fatal("empty allowed set accepted")
+	}
+
+	e = extFixture()
+	e.Allowed[0] = []int{5}
+	if e.Validate() == nil {
+		t.Fatal("out-of-range machine accepted")
+	}
+
+	e = extFixture()
+	e.Conflicts = [][2]int{{0, 9}}
+	if e.Validate() == nil {
+		t.Fatal("out-of-range conflict accepted")
+	}
+
+	e = extFixture()
+	e.Conflicts = [][2]int{{1, 1}}
+	if e.Validate() == nil {
+		t.Fatal("self-conflict accepted")
+	}
+
+	e = extFixture()
+	e.M = 0
+	if e.Validate() == nil {
+		t.Fatal("invalid base accepted")
+	}
+}
+
+func TestExtendedJSONRoundTrip(t *testing.T) {
+	e := extFixture()
+	var buf bytes.Buffer
+	if err := e.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeExtended(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e, out) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", e, out)
+	}
+}
+
+func TestDecodeExtendedAcceptsPlainInstance(t *testing.T) {
+	in := MustNew(2, []int64{3, 2}, nil, []int{0, 1})
+	var buf bytes.Buffer
+	if err := in.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e, err := DecodeExtended(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Allowed != nil || e.Conflicts != nil {
+		t.Fatalf("plain file grew extensions: %+v", e)
+	}
+	if !reflect.DeepEqual(&e.Instance, in) {
+		t.Fatal("base instance mismatch")
+	}
+}
+
+func TestDecodeExtendedRejectsInvalid(t *testing.T) {
+	if _, err := DecodeExtended(bytes.NewBufferString(`{"m":1,"jobs":[],"assign":[],"conflicts":[[0,0]]}`)); err == nil {
+		t.Fatal("invalid conflicts accepted")
+	}
+}

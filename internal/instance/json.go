@@ -1,0 +1,26 @@
+package instance
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Encode writes the instance as indented JSON.
+func (in *Instance) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(in)
+}
+
+// Decode reads a JSON instance and validates it.
+func Decode(r io.Reader) (*Instance, error) {
+	var in Instance
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("instance: decode: %w", err)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return &in, nil
+}

@@ -1,0 +1,39 @@
+package instance
+
+// LoadMetrics summarizes the balance of an assignment.
+type LoadMetrics struct {
+	Makespan int64
+	Min      int64
+	Mean     float64
+	// Imbalance is makespan divided by the flat average load; 1.0 is
+	// perfect balance. It is the quantity the simulator and the
+	// experiment tables report.
+	Imbalance float64
+	// Spread is makespan − min load.
+	Spread int64
+}
+
+// Metrics computes balance statistics of an assignment over this
+// instance's jobs.
+func (in *Instance) Metrics(assign []int) LoadMetrics {
+	loads := in.Loads(assign)
+	m := LoadMetrics{Min: loads[0]}
+	var total int64
+	for _, l := range loads {
+		total += l
+		if l > m.Makespan {
+			m.Makespan = l
+		}
+		if l < m.Min {
+			m.Min = l
+		}
+	}
+	m.Mean = float64(total) / float64(in.M)
+	m.Spread = m.Makespan - m.Min
+	if total > 0 {
+		m.Imbalance = float64(m.Makespan) / m.Mean
+	} else {
+		m.Imbalance = 1
+	}
+	return m
+}

@@ -1,0 +1,65 @@
+package instance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMetricsBasic(t *testing.T) {
+	in := MustNew(3, []int64{6, 3, 3}, nil, []int{0, 1, 1})
+	m := in.Metrics(in.Assign)
+	if m.Makespan != 6 || m.Min != 0 || m.Spread != 6 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if math.Abs(m.Mean-4) > 1e-12 {
+		t.Fatalf("mean = %g", m.Mean)
+	}
+	if math.Abs(m.Imbalance-1.5) > 1e-12 {
+		t.Fatalf("imbalance = %g", m.Imbalance)
+	}
+}
+
+func TestMetricsPerfectBalance(t *testing.T) {
+	in := MustNew(2, []int64{5, 5}, nil, []int{0, 1})
+	m := in.Metrics(in.Assign)
+	if m.Imbalance != 1 || m.Spread != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestMetricsAlternateAssignment(t *testing.T) {
+	in := MustNew(2, []int64{5, 5}, nil, []int{0, 1})
+	m := in.Metrics([]int{0, 0})
+	if m.Makespan != 10 || m.Imbalance != 2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+// Property: imbalance ∈ [1, m] and makespan/min bracket the mean.
+func TestMetricsProperty(t *testing.T) {
+	f := func(raw []uint8, mRaw uint8) bool {
+		m := int(mRaw%5) + 1
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		sizes := make([]int64, len(raw))
+		assign := make([]int, len(raw))
+		for i, r := range raw {
+			sizes[i] = int64(r%50) + 1
+			assign[i] = int(r) % m
+		}
+		in := MustNew(m, sizes, nil, assign)
+		met := in.Metrics(in.Assign)
+		if met.Imbalance < 1-1e-9 || met.Imbalance > float64(m)+1e-9 {
+			return false
+		}
+		return float64(met.Makespan) >= met.Mean-1e-9 && float64(met.Min) <= met.Mean+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

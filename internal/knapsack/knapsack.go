@@ -1,0 +1,143 @@
+// Package knapsack provides the keep/remove knapsack routines used by
+// the §3.2 arbitrary-cost PARTITION variant: given jobs with sizes and
+// relocation costs on one processor, choose the set to KEEP so that the
+// kept size fits a capacity and the kept cost is maximized — the removed
+// complement then has minimum relocation cost.
+//
+// Exact dynamic programs are provided over both the size and the value
+// dimension, plus the paper's relaxation: a rounded-size DP whose kept
+// set may exceed the capacity by a (1+ε) factor but whose removal cost
+// is at most the true optimum.
+package knapsack
+
+import "sort"
+
+// Item is one knapsack item: Size consumes capacity when kept, Value is
+// gained by keeping it (for our callers, the relocation cost avoided).
+type Item struct {
+	Size  int64
+	Value int64
+}
+
+// MaxKeep solves the keep-knapsack exactly by dynamic programming over
+// capacity: it returns the indices (ascending) of a subset with total
+// size ≤ cap maximizing total value, and that value. It runs in
+// O(n·cap) time and O(n·cap) bits of choice memory; callers should gate
+// on ExactCost before invoking it on large capacities.
+func MaxKeep(items []Item, cap int64) (keep []int, value int64) {
+	if cap < 0 {
+		return nil, 0
+	}
+	n := len(items)
+	c := int(cap)
+	// dp[w] = best value with capacity w; choice[i][w] = item i kept at w.
+	dp := make([]int64, c+1)
+	choice := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		choice[i] = make([]bool, c+1)
+		sz := items[i].Size
+		if sz > cap {
+			continue
+		}
+		s := int(sz)
+		for w := c; w >= s; w-- {
+			if v := dp[w-s] + items[i].Value; v > dp[w] {
+				dp[w] = v
+				choice[i][w] = true
+			}
+		}
+	}
+	w := c
+	for i := n - 1; i >= 0; i-- {
+		if choice[i][w] {
+			keep = append(keep, i)
+			w -= int(items[i].Size)
+		}
+	}
+	reverse(keep)
+	return keep, dp[c]
+}
+
+// ExactCost returns the O(n·cap) work estimate of MaxKeep, used by
+// callers to decide between the exact DP and the approximation.
+func ExactCost(n int, cap int64) int64 {
+	if cap < 0 {
+		return 0
+	}
+	return int64(n) * (cap + 1)
+}
+
+// MaxKeepApprox solves the keep-knapsack with the paper's §3.2
+// relaxation: the returned set's total size is at most (1+eps)·cap and
+// its value is at least the exact optimum for capacity cap (so the
+// removal cost of the complement is a lower bound on the true minimum).
+// It rounds sizes down to multiples of eps·cap/n and runs the exact DP
+// on the rounded instance, in O(n²/eps) time.
+func MaxKeepApprox(items []Item, cap int64, eps float64) (keep []int, value int64) {
+	n := len(items)
+	if n == 0 || cap <= 0 {
+		if cap >= 0 {
+			// Zero-size items (none exist for our callers, sizes are ≥1)
+			// would all fit; with positive sizes nothing fits cap ≤ 0
+			// except cap == 0 keeping nothing.
+			return nil, 0
+		}
+		return nil, 0
+	}
+	unit := int64(float64(cap) * eps / float64(n))
+	if unit <= 1 {
+		return MaxKeep(items, cap)
+	}
+	rounded := make([]Item, n)
+	for i, it := range items {
+		rounded[i] = Item{Size: it.Size / unit, Value: it.Value}
+	}
+	keep, value = MaxKeep(rounded, cap/unit)
+	return keep, value
+}
+
+// GreedyRemoveByDensity removes items in increasing value/size order
+// (cheapest relocation per unit of size first) until the remaining total
+// size is at most cap, returning the indices kept and their total value.
+// This is the §4 small-job removal rule; the removal cost is at most the
+// cost of any removal reaching cap, while the kept size lands within one
+// item size of cap.
+func GreedyRemoveByDensity(items []Item, cap int64) (keep []int, value int64) {
+	var total int64
+	order := make([]int, len(items))
+	for i := range items {
+		total += items[i].Size
+		order[i] = i
+	}
+	// Remove lowest value/size first ⇔ keep highest density.
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := items[order[a]], items[order[b]]
+		// ia.Value/ia.Size < ib.Value/ib.Size without division.
+		l, r := ia.Value*ib.Size, ib.Value*ia.Size
+		if l != r {
+			return l < r
+		}
+		return order[a] < order[b]
+	})
+	removed := make([]bool, len(items))
+	for _, i := range order {
+		if total <= cap {
+			break
+		}
+		removed[i] = true
+		total -= items[i].Size
+	}
+	for i := range items {
+		if !removed[i] {
+			keep = append(keep, i)
+			value += items[i].Value
+		}
+	}
+	return keep, value
+}
+
+func reverse(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

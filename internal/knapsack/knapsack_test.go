@@ -1,0 +1,196 @@
+package knapsack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func items(pairs ...[2]int64) []Item {
+	out := make([]Item, len(pairs))
+	for i, p := range pairs {
+		out[i] = Item{Size: p[0], Value: p[1]}
+	}
+	return out
+}
+
+// bruteMaxKeep enumerates all subsets.
+func bruteMaxKeep(its []Item, cap int64) int64 {
+	n := len(its)
+	var best int64
+	for mask := 0; mask < 1<<n; mask++ {
+		var sz, v int64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sz += its[i].Size
+				v += its[i].Value
+			}
+		}
+		if sz <= cap && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestMaxKeepSmallCases(t *testing.T) {
+	its := items([2]int64{3, 4}, [2]int64{4, 5}, [2]int64{2, 3})
+	keep, v := MaxKeep(its, 5)
+	if v != 7 {
+		t.Fatalf("value = %d, want 7", v)
+	}
+	var sz int64
+	for _, i := range keep {
+		sz += its[i].Size
+	}
+	if sz > 5 {
+		t.Fatalf("kept size %d exceeds cap", sz)
+	}
+}
+
+func TestMaxKeepZeroCap(t *testing.T) {
+	keep, v := MaxKeep(items([2]int64{1, 10}), 0)
+	if len(keep) != 0 || v != 0 {
+		t.Fatalf("cap 0 kept %v value %d", keep, v)
+	}
+	keep, v = MaxKeep(items([2]int64{1, 10}), -1)
+	if len(keep) != 0 || v != 0 {
+		t.Fatalf("negative cap kept %v value %d", keep, v)
+	}
+}
+
+func TestMaxKeepOversizedItemSkipped(t *testing.T) {
+	_, v := MaxKeep(items([2]int64{100, 1000}, [2]int64{2, 5}), 10)
+	if v != 5 {
+		t.Fatalf("value = %d, want 5", v)
+	}
+}
+
+func TestMaxKeepMatchesBruteForce(t *testing.T) {
+	rng := workload.NewRNG(17)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(10)
+		its := make([]Item, n)
+		for i := range its {
+			its[i] = Item{Size: 1 + rng.Int63n(20), Value: rng.Int63n(50)}
+		}
+		cap := rng.Int63n(60)
+		keep, v := MaxKeep(its, cap)
+		want := bruteMaxKeep(its, cap)
+		if v != want {
+			t.Fatalf("trial %d: value %d, brute %d (items=%v cap=%d)", trial, v, want, its, cap)
+		}
+		var sz, vs int64
+		for _, i := range keep {
+			sz += its[i].Size
+			vs += its[i].Value
+		}
+		if sz > cap || vs != v {
+			t.Fatalf("trial %d: reconstruction size=%d cap=%d value=%d/%d", trial, sz, cap, vs, v)
+		}
+	}
+}
+
+func TestMaxKeepApproxBounds(t *testing.T) {
+	rng := workload.NewRNG(23)
+	const eps = 0.25
+	for trial := 0; trial < 100; trial++ {
+		n := 5 + rng.Intn(10)
+		its := make([]Item, n)
+		for i := range its {
+			its[i] = Item{Size: 1 + rng.Int63n(1000), Value: rng.Int63n(100)}
+		}
+		cap := 1 + rng.Int63n(4000)
+		keep, _ := MaxKeepApprox(its, cap, eps)
+		var sz, v int64
+		for _, i := range keep {
+			sz += its[i].Size
+			v += its[i].Value
+		}
+		// Size may overshoot by at most eps·cap (plus rounding slack of
+		// one unit per item, already accounted in the unit definition).
+		limit := cap + int64(float64(cap)*eps) + int64(n)
+		if sz > limit {
+			t.Fatalf("trial %d: approx kept size %d > limit %d", trial, sz, limit)
+		}
+		// Value must be at least the exact optimum at cap.
+		if exact := bruteMaxKeep(its[:min(len(its), 12)], cap); len(its) <= 12 && v < exact {
+			t.Fatalf("trial %d: approx value %d < exact %d", trial, v, exact)
+		}
+	}
+}
+
+func TestMaxKeepApproxFallsBackToExact(t *testing.T) {
+	its := items([2]int64{3, 4}, [2]int64{4, 5}, [2]int64{2, 3})
+	// Tiny cap → unit ≤ 1 → exact path.
+	_, v := MaxKeepApprox(its, 5, 0.5)
+	if v != 7 {
+		t.Fatalf("value = %d, want 7", v)
+	}
+}
+
+func TestGreedyRemoveByDensity(t *testing.T) {
+	// Items: (size, value): removing cheapest density first.
+	its := items([2]int64{10, 1}, [2]int64{10, 100}, [2]int64{10, 50})
+	keep, v := GreedyRemoveByDensity(its, 20)
+	if len(keep) != 2 || v != 150 {
+		t.Fatalf("keep=%v value=%d, want the two expensive items (150)", keep, v)
+	}
+	// Already fits: nothing removed.
+	keep, v = GreedyRemoveByDensity(its, 30)
+	if len(keep) != 3 || v != 151 {
+		t.Fatalf("keep=%v value=%d, want all", keep, v)
+	}
+}
+
+func TestGreedyRemoveEmptiesWhenCapZero(t *testing.T) {
+	its := items([2]int64{5, 5}, [2]int64{5, 6})
+	keep, v := GreedyRemoveByDensity(its, 0)
+	if len(keep) != 0 || v != 0 {
+		t.Fatalf("keep=%v value=%d, want empty", keep, v)
+	}
+}
+
+func TestExactCost(t *testing.T) {
+	if ExactCost(10, 99) != 1000 {
+		t.Fatalf("ExactCost = %d", ExactCost(10, 99))
+	}
+	if ExactCost(10, -1) != 0 {
+		t.Fatal("negative cap should cost 0")
+	}
+}
+
+// Property: MaxKeep's kept set always fits and GreedyRemoveByDensity's
+// kept value never exceeds MaxKeep's when the greedy also fits.
+func TestKnapsackProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := workload.NewRNG(seed)
+		n := 1 + rng.Intn(12)
+		its := make([]Item, n)
+		for i := range its {
+			its[i] = Item{Size: 1 + rng.Int63n(30), Value: rng.Int63n(40)}
+		}
+		cap := rng.Int63n(100)
+		keep, v := MaxKeep(its, cap)
+		var sz int64
+		for _, i := range keep {
+			sz += its[i].Size
+		}
+		if sz > cap {
+			return false
+		}
+		gKeep, gv := GreedyRemoveByDensity(its, cap)
+		var gsz int64
+		for _, i := range gKeep {
+			gsz += its[i].Size
+		}
+		if gsz <= cap && gv > v {
+			return false // greedy within cap can't beat the optimum
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+// Package movemin addresses the §5 move minimization problem: given a
+// bound on the maximum processor load, minimize the number of moves that
+// achieves it (reporting infeasibility when the bound is unreachable).
+// Theorem 5 shows no polynomial algorithm approximates this within any
+// factor unless P=NP, by reduction from number PARTITION; this package
+// provides that reduction, an exact solver, and a greedy heuristic whose
+// failures exhibit the hardness in the test suite and experiment E8.
+package movemin
+
+import (
+	"sort"
+
+	"repro/internal/exact"
+	"repro/internal/instance"
+)
+
+// FromPartition builds the Theorem 5 gadget from a number-PARTITION
+// instance: all jobs pile on processor 0 of a 2-processor system and the
+// load target is half the total. The target is achievable — by any
+// number of moves — exactly when the weights split into two equal
+// halves, so even deciding finiteness of the optimal move count decides
+// PARTITION.
+func FromPartition(weights []int64) (*instance.Instance, int64) {
+	sizes := append([]int64(nil), weights...)
+	assign := make([]int, len(weights))
+	in := instance.MustNew(2, sizes, nil, assign)
+	return in, in.TotalSize() / 2
+}
+
+// Exact returns the minimum number of moves achieving makespan ≤ target,
+// with a witness solution, or instance.ErrInfeasible / exact.ErrTooLarge.
+func Exact(in *instance.Instance, target int64, lim exact.Limits) (int, instance.Solution, error) {
+	return exact.MinMoves(in, target, lim)
+}
+
+// Greedy is the natural heuristic: while some processor exceeds the
+// target, move its largest job that still fits onto the least-loaded
+// processor. It reports the moves used and whether it reached the
+// target; by Theorem 5 it must fail on some feasible instances, which
+// the tests exhibit.
+func Greedy(in *instance.Instance, target int64) (int, instance.Solution, bool) {
+	assign := append([]int(nil), in.Assign...)
+	loads := in.Loads(assign)
+	byProc := instance.JobsOn(in.M, assign)
+	for p := range byProc {
+		list := byProc[p]
+		sort.Slice(list, func(a, b int) bool {
+			if in.Jobs[list[a]].Size != in.Jobs[list[b]].Size {
+				return in.Jobs[list[a]].Size > in.Jobs[list[b]].Size
+			}
+			return list[a] < list[b]
+		})
+	}
+	moves := 0
+	for {
+		src := -1
+		for p := 0; p < in.M; p++ {
+			if loads[p] > target && (src < 0 || loads[p] > loads[src]) {
+				src = p
+			}
+		}
+		if src < 0 {
+			return moves, instance.NewSolution(in, assign), true
+		}
+		dst := -1
+		for p := 0; p < in.M; p++ {
+			if p != src && (dst < 0 || loads[p] < loads[dst]) {
+				dst = p
+			}
+		}
+		if dst < 0 {
+			return moves, instance.NewSolution(in, assign), false
+		}
+		// Largest job on src that fits under the target on dst.
+		pick := -1
+		for i, j := range byProc[src] {
+			if loads[dst]+in.Jobs[j].Size <= target {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			return moves, instance.NewSolution(in, assign), false
+		}
+		j := byProc[src][pick]
+		byProc[src] = append(byProc[src][:pick], byProc[src][pick+1:]...)
+		// Keep dst's list sorted by re-inserting.
+		byProc[dst] = insertSorted(byProc[dst], j, in)
+		assign[j] = dst
+		loads[src] -= in.Jobs[j].Size
+		loads[dst] += in.Jobs[j].Size
+		moves++
+	}
+}
+
+func insertSorted(list []int, j int, in *instance.Instance) []int {
+	pos := sort.Search(len(list), func(i int) bool {
+		if in.Jobs[list[i]].Size != in.Jobs[j].Size {
+			return in.Jobs[list[i]].Size < in.Jobs[j].Size
+		}
+		return list[i] > j
+	})
+	list = append(list, 0)
+	copy(list[pos+1:], list[pos:])
+	list[pos] = j
+	return list
+}

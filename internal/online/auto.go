@@ -1,0 +1,46 @@
+package online
+
+// AutoPolicy configures MaybeRebalance: rebalancing fires only when the
+// farm's imbalance (makespan over flat average load) exceeds Trigger,
+// and then spends at most MovesPerRound migrations. This is the
+// operator loop the paper's introduction describes — tolerate small
+// skew, intervene with few moves when it matters.
+type AutoPolicy struct {
+	// Trigger is the imbalance factor that arms a rebalance (default 1.3).
+	Trigger float64
+	// MovesPerRound caps migrations per firing (default 1).
+	MovesPerRound int
+}
+
+func (p *AutoPolicy) defaults() {
+	if p.Trigger <= 1 {
+		p.Trigger = 1.3
+	}
+	if p.MovesPerRound <= 0 {
+		p.MovesPerRound = 1
+	}
+}
+
+// Imbalance returns the current makespan divided by the flat average
+// load (1.0 = perfect balance; 0 jobs reports 1.0).
+func (b *Balancer) Imbalance() float64 {
+	var total int64
+	for _, l := range b.loads {
+		total += l
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(b.Makespan()) * float64(b.m) / float64(total)
+}
+
+// MaybeRebalance applies the policy: if the imbalance exceeds the
+// trigger it runs a bounded-move rebalance and returns the migrations;
+// otherwise it returns nil without touching the assignment.
+func (b *Balancer) MaybeRebalance(p AutoPolicy) []Move {
+	p.defaults()
+	if b.Imbalance() <= p.Trigger {
+		return nil
+	}
+	return b.Rebalance(p.MovesPerRound)
+}

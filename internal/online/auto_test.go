@@ -1,0 +1,92 @@
+package online
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestImbalance(t *testing.T) {
+	b, _ := New(2)
+	if b.Imbalance() != 1 {
+		t.Fatalf("empty imbalance = %g", b.Imbalance())
+	}
+	if err := b.Add(1, 10, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// All load on one of two processors: imbalance 2.
+	if b.Imbalance() != 2 {
+		t.Fatalf("imbalance = %g, want 2", b.Imbalance())
+	}
+	if err := b.Add(2, 10, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if b.Imbalance() != 1 {
+		t.Fatalf("imbalance = %g, want 1", b.Imbalance())
+	}
+}
+
+func TestMaybeRebalanceBelowTriggerIsNoop(t *testing.T) {
+	b, _ := New(2)
+	_ = b.Add(1, 10, 1, 0)
+	_ = b.Add(2, 9, 1, 1)
+	// Imbalance 20/19 ≈ 1.05 < 1.3.
+	if moves := b.MaybeRebalance(AutoPolicy{}); moves != nil {
+		t.Fatalf("fired below trigger: %v", moves)
+	}
+}
+
+func TestMaybeRebalanceFiresAboveTrigger(t *testing.T) {
+	b, _ := New(2)
+	_ = b.Add(1, 10, 1, 0)
+	_ = b.Add(2, 9, 1, 0)
+	// Imbalance 2 > 1.3 → fire with 1 move.
+	moves := b.MaybeRebalance(AutoPolicy{})
+	if len(moves) != 1 {
+		t.Fatalf("moves = %v, want one", moves)
+	}
+	if b.Makespan() != 10 {
+		t.Fatalf("makespan = %d, want 10", b.Makespan())
+	}
+}
+
+func TestMaybeRebalanceHonorsBudget(t *testing.T) {
+	b, _ := New(4)
+	rng := workload.NewRNG(3)
+	for id := 0; id < 40; id++ {
+		_ = b.Add(id, 1+rng.Int63n(50), 1, 0)
+	}
+	moves := b.MaybeRebalance(AutoPolicy{Trigger: 1.1, MovesPerRound: 5})
+	if len(moves) == 0 || len(moves) > 5 {
+		t.Fatalf("moves = %d, want 1..5", len(moves))
+	}
+}
+
+func TestAutoLoopConverges(t *testing.T) {
+	// Repeated MaybeRebalance drives a one-hot farm within the trigger
+	// band and then stops moving.
+	b, _ := New(4)
+	rng := workload.NewRNG(9)
+	for id := 0; id < 60; id++ {
+		_ = b.Add(id, 1+rng.Int63n(30), 1, 0)
+	}
+	pol := AutoPolicy{Trigger: 1.6, MovesPerRound: 4}
+	total := 0
+	for i := 0; i < 50; i++ {
+		mv := b.MaybeRebalance(pol)
+		total += len(mv)
+		if mv == nil {
+			break
+		}
+	}
+	if b.Imbalance() > 1.6 {
+		t.Fatalf("loop did not converge: imbalance %g", b.Imbalance())
+	}
+	if total == 0 {
+		t.Fatal("loop never moved anything")
+	}
+	// Idempotent once inside the band.
+	if mv := b.MaybeRebalance(pol); mv != nil {
+		t.Fatalf("moved again inside the band: %v", mv)
+	}
+}

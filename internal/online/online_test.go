@@ -1,0 +1,196 @@
+package online
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func TestNewRejectsBadM(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+}
+
+func TestAddPlacementAndErrors(t *testing.T) {
+	b, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(1, 5, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Least-loaded placement goes to processor 1.
+	if err := b.Add(2, 3, 1, -1); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := b.ProcOf(2); p != 1 {
+		t.Fatalf("job 2 on processor %d, want 1", p)
+	}
+	if err := b.Add(1, 1, 1, 0); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if err := b.Add(3, 0, 1, 0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if err := b.Add(3, 1, -1, 0); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+	if err := b.Add(3, 1, 1, 9); err == nil {
+		t.Fatal("bad processor accepted")
+	}
+}
+
+func TestUpdateRemoveBookkeeping(t *testing.T) {
+	b, _ := New(2)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(b.Add(10, 5, 1, 0))
+	must(b.Add(11, 3, 1, 1))
+	must(b.Update(10, 8))
+	if got := b.Loads(); got[0] != 8 || got[1] != 3 {
+		t.Fatalf("loads = %v", got)
+	}
+	if b.Makespan() != 8 {
+		t.Fatalf("makespan = %d", b.Makespan())
+	}
+	must(b.Remove(10))
+	if got := b.Loads(); got[0] != 0 {
+		t.Fatalf("loads after remove = %v", got)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	if err := b.Update(99, 1); err == nil {
+		t.Fatal("update of unknown id accepted")
+	}
+	if err := b.Remove(99); err == nil {
+		t.Fatal("remove of unknown id accepted")
+	}
+	if err := b.Update(11, 0); err == nil {
+		t.Fatal("resize to 0 accepted")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	b, _ := New(3)
+	ids := []int{7, 3, 42}
+	sizes := []int64{4, 2, 9}
+	for i, id := range ids {
+		if err := b.Add(id, sizes[i], int64(id), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in, order := b.Snapshot()
+	if in.N() != 3 || in.M != 3 {
+		t.Fatalf("snapshot shape %s", in)
+	}
+	// IDs sorted: 3, 7, 42.
+	if order[0] != 3 || order[1] != 7 || order[2] != 42 {
+		t.Fatalf("order = %v", order)
+	}
+	if in.Jobs[0].Size != 2 || in.Jobs[1].Size != 4 || in.Jobs[2].Size != 9 {
+		t.Fatalf("sizes = %+v", in.Jobs)
+	}
+	if in.Jobs[2].Cost != 42 {
+		t.Fatalf("costs not carried: %+v", in.Jobs[2])
+	}
+}
+
+func TestRebalanceRespectsBudgetAndImproves(t *testing.T) {
+	b, _ := New(4)
+	rng := workload.NewRNG(5)
+	for id := 0; id < 60; id++ {
+		// Everything lands on processor 0: maximal imbalance.
+		if err := b.Add(id, 1+rng.Int63n(100), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := b.Makespan()
+	moves := b.Rebalance(10)
+	if len(moves) > 10 {
+		t.Fatalf("%d moves exceed budget", len(moves))
+	}
+	if len(moves) == 0 {
+		t.Fatal("no moves on a fully imbalanced farm")
+	}
+	if b.Makespan() >= before {
+		t.Fatalf("makespan %d not improved from %d", b.Makespan(), before)
+	}
+	// Applied moves must be reflected in ProcOf.
+	for _, mv := range moves {
+		if p, ok := b.ProcOf(mv.Job); !ok || p != mv.To {
+			t.Fatalf("move %+v not applied (now on %d)", mv, p)
+		}
+	}
+}
+
+func TestRebalanceNoopCases(t *testing.T) {
+	b, _ := New(2)
+	if moves := b.Rebalance(5); moves != nil {
+		t.Fatal("moves on empty balancer")
+	}
+	if err := b.Add(1, 5, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if moves := b.Rebalance(0); moves != nil {
+		t.Fatal("moves with k=0")
+	}
+}
+
+// Property: after any sequence of operations the incremental loads equal
+// a from-scratch recomputation over the snapshot.
+func TestIncrementalLoadsConsistent(t *testing.T) {
+	f := func(seed uint64, ops []uint8) bool {
+		rng := workload.NewRNG(seed)
+		b, _ := New(3)
+		next := 0
+		live := []int{}
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1: // add
+				if err := b.Add(next, 1+rng.Int63n(50), rng.Int63n(5), -1); err != nil {
+					return false
+				}
+				live = append(live, next)
+				next++
+			case 2: // update
+				if len(live) > 0 {
+					if err := b.Update(live[rng.Intn(len(live))], 1+rng.Int63n(50)); err != nil {
+						return false
+					}
+				}
+			case 3: // remove or rebalance
+				if len(live) > 2 {
+					i := rng.Intn(len(live))
+					if err := b.Remove(live[i]); err != nil {
+						return false
+					}
+					live = append(live[:i], live[i+1:]...)
+				} else {
+					b.Rebalance(2)
+				}
+			}
+		}
+		if len(live) == 0 {
+			return b.Makespan() == 0
+		}
+		in, _ := b.Snapshot()
+		fresh := in.Loads(in.Assign)
+		inc := b.Loads()
+		for p := range fresh {
+			if fresh[p] != inc[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package ptas
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+func TestOptionDefaults(t *testing.T) {
+	var o Options
+	o.defaults()
+	if o.Eps != 1.0 || o.MaxStates != 2_000_000 || o.MaxJobs != 64 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o = Options{Eps: 0.5, MaxStates: 10, MaxJobs: 5}
+	o.defaults()
+	if o.Eps != 0.5 || o.MaxStates != 10 || o.MaxJobs != 5 {
+		t.Fatalf("explicit options clobbered: %+v", o)
+	}
+}
+
+func TestMaxStatesAborts(t *testing.T) {
+	// Many distinct large sizes and a tight ε force a large config set.
+	in := workload.Generate(workload.Config{
+		N: 20, M: 4, MaxSize: 1000, Sizes: workload.SizeUniform,
+		Placement: workload.PlaceRandom, Seed: 1,
+	})
+	_, err := Solve(in, 10, Options{Eps: 0.3, MaxStates: 4})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestNegativeBudgetClampedToZero(t *testing.T) {
+	in := instance.MustNew(2, []int64{4, 3}, nil, []int{0, 0})
+	sol, err := Solve(in, -5, Options{Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.MoveCost != 0 {
+		t.Fatalf("negative budget moved jobs: %+v", sol)
+	}
+}
+
+func TestSolveAtRejectsBadGuesses(t *testing.T) {
+	in := instance.MustNew(2, []int64{10, 1}, nil, []int{0, 1})
+	if _, _, err := solveAt(in, 9, 0.2, Options{MaxStates: 1 << 20, MaxJobs: 64}); !errors.Is(err, errInfeasibleGuess) {
+		t.Fatalf("guess below max job: err = %v", err)
+	}
+	in2 := instance.MustNew(2, []int64{5, 5, 5, 5}, nil, []int{0, 0, 1, 1})
+	if _, _, err := solveAt(in2, 9, 0.2, Options{MaxStates: 1 << 20, MaxJobs: 64}); !errors.Is(err, errInfeasibleGuess) {
+		t.Fatalf("guess below average: err = %v", err)
+	}
+}
+
+func TestSolveAtKeepEverythingIsFree(t *testing.T) {
+	// At the initial makespan, the zero-cost plan (everyone stays)
+	// must be found.
+	for seed := uint64(0); seed < 8; seed++ {
+		in := workload.Generate(workload.Config{
+			N: 8, M: 3, MaxSize: 20, Costs: workload.CostRandom,
+			Placement: workload.PlaceRandom, Seed: seed,
+		})
+		assign, cost, err := solveAt(in, in.InitialMakespan(), 0.2, Options{MaxStates: 1 << 21, MaxJobs: 64})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if cost != 0 {
+			t.Fatalf("seed %d: keep-everything cost %d", seed, cost)
+		}
+		rep, err := verify.Solution(in, assign)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.MoveCost != 0 {
+			t.Fatalf("seed %d: zero-cost plan moved jobs (cost %d)", seed, rep.MoveCost)
+		}
+	}
+}
+
+func TestGuessLadderIsGeometric(t *testing.T) {
+	// The accepted guess is within (1+δ) of the smallest feasible one;
+	// indirectly: solving with a big budget must land within (1+ε) of
+	// the packing lower bound when a perfect split exists.
+	in := instance.MustNew(2, []int64{4, 4, 4, 4}, nil, []int{0, 0, 0, 0})
+	sol, err := Solve(in, 100, Options{Eps: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OPT = 8; (1+0.75)·8 = 14.
+	if sol.Makespan > 14 {
+		t.Fatalf("makespan %d > (1+ε)·OPT", sol.Makespan)
+	}
+}
+
+func TestCostsConcentratedOnOneJob(t *testing.T) {
+	// Only the big job is expensive; the PTAS must route around it.
+	in := instance.MustNew(2,
+		[]int64{10, 6, 5},
+		[]int64{100, 1, 1},
+		[]int{0, 0, 0})
+	sol, err := Solve(in, 2, Options{Eps: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verify.WithinBudget(in, sol.Assign, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Moving jobs 1 and 2 (cost 2) leaves {10} vs {6,5} = 11 = OPT(2).
+	if sol.Makespan > 19 {
+		t.Fatalf("makespan %d", sol.Makespan)
+	}
+}

@@ -1,0 +1,191 @@
+package ptas
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/instance"
+	"repro/internal/verify"
+	"repro/internal/workload"
+)
+
+func TestTrivialAlreadyOptimal(t *testing.T) {
+	in := instance.MustNew(2, []int64{5, 5}, nil, []int{0, 1})
+	sol, err := Solve(in, 10, Options{Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Makespan != 5 || sol.Moves != 0 {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestSimpleRebalance(t *testing.T) {
+	in := instance.MustNew(2, []int64{4, 3}, nil, []int{0, 0})
+	sol, err := Solve(in, 1, Options{Eps: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verify.WithinBudget(in, sol.Assign, 1); err != nil {
+		t.Fatal(err)
+	}
+	// OPT = 4; (1+0.5)·4 = 6 < 7, so the PTAS must improve on initial.
+	if sol.Makespan > 6 {
+		t.Fatalf("makespan = %d, want ≤ 6", sol.Makespan)
+	}
+}
+
+// The PTAS guarantee against the exact optimum over a parameter sweep:
+// cost within budget, makespan ≤ (1+ε)·OPT.
+func TestApproximationGuarantee(t *testing.T) {
+	for _, eps := range []float64{2.5, 1.5, 1.0} {
+		for seed := uint64(0); seed < 12; seed++ {
+			in := workload.Generate(workload.Config{
+				N: 8, M: 3, MaxSize: 30,
+				Sizes: workload.SizeDist(seed % 3), Costs: workload.CostModel(seed % 4),
+				Placement: workload.PlaceRandom, Seed: seed,
+			})
+			for _, b := range []int64{0, 2, 8, 50} {
+				sol, err := Solve(in, b, Options{Eps: eps})
+				if err != nil {
+					t.Fatalf("eps %g seed %d B %d: %v", eps, seed, b, err)
+				}
+				if _, err := verify.WithinBudget(in, sol.Assign, b); err != nil {
+					t.Fatalf("eps %g seed %d B %d: %v", eps, seed, b, err)
+				}
+				opt, err := exact.SolveBudget(in, b, exact.Limits{})
+				if err != nil {
+					t.Fatalf("eps %g seed %d B %d: %v", eps, seed, b, err)
+				}
+				limit := int64(float64(opt.Makespan) * (1 + eps))
+				if sol.Makespan > limit {
+					t.Fatalf("eps %g seed %d B %d: makespan %d > (1+ε)·OPT = %d (OPT %d)",
+						eps, seed, b, sol.Makespan, limit, opt.Makespan)
+				}
+			}
+		}
+	}
+}
+
+func TestUnitCostKMoveModel(t *testing.T) {
+	// With unit costs, budget k is the k-move model of §2–3.
+	for seed := uint64(0); seed < 10; seed++ {
+		in := workload.Generate(workload.Config{
+			N: 8, M: 2, MaxSize: 20, Costs: workload.CostUnit,
+			Placement: workload.PlaceOneHot, Seed: seed,
+		})
+		k := 4
+		sol, err := Solve(in, int64(k), Options{Eps: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := verify.WithinMoves(in, sol.Assign, k); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		opt, err := exact.Solve(in, k, exact.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Makespan > 2*opt.Makespan {
+			t.Fatalf("seed %d: makespan %d > 2·OPT (%d)", seed, sol.Makespan, opt.Makespan)
+		}
+	}
+}
+
+func TestSmallerEpsIsNoWorse(t *testing.T) {
+	// Tightening ε must not produce (substantially) worse solutions; we
+	// assert the ε = 0.75 result is within (1+0.75)·OPT while ε = 2.5 is
+	// only within (1+2.5)·OPT, and both verify.
+	in := workload.Generate(workload.Config{
+		N: 8, M: 3, MaxSize: 40, Costs: workload.CostUnit,
+		Placement: workload.PlaceSkewed, Seed: 7,
+	})
+	b := int64(3)
+	opt, err := exact.SolveBudget(in, b, exact.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{2.5, 0.75} {
+		sol, err := Solve(in, b, Options{Eps: eps})
+		if err != nil {
+			t.Fatalf("eps %g: %v", eps, err)
+		}
+		if sol.Makespan > int64(float64(opt.Makespan)*(1+eps)) {
+			t.Fatalf("eps %g: %d > (1+ε)·%d", eps, sol.Makespan, opt.Makespan)
+		}
+	}
+}
+
+func TestZeroBudgetKeepsCostZero(t *testing.T) {
+	in := workload.Generate(workload.Config{
+		N: 7, M: 2, MaxSize: 15, Costs: workload.CostProportional,
+		Placement: workload.PlaceRandom, Seed: 3,
+	})
+	sol, err := Solve(in, 0, Options{Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.MoveCost != 0 {
+		t.Fatalf("cost = %d with zero budget", sol.MoveCost)
+	}
+}
+
+func TestTooManyJobsRejected(t *testing.T) {
+	sizes := make([]int64, 70)
+	assign := make([]int, 70)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	in := instance.MustNew(2, sizes, nil, assign)
+	if _, err := Solve(in, 1, Options{Eps: 1}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestNeverWorseThanInitial(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		in := workload.Generate(workload.Config{
+			N: 10, M: 3, MaxSize: 25, Placement: workload.PlaceBalanced, Seed: seed,
+		})
+		sol, err := Solve(in, 5, Options{Eps: 1.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Makespan > in.InitialMakespan() {
+			t.Fatalf("seed %d: %d worse than initial %d", seed, sol.Makespan, in.InitialMakespan())
+		}
+	}
+}
+
+func TestAllSmallJobs(t *testing.T) {
+	// Every job below δ·G: the DP runs with zero large classes populated.
+	in := instance.MustNew(3, []int64{1, 1, 1, 1, 1, 1, 1, 1, 1}, nil,
+		[]int{0, 0, 0, 0, 0, 0, 0, 0, 0})
+	sol, err := Solve(in, 6, Options{Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verify.WithinBudget(in, sol.Assign, 6); err != nil {
+		t.Fatal(err)
+	}
+	// OPT = 3; (1+1)·3 = 6.
+	if sol.Makespan > 6 {
+		t.Fatalf("makespan = %d, want ≤ 6", sol.Makespan)
+	}
+}
+
+func TestAllLargeJobs(t *testing.T) {
+	in := instance.MustNew(3, []int64{10, 9, 8}, nil, []int{0, 0, 0})
+	sol, err := Solve(in, 2, Options{Eps: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := verify.WithinBudget(in, sol.Assign, 2); err != nil {
+		t.Fatal(err)
+	}
+	// OPT = 10 (one job per processor).
+	if sol.Makespan > 17 {
+		t.Fatalf("makespan = %d", sol.Makespan)
+	}
+}

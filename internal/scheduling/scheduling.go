@@ -1,0 +1,378 @@
+// Package scheduling implements classical identical-machine makespan
+// scheduling — the k = n special case the paper reduces from ("the
+// problem is NP-complete via a reduction from multiprocessor
+// scheduling, just set k = n", §2) and the regime §5 notes is
+// well-solved when relocation costs are processor-independent.
+//
+// Provided algorithms:
+//
+//   - LPT — Graham's longest-processing-time rule, a (4/3 − 1/(3m))-
+//     approximation [Graham 1966, the paper's reference 5].
+//   - Multifit — the MULTIFIT algorithm (binary search over FFD bin
+//     capacities), a 13/11-approximation.
+//   - DualPTAS — the Hochbaum–Shmoys dual-approximation scheme: for any
+//     ε it produces a schedule of makespan ≤ (1+ε)·OPT, by binary
+//     search over a dual bin-packing decision procedure that packs
+//     rounded large jobs exactly (dynamic program over configurations)
+//     and greedy small jobs.
+//
+// These serve as the unlimited-move baselines of the evaluation
+// (rebalancing with k = n cannot beat a from-scratch schedule, and any
+// k-move solution is lower-bounded by the same packing bounds).
+package scheduling
+
+import (
+	"sort"
+
+	"repro/internal/instance"
+)
+
+// LPT schedules sizes on m machines by Graham's rule and returns the
+// assignment (job → machine, jobs indexed as given) and its makespan.
+func LPT(sizes []int64, m int) ([]int, int64) {
+	order := make([]int, len(sizes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if sizes[order[a]] != sizes[order[b]] {
+			return sizes[order[a]] > sizes[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	assign := make([]int, len(sizes))
+	loads := make([]int64, m)
+	for _, j := range order {
+		best := 0
+		for p := 1; p < m; p++ {
+			if loads[p] < loads[best] {
+				best = p
+			}
+		}
+		assign[j] = best
+		loads[best] += sizes[j]
+	}
+	var ms int64
+	for _, l := range loads {
+		if l > ms {
+			ms = l
+		}
+	}
+	return assign, ms
+}
+
+// ffdFits reports whether first-fit-decreasing packs the sizes into m
+// bins of the given capacity, returning the assignment when it does.
+func ffdFits(sorted []int, sizes []int64, m int, cap int64) ([]int, bool) {
+	loads := make([]int64, m)
+	assign := make([]int, len(sizes))
+	for _, j := range sorted {
+		placed := false
+		for p := 0; p < m; p++ {
+			if loads[p]+sizes[j] <= cap {
+				loads[p] += sizes[j]
+				assign[j] = p
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, false
+		}
+	}
+	return assign, true
+}
+
+// Multifit runs the MULTIFIT algorithm with the given number of binary
+// search iterations (7 suffices for the 13/11 bound; more sharpens the
+// capacity estimate).
+func Multifit(sizes []int64, m int, iters int) ([]int, int64) {
+	if iters <= 0 {
+		iters = 20
+	}
+	sorted := make([]int, len(sizes))
+	for i := range sorted {
+		sorted[i] = i
+	}
+	sort.Slice(sorted, func(a, b int) bool {
+		if sizes[sorted[a]] != sizes[sorted[b]] {
+			return sizes[sorted[a]] > sizes[sorted[b]]
+		}
+		return sorted[a] < sorted[b]
+	})
+	var total, max int64
+	for _, s := range sizes {
+		total += s
+		if s > max {
+			max = s
+		}
+	}
+	lo := total / int64(m)
+	if max > lo {
+		lo = max
+	}
+	hi := 2 * lo
+	var bestAssign []int
+	for it := 0; it < iters && lo < hi; it++ {
+		mid := lo + (hi-lo)/2
+		if assign, ok := ffdFits(sorted, sizes, m, mid); ok {
+			bestAssign = assign
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if bestAssign == nil {
+		// hi = 2·(max packing lower bound) always fits FFD.
+		bestAssign, _ = ffdFits(sorted, sizes, m, hi)
+	}
+	loads := make([]int64, m)
+	for j, p := range bestAssign {
+		loads[p] += sizes[j]
+	}
+	var ms int64
+	for _, l := range loads {
+		if l > ms {
+			ms = l
+		}
+	}
+	return bestAssign, ms
+}
+
+// DualPTAS schedules sizes on m machines with makespan at most
+// (1+eps)·OPT via the Hochbaum–Shmoys dual-approximation framework:
+// binary search a target T; at each T, jobs larger than eps·T are
+// rounded down onto a geometric grid and packed exactly by dynamic
+// programming over machine configurations, then small jobs fill
+// greedily up to (1+eps)·T. If the decision procedure succeeds for T
+// the schedule has makespan ≤ (1+eps)·T, and it never fails for T ≥ OPT.
+func DualPTAS(sizes []int64, m int, eps float64) ([]int, int64) {
+	if eps <= 0 {
+		eps = 0.2
+	}
+	if eps > 1 {
+		eps = 1
+	}
+	var total, max int64
+	for _, s := range sizes {
+		total += s
+		if s > max {
+			max = s
+		}
+	}
+	lo := (total + int64(m) - 1) / int64(m)
+	if max > lo {
+		lo = max
+	}
+	_, hi := LPT(sizes, m)
+
+	var bestAssign []int
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if assign, ok := dualDecide(sizes, m, mid, eps); ok {
+			bestAssign = assign
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if bestAssign == nil {
+		if assign, ok := dualDecide(sizes, m, hi, eps); ok {
+			bestAssign = assign
+		} else {
+			bestAssign, _ = LPT(sizes, m)
+		}
+	}
+	loads := make([]int64, m)
+	for j, p := range bestAssign {
+		loads[p] += sizes[j]
+	}
+	var ms int64
+	for _, l := range loads {
+		if l > ms {
+			ms = l
+		}
+	}
+	return bestAssign, ms
+}
+
+// dualDecide answers the dual decision problem: either produce a
+// schedule of makespan ≤ (1+eps)·T, or correctly report that no
+// schedule of makespan ≤ T exists.
+func dualDecide(sizes []int64, m int, t int64, eps float64) ([]int, bool) {
+	cut := float64(t) * eps
+	var largeIDs, smallIDs []int
+	for j, s := range sizes {
+		if s > t {
+			return nil, false // no schedule of makespan ≤ T holds this job
+		}
+		if float64(s) > cut {
+			largeIDs = append(largeIDs, j)
+		} else {
+			smallIDs = append(smallIDs, j)
+		}
+	}
+
+	// Round large sizes down to the grid cut·(1+eps)^i and count per
+	// class; ≤ ceil(log_{1+eps}(1/eps)) classes, each machine holds
+	// ≤ 1/eps large jobs.
+	var grid []float64
+	for g := cut; g <= float64(t); g *= 1 + eps {
+		grid = append(grid, g)
+	}
+	s := len(grid)
+	classOf := func(sz int64) int {
+		c := 0
+		for c+1 < s && grid[c+1] <= float64(sz) {
+			c++
+		}
+		return c
+	}
+	counts := make([]int, s)
+	byClass := make([][]int, s)
+	for _, j := range largeIDs {
+		c := classOf(sizes[j])
+		counts[c]++
+		byClass[c] = append(byClass[c], j)
+	}
+
+	// Machine configurations: class multiplicities with rounded load
+	// ≤ T. Rounding down means a real schedule of makespan ≤ T induces
+	// a feasible configuration per machine.
+	type cfg struct {
+		x    []int
+		load float64
+	}
+	var cfgs []cfg
+	var build func(i int, load float64, x []int)
+	build = func(i int, load float64, x []int) {
+		if i == s {
+			cfgs = append(cfgs, cfg{x: append([]int(nil), x...), load: load})
+			return
+		}
+		for c := 0; ; c++ {
+			nl := load + float64(c)*grid[i]
+			if c > counts[i] || nl > float64(t) {
+				break
+			}
+			x[i] = c
+			build(i+1, nl, x)
+			x[i] = 0
+		}
+	}
+	build(0, 0, make([]int, s))
+
+	// DP over machines: which class-count vectors are coverable with M
+	// machines. State encoded as a byte string.
+	encode := func(x []int) string {
+		b := make([]byte, s)
+		for i, v := range x {
+			b[i] = byte(v)
+		}
+		return string(b)
+	}
+	type entry struct {
+		prev   string
+		cfgIdx int
+	}
+	frontier := map[string]entry{encode(make([]int, s)): {}}
+	layers := make([]map[string]entry, m)
+	cur := make([]int, s)
+	nxt := make([]int, s)
+	for p := 0; p < m; p++ {
+		next := make(map[string]entry, len(frontier))
+		for key := range frontier {
+			for i := 0; i < s; i++ {
+				cur[i] = int(key[i])
+			}
+			for ci := range cfgs {
+				ok := true
+				for i := 0; i < s; i++ {
+					nxt[i] = cur[i] + cfgs[ci].x[i]
+					if nxt[i] > counts[i] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				nk := encode(nxt)
+				if _, seen := next[nk]; !seen {
+					next[nk] = entry{prev: key, cfgIdx: ci}
+				}
+			}
+		}
+		layers[p] = next
+		frontier = next
+	}
+	finalKey := encode(counts)
+	if _, ok := frontier[finalKey]; !ok {
+		return nil, false
+	}
+
+	// Reconstruct: hand each machine its large jobs.
+	assign := make([]int, len(sizes))
+	key := finalKey
+	taken := make([]int, s)
+	for p := m - 1; p >= 0; p-- {
+		e := layers[p][key]
+		c := cfgs[e.cfgIdx]
+		for i := 0; i < s; i++ {
+			for r := 0; r < c.x[i]; r++ {
+				assign[byClass[i][taken[i]]] = p
+				taken[i]++
+			}
+		}
+		key = e.prev
+	}
+
+	// Greedy small jobs: least-loaded machine; if any machine ends above
+	// (1+eps)·T the decision fails (cannot happen for T ≥ OPT since
+	// total ≤ m·T).
+	loads := make([]int64, m)
+	for _, j := range largeIDs {
+		loads[assign[j]] += sizes[j]
+	}
+	limit := int64(float64(t) * (1 + eps))
+	for _, j := range smallIDs {
+		best := 0
+		for p := 1; p < m; p++ {
+			if loads[p] < loads[best] {
+				best = p
+			}
+		}
+		if loads[best]+sizes[j] > limit {
+			return nil, false
+		}
+		assign[j] = best
+		loads[best] += sizes[j]
+	}
+	return assign, true
+}
+
+// Makespan recomputes the makespan of an assignment over sizes.
+func Makespan(sizes []int64, m int, assign []int) int64 {
+	loads := make([]int64, m)
+	for j, p := range assign {
+		loads[p] += sizes[j]
+	}
+	var ms int64
+	for _, l := range loads {
+		if l > ms {
+			ms = l
+		}
+	}
+	return ms
+}
+
+// FromInstance extracts the scheduling view of a rebalancing instance
+// (sizes only — the k = n regime where the initial assignment no longer
+// binds).
+func FromInstance(in *instance.Instance) []int64 {
+	sizes := make([]int64, in.N())
+	for j, job := range in.Jobs {
+		sizes[j] = job.Size
+	}
+	return sizes
+}

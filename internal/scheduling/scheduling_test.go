@@ -1,0 +1,177 @@
+package scheduling
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/instance"
+	"repro/internal/workload"
+)
+
+// optMakespan computes the true optimum via the exact package on a
+// synthetic k = n rebalancing instance.
+func optMakespan(t *testing.T, sizes []int64, m int) int64 {
+	t.Helper()
+	assign := make([]int, len(sizes))
+	in := instance.MustNew(m, sizes, nil, assign)
+	sol, err := exact.Solve(in, len(sizes), exact.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol.Makespan
+}
+
+func lowerBound(sizes []int64, m int) int64 {
+	var total, max int64
+	for _, s := range sizes {
+		total += s
+		if s > max {
+			max = s
+		}
+	}
+	lb := (total + int64(m) - 1) / int64(m)
+	if max > lb {
+		lb = max
+	}
+	return lb
+}
+
+func TestLPTKnownCases(t *testing.T) {
+	// {6,5,4,3,2,1} on 3 machines: LPT gives 7 (optimal).
+	assign, ms := LPT([]int64{6, 5, 4, 3, 2, 1}, 3)
+	if ms != 7 {
+		t.Fatalf("LPT makespan = %d, want 7", ms)
+	}
+	if got := Makespan([]int64{6, 5, 4, 3, 2, 1}, 3, assign); got != ms {
+		t.Fatalf("reported %d, recomputed %d", ms, got)
+	}
+}
+
+func TestLPTGrahamBound(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		rng := workload.NewRNG(seed)
+		n := 6 + rng.Intn(5)
+		m := 2 + rng.Intn(2)
+		sizes := make([]int64, n)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Int63n(30)
+		}
+		_, ms := LPT(sizes, m)
+		opt := optMakespan(t, sizes, m)
+		// (4/3 − 1/(3m))·OPT bound.
+		if int64(3*m)*ms > int64(4*m-1)*opt {
+			t.Fatalf("seed %d: LPT %d > (4/3−1/3m)·OPT (%d)", seed, ms, opt)
+		}
+	}
+}
+
+func TestMultifitBound(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		rng := workload.NewRNG(seed + 99)
+		n := 6 + rng.Intn(5)
+		m := 2 + rng.Intn(2)
+		sizes := make([]int64, n)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Int63n(50)
+		}
+		assign, ms := Multifit(sizes, m, 0)
+		if got := Makespan(sizes, m, assign); got != ms {
+			t.Fatalf("seed %d: reported %d != recomputed %d", seed, ms, got)
+		}
+		opt := optMakespan(t, sizes, m)
+		// 13/11 bound.
+		if 11*ms > 13*opt {
+			t.Fatalf("seed %d: MULTIFIT %d > 13/11·OPT (%d)", seed, ms, opt)
+		}
+	}
+}
+
+func TestDualPTASBound(t *testing.T) {
+	for _, eps := range []float64{0.5, 0.25, 0.1} {
+		for seed := uint64(0); seed < 15; seed++ {
+			rng := workload.NewRNG(seed * 3)
+			n := 6 + rng.Intn(5)
+			m := 2 + rng.Intn(2)
+			sizes := make([]int64, n)
+			for i := range sizes {
+				sizes[i] = 1 + rng.Int63n(40)
+			}
+			assign, ms := DualPTAS(sizes, m, eps)
+			if got := Makespan(sizes, m, assign); got != ms {
+				t.Fatalf("eps %g seed %d: reported %d != recomputed %d", eps, seed, ms, got)
+			}
+			opt := optMakespan(t, sizes, m)
+			limit := int64(float64(opt) * (1 + eps))
+			if ms > limit {
+				t.Fatalf("eps %g seed %d: PTAS %d > (1+ε)·OPT (%d)", eps, seed, ms, opt)
+			}
+		}
+	}
+}
+
+func TestDualPTASBeatsLPTSomewhere(t *testing.T) {
+	// The classic LPT-bad family: m machines, 2m+1 jobs of sizes
+	// 2m−1, 2m−1, 2m−2, 2m−2, ..., m+1, m+1, m, m, m. OPT = 3m while
+	// LPT gives 4m−1.
+	m := 4
+	var sizes []int64
+	for s := 2*m - 1; s > m; s-- {
+		sizes = append(sizes, int64(s), int64(s))
+	}
+	sizes = append(sizes, int64(m), int64(m), int64(m))
+	_, lpt := LPT(sizes, m)
+	if lpt != int64(4*m-1) {
+		t.Fatalf("LPT = %d, want %d (classic family)", lpt, 4*m-1)
+	}
+	_, ptas := DualPTAS(sizes, m, 0.1)
+	if ptas >= lpt {
+		t.Fatalf("PTAS %d did not beat LPT %d", ptas, lpt)
+	}
+	if ptas > int64(float64(3*m)*1.1) {
+		t.Fatalf("PTAS %d > (1+ε)·OPT (%d)", ptas, 3*m)
+	}
+}
+
+func TestAllAboveLowerBound(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := workload.NewRNG(seed)
+		n := 1 + rng.Intn(30)
+		m := 1 + rng.Intn(6)
+		sizes := make([]int64, n)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Int63n(100)
+		}
+		lb := lowerBound(sizes, m)
+		_, a := LPT(sizes, m)
+		_, b := Multifit(sizes, m, 0)
+		_, c := DualPTAS(sizes, m, 0.3)
+		return a >= lb && b >= lb && c >= lb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromInstance(t *testing.T) {
+	in := instance.MustNew(2, []int64{5, 3, 2}, nil, []int{0, 0, 1})
+	sizes := FromInstance(in)
+	if len(sizes) != 3 || sizes[0] != 5 || sizes[2] != 2 {
+		t.Fatalf("FromInstance = %v", sizes)
+	}
+}
+
+func TestSingleMachine(t *testing.T) {
+	_, ms := LPT([]int64{3, 4}, 1)
+	if ms != 7 {
+		t.Fatalf("m=1 LPT = %d", ms)
+	}
+	_, ms = DualPTAS([]int64{3, 4}, 1, 0.2)
+	if ms != 7 {
+		t.Fatalf("m=1 PTAS = %d", ms)
+	}
+	_, ms = Multifit([]int64{3, 4}, 1, 0)
+	if ms != 7 {
+		t.Fatalf("m=1 MULTIFIT = %d", ms)
+	}
+}

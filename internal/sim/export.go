@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteSeriesCSV writes one or more runs' makespan series as CSV with a
+// step column, for external plotting of E9-style figures. All series
+// must share the same length (same Config.Steps).
+func WriteSeriesCSV(w io.Writer, runs ...Metrics) error {
+	if len(runs) == 0 {
+		return fmt.Errorf("sim: no runs to export")
+	}
+	n := len(runs[0].Series)
+	for _, r := range runs[1:] {
+		if len(r.Series) != n {
+			return fmt.Errorf("sim: series length mismatch: %d vs %d", len(r.Series), n)
+		}
+	}
+	if _, err := fmt.Fprint(w, "step"); err != nil {
+		return err
+	}
+	for _, r := range runs {
+		if _, err := fmt.Fprintf(w, ",%s", r.Policy); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if _, err := fmt.Fprint(w, i); err != nil {
+			return err
+		}
+		for _, r := range runs {
+			if _, err := fmt.Fprintf(w, ",%d", r.Series[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteSeriesCSV(t *testing.T) {
+	a := Metrics{Policy: "none", Series: []int64{5, 6, 7}}
+	b := Metrics{Policy: "greedy", Series: []int64{5, 4, 3}}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "step,none,greedy" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != "1,6,4" {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestWriteSeriesCSVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf); err == nil {
+		t.Fatal("no runs accepted")
+	}
+	a := Metrics{Policy: "a", Series: []int64{1}}
+	b := Metrics{Policy: "b", Series: []int64{1, 2}}
+	if err := WriteSeriesCSV(&buf, a, b); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestWriteSeriesCSVFromRealRuns(t *testing.T) {
+	c := cfg(4)
+	a, err := Run(c, PolicyNone{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(c, PolicyGreedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != c.Steps+1 {
+		t.Fatalf("rows = %d, want %d", got, c.Steps+1)
+	}
+}

@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.P50 != 2 {
+		t.Fatalf("P50 = %g", s.P50)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Fatal("percentile edge values wrong")
+	}
+	if Percentile(xs, 50) != 3 {
+		t.Fatalf("P50 = %g", Percentile(xs, 50))
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile nonzero")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("alg", "ratio")
+	tb.Addf("greedy", 1.93333)
+	tb.Add("exact")
+	out := tb.String()
+	if !strings.Contains(out, "| alg    | ratio |") {
+		t.Fatalf("header misaligned:\n%s", out)
+	}
+	if !strings.Contains(out, "1.933") {
+		t.Fatalf("float not formatted:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	// Markdown rule row present.
+	if !strings.HasPrefix(lines[1], "| ---") {
+		t.Fatalf("missing rule row:\n%s", out)
+	}
+}
+
+func TestTablePadsShortRows(t *testing.T) {
+	tb := NewTable("a", "b", "c")
+	tb.Add("x")
+	if len(tb.Rows[0]) != 3 {
+		t.Fatalf("row not padded: %v", tb.Rows[0])
+	}
+}

@@ -1,0 +1,123 @@
+// Package verify independently checks solutions produced by the
+// rebalancing algorithms. It recomputes every metric from scratch so a
+// bug in an algorithm's own bookkeeping cannot mask a constraint
+// violation. Every algorithm's output is routed through this package in
+// the test suite and the experiment harness.
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/instance"
+)
+
+// Report is the result of checking a solution against an instance and
+// its constraints.
+type Report struct {
+	Makespan int64
+	Moves    int
+	MoveCost int64
+}
+
+// Solution checks that assign is a complete valid assignment for in and
+// returns recomputed metrics.
+func Solution(in *instance.Instance, assign []int) (Report, error) {
+	var rep Report
+	if len(assign) != in.N() {
+		return rep, fmt.Errorf("verify: assignment has %d entries, want %d", len(assign), in.N())
+	}
+	loads := make([]int64, in.M)
+	for j, p := range assign {
+		if p < 0 || p >= in.M {
+			return rep, fmt.Errorf("verify: job %d assigned to processor %d, want [0,%d)", j, p, in.M)
+		}
+		loads[p] += in.Jobs[j].Size
+	}
+	for _, l := range loads {
+		if l > rep.Makespan {
+			rep.Makespan = l
+		}
+	}
+	for j := range assign {
+		if assign[j] != in.Assign[j] {
+			rep.Moves++
+			rep.MoveCost += in.Jobs[j].Cost
+		}
+	}
+	return rep, nil
+}
+
+// WithinMoves checks the unit-cost constraint: the assignment is valid
+// and relocates at most k jobs. It returns the recomputed report.
+func WithinMoves(in *instance.Instance, assign []int, k int) (Report, error) {
+	rep, err := Solution(in, assign)
+	if err != nil {
+		return rep, err
+	}
+	if rep.Moves > k {
+		return rep, fmt.Errorf("verify: %d moves exceed budget k=%d", rep.Moves, k)
+	}
+	return rep, nil
+}
+
+// WithinBudget checks the arbitrary-cost constraint: the assignment is
+// valid and its total relocation cost is at most budget.
+func WithinBudget(in *instance.Instance, assign []int, budget int64) (Report, error) {
+	rep, err := Solution(in, assign)
+	if err != nil {
+		return rep, err
+	}
+	if rep.MoveCost > budget {
+		return rep, fmt.Errorf("verify: cost %d exceeds budget %d", rep.MoveCost, budget)
+	}
+	return rep, nil
+}
+
+// Ratio returns makespan/opt as a float64 approximation ratio. It panics
+// if opt <= 0 since every valid instance has a positive optimum.
+func Ratio(makespan, opt int64) float64 {
+	if opt <= 0 {
+		panic(fmt.Sprintf("verify: Ratio with opt=%d", opt))
+	}
+	return float64(makespan) / float64(opt)
+}
+
+// AllowedSets checks the Constrained Load Rebalancing restriction: every
+// job resides on a processor in its allowed set. allowed[j] lists the
+// permissible processors of job j; a nil entry means unrestricted.
+func AllowedSets(in *instance.Instance, assign []int, allowed [][]int) error {
+	if len(allowed) != in.N() {
+		return fmt.Errorf("verify: %d allowed sets, want %d", len(allowed), in.N())
+	}
+	for j, p := range assign {
+		if allowed[j] == nil {
+			continue
+		}
+		ok := false
+		for _, q := range allowed[j] {
+			if q == p {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("verify: job %d on processor %d not in allowed set %v", j, p, allowed[j])
+		}
+	}
+	return nil
+}
+
+// NoConflicts checks the Conflict Scheduling restriction: no conflicting
+// pair of jobs shares a processor. conflicts is a list of job-ID pairs.
+func NoConflicts(assign []int, conflicts [][2]int) error {
+	for _, c := range conflicts {
+		a, b := c[0], c[1]
+		if a < 0 || a >= len(assign) || b < 0 || b >= len(assign) {
+			return fmt.Errorf("verify: conflict pair %v out of range", c)
+		}
+		if assign[a] == assign[b] {
+			return fmt.Errorf("verify: conflicting jobs %d and %d share processor %d", a, b, assign[a])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package verify
+
+import (
+	"testing"
+
+	"repro/internal/instance"
+)
+
+func inst() *instance.Instance {
+	return instance.MustNew(2, []int64{4, 2, 3}, []int64{10, 20, 30}, []int{0, 0, 1})
+}
+
+func TestSolutionMetrics(t *testing.T) {
+	rep, err := Solution(inst(), []int{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan != 7 || rep.Moves != 1 || rep.MoveCost != 10 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestSolutionRejectsBadShape(t *testing.T) {
+	if _, err := Solution(inst(), []int{0, 0}); err == nil {
+		t.Fatal("accepted short assignment")
+	}
+	if _, err := Solution(inst(), []int{0, 0, 2}); err == nil {
+		t.Fatal("accepted out-of-range processor")
+	}
+	if _, err := Solution(inst(), []int{0, 0, -1}); err == nil {
+		t.Fatal("accepted negative processor")
+	}
+}
+
+func TestWithinMoves(t *testing.T) {
+	if _, err := WithinMoves(inst(), []int{1, 1, 0}, 3); err != nil {
+		t.Fatalf("3 moves within k=3 rejected: %v", err)
+	}
+	if _, err := WithinMoves(inst(), []int{1, 1, 0}, 2); err == nil {
+		t.Fatal("3 moves within k=2 accepted")
+	}
+	if _, err := WithinMoves(inst(), []int{0, 0, 1}, 0); err != nil {
+		t.Fatalf("identity with k=0 rejected: %v", err)
+	}
+}
+
+func TestWithinBudget(t *testing.T) {
+	// Moving jobs 0 and 2 costs 40.
+	if _, err := WithinBudget(inst(), []int{1, 0, 0}, 40); err != nil {
+		t.Fatalf("cost 40 within 40 rejected: %v", err)
+	}
+	if _, err := WithinBudget(inst(), []int{1, 0, 0}, 39); err == nil {
+		t.Fatal("cost 40 within 39 accepted")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(3, 2); got != 1.5 {
+		t.Fatalf("Ratio = %g", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ratio(1,0) did not panic")
+		}
+	}()
+	Ratio(1, 0)
+}
+
+func TestAllowedSets(t *testing.T) {
+	in := inst()
+	allowed := [][]int{{0, 1}, nil, {1}}
+	if err := AllowedSets(in, []int{1, 0, 1}, allowed); err != nil {
+		t.Fatalf("legal assignment rejected: %v", err)
+	}
+	if err := AllowedSets(in, []int{1, 0, 0}, allowed); err == nil {
+		t.Fatal("job 2 on forbidden processor accepted")
+	}
+	if err := AllowedSets(in, []int{0, 0, 1}, [][]int{nil}); err == nil {
+		t.Fatal("wrong allowed length accepted")
+	}
+}
+
+func TestNoConflicts(t *testing.T) {
+	if err := NoConflicts([]int{0, 1, 0}, [][2]int{{0, 1}}); err != nil {
+		t.Fatalf("conflict-free rejected: %v", err)
+	}
+	if err := NoConflicts([]int{0, 1, 0}, [][2]int{{0, 2}}); err == nil {
+		t.Fatal("shared-processor conflict accepted")
+	}
+	if err := NoConflicts([]int{0}, [][2]int{{0, 5}}); err == nil {
+		t.Fatal("out-of-range pair accepted")
+	}
+}

@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/instance"
+)
+
+// SizeDist selects a job-size distribution.
+type SizeDist int
+
+const (
+	// SizeUniform draws sizes uniformly from [1, MaxSize].
+	SizeUniform SizeDist = iota
+	// SizeZipf draws power-law sizes (heavy tail), the standard model for
+	// website popularity in the paper's motivating scenario.
+	SizeZipf
+	// SizeBimodal mixes many small jobs with a few jobs near MaxSize.
+	SizeBimodal
+	// SizeEqual makes every job size MaxSize (the unit-size model of
+	// Rudolph et al. discussed in the introduction).
+	SizeEqual
+)
+
+// String names the distribution for table output.
+func (d SizeDist) String() string {
+	switch d {
+	case SizeUniform:
+		return "uniform"
+	case SizeZipf:
+		return "zipf"
+	case SizeBimodal:
+		return "bimodal"
+	case SizeEqual:
+		return "equal"
+	}
+	return fmt.Sprintf("SizeDist(%d)", int(d))
+}
+
+// Placement selects how jobs are initially assigned to processors.
+type Placement int
+
+const (
+	// PlaceRandom assigns each job to a uniformly random processor.
+	PlaceRandom Placement = iota
+	// PlaceSkewed concentrates jobs on a few processors (probability
+	// proportional to 1/(p+1)), producing the imbalance that motivates
+	// rebalancing.
+	PlaceSkewed
+	// PlaceBalanced assigns greedily to the least-loaded processor,
+	// producing a near-optimal start (rebalancing should do ~nothing).
+	PlaceBalanced
+	// PlaceOneHot puts every job on processor 0.
+	PlaceOneHot
+)
+
+// String names the placement for table output.
+func (p Placement) String() string {
+	switch p {
+	case PlaceRandom:
+		return "random"
+	case PlaceSkewed:
+		return "skewed"
+	case PlaceBalanced:
+		return "balanced"
+	case PlaceOneHot:
+		return "onehot"
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+// CostModel selects how relocation costs relate to jobs.
+type CostModel int
+
+const (
+	// CostUnit gives every job relocation cost 1 (the k-move model).
+	CostUnit CostModel = iota
+	// CostProportional sets cost = size (moving big jobs is expensive,
+	// e.g. migrating a large website's state).
+	CostProportional
+	// CostAntiCorrelated sets cost ≈ MaxSize/size (small jobs are the
+	// expensive ones), the adversarial case for greedy density removal.
+	CostAntiCorrelated
+	// CostRandom draws costs uniformly from [1, MaxSize].
+	CostRandom
+)
+
+// String names the cost model for table output.
+func (c CostModel) String() string {
+	switch c {
+	case CostUnit:
+		return "unit"
+	case CostProportional:
+		return "proportional"
+	case CostAntiCorrelated:
+		return "anticorrelated"
+	case CostRandom:
+		return "random"
+	}
+	return fmt.Sprintf("CostModel(%d)", int(c))
+}
+
+// Config describes a synthetic instance family.
+type Config struct {
+	N         int       // number of jobs
+	M         int       // number of processors
+	MaxSize   int64     // size scale (default 1000)
+	Sizes     SizeDist  // size distribution
+	Placement Placement // initial placement
+	Costs     CostModel // relocation cost model
+	ZipfS     float64   // Zipf exponent (default 1.2)
+	Seed      uint64    // RNG seed
+}
+
+// Generate produces an instance from the configuration. It panics on a
+// structurally impossible configuration (N or M <= 0) since configs are
+// authored in code.
+func Generate(cfg Config) *instance.Instance {
+	if cfg.N <= 0 || cfg.M <= 0 {
+		panic(fmt.Sprintf("workload: bad config N=%d M=%d", cfg.N, cfg.M))
+	}
+	if cfg.MaxSize <= 0 {
+		cfg.MaxSize = 1000
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.2
+	}
+	rng := NewRNG(cfg.Seed)
+
+	sizes := make([]int64, cfg.N)
+	for i := range sizes {
+		sizes[i] = drawSize(rng, cfg)
+	}
+	costs := make([]int64, cfg.N)
+	for i := range costs {
+		costs[i] = drawCost(rng, cfg, sizes[i])
+	}
+	assign := place(rng, cfg, sizes)
+	return instance.MustNew(cfg.M, sizes, costs, assign)
+}
+
+func drawSize(rng *RNG, cfg Config) int64 {
+	switch cfg.Sizes {
+	case SizeUniform:
+		return 1 + rng.Int63n(cfg.MaxSize)
+	case SizeZipf:
+		// Inverse-transform sampling of a bounded Pareto with exponent
+		// ZipfS over [1, MaxSize].
+		a := cfg.ZipfS
+		u := rng.Float64()
+		lo, hi := 1.0, float64(cfg.MaxSize)
+		x := math.Pow(math.Pow(lo, 1-a)+u*(math.Pow(hi, 1-a)-math.Pow(lo, 1-a)), 1/(1-a))
+		s := int64(x)
+		if s < 1 {
+			s = 1
+		}
+		if s > cfg.MaxSize {
+			s = cfg.MaxSize
+		}
+		return s
+	case SizeBimodal:
+		if rng.Float64() < 0.15 {
+			return cfg.MaxSize - rng.Int63n(1+cfg.MaxSize/10)
+		}
+		return 1 + rng.Int63n(1+cfg.MaxSize/20)
+	case SizeEqual:
+		return cfg.MaxSize
+	}
+	panic(fmt.Sprintf("workload: unknown size dist %d", cfg.Sizes))
+}
+
+func drawCost(rng *RNG, cfg Config, size int64) int64 {
+	switch cfg.Costs {
+	case CostUnit:
+		return 1
+	case CostProportional:
+		return size
+	case CostAntiCorrelated:
+		c := cfg.MaxSize / size
+		if c < 1 {
+			c = 1
+		}
+		return c
+	case CostRandom:
+		return 1 + rng.Int63n(cfg.MaxSize)
+	}
+	panic(fmt.Sprintf("workload: unknown cost model %d", cfg.Costs))
+}
+
+func place(rng *RNG, cfg Config, sizes []int64) []int {
+	assign := make([]int, len(sizes))
+	switch cfg.Placement {
+	case PlaceRandom:
+		for i := range assign {
+			assign[i] = rng.Intn(cfg.M)
+		}
+	case PlaceSkewed:
+		// Harmonic weights: processor p gets weight 1/(p+1).
+		weights := make([]float64, cfg.M)
+		var total float64
+		for p := range weights {
+			weights[p] = 1 / float64(p+1)
+			total += weights[p]
+		}
+		for i := range assign {
+			u := rng.Float64() * total
+			for p := range weights {
+				u -= weights[p]
+				if u <= 0 {
+					assign[i] = p
+					break
+				}
+			}
+		}
+	case PlaceBalanced:
+		// LPT-style: largest first onto the least-loaded processor.
+		order := make([]int, len(sizes))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return sizes[order[a]] > sizes[order[b]] })
+		loads := make([]int64, cfg.M)
+		for _, j := range order {
+			best := 0
+			for p := 1; p < cfg.M; p++ {
+				if loads[p] < loads[best] {
+					best = p
+				}
+			}
+			assign[j] = best
+			loads[best] += sizes[j]
+		}
+	case PlaceOneHot:
+		// all zeros already
+	default:
+		panic(fmt.Sprintf("workload: unknown placement %d", cfg.Placement))
+	}
+	return assign
+}

@@ -1,0 +1,36 @@
+package workload
+
+import "fmt"
+
+// ParseSizeDist resolves a distribution name ("uniform", "zipf",
+// "bimodal", "equal") to its enum, for CLI flags.
+func ParseSizeDist(s string) (SizeDist, error) {
+	for _, d := range []SizeDist{SizeUniform, SizeZipf, SizeBimodal, SizeEqual} {
+		if d.String() == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown size distribution %q", s)
+}
+
+// ParsePlacement resolves a placement name ("random", "skewed",
+// "balanced", "onehot") to its enum.
+func ParsePlacement(s string) (Placement, error) {
+	for _, p := range []Placement{PlaceRandom, PlaceSkewed, PlaceBalanced, PlaceOneHot} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown placement %q", s)
+}
+
+// ParseCostModel resolves a cost-model name ("unit", "proportional",
+// "anticorrelated", "random") to its enum.
+func ParseCostModel(s string) (CostModel, error) {
+	for _, c := range []CostModel{CostUnit, CostProportional, CostAntiCorrelated, CostRandom} {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown cost model %q", s)
+}

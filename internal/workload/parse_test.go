@@ -1,0 +1,36 @@
+package workload
+
+import "testing"
+
+func TestParseRoundTrips(t *testing.T) {
+	for _, d := range []SizeDist{SizeUniform, SizeZipf, SizeBimodal, SizeEqual} {
+		got, err := ParseSizeDist(d.String())
+		if err != nil || got != d {
+			t.Fatalf("ParseSizeDist(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	for _, p := range []Placement{PlaceRandom, PlaceSkewed, PlaceBalanced, PlaceOneHot} {
+		got, err := ParsePlacement(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePlacement(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	for _, c := range []CostModel{CostUnit, CostProportional, CostAntiCorrelated, CostRandom} {
+		got, err := ParseCostModel(c.String())
+		if err != nil || got != c {
+			t.Fatalf("ParseCostModel(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+}
+
+func TestParseRejectsUnknown(t *testing.T) {
+	if _, err := ParseSizeDist("nope"); err == nil {
+		t.Fatal("unknown size dist accepted")
+	}
+	if _, err := ParsePlacement("nope"); err == nil {
+		t.Fatal("unknown placement accepted")
+	}
+	if _, err := ParseCostModel("nope"); err == nil {
+		t.Fatal("unknown cost model accepted")
+	}
+}

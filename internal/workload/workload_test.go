@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(13); v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d", v)
+		}
+		if v := r.Int63n(1e9); v < 0 || v >= 1e9 {
+			t.Fatalf("Int63n = %d", v)
+		}
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %g", v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(9)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("bad permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("normal mean = %g", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Fatalf("normal variance = %g", variance)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{N: 100, M: 8, Sizes: SizeZipf, Placement: PlaceSkewed, Costs: CostRandom, Seed: 5}
+	a, b := Generate(cfg), Generate(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different instances")
+	}
+}
+
+func TestGenerateValidAcrossMatrix(t *testing.T) {
+	for _, d := range []SizeDist{SizeUniform, SizeZipf, SizeBimodal, SizeEqual} {
+		for _, p := range []Placement{PlaceRandom, PlaceSkewed, PlaceBalanced, PlaceOneHot} {
+			for _, c := range []CostModel{CostUnit, CostProportional, CostAntiCorrelated, CostRandom} {
+				cfg := Config{N: 60, M: 5, Sizes: d, Placement: p, Costs: c, Seed: 1}
+				in := Generate(cfg)
+				if err := in.Validate(); err != nil {
+					t.Fatalf("%v/%v/%v: %v", d, p, c, err)
+				}
+				if in.N() != 60 || in.M != 5 {
+					t.Fatalf("%v/%v/%v: wrong shape", d, p, c)
+				}
+			}
+		}
+	}
+}
+
+func TestSizeBoundsRespected(t *testing.T) {
+	for _, d := range []SizeDist{SizeUniform, SizeZipf, SizeBimodal, SizeEqual} {
+		cfg := Config{N: 500, M: 4, MaxSize: 100, Sizes: d, Seed: 3}
+		in := Generate(cfg)
+		for _, j := range in.Jobs {
+			if j.Size < 1 || j.Size > 100 {
+				t.Fatalf("%v: size %d out of [1,100]", d, j.Size)
+			}
+		}
+	}
+}
+
+func TestPlaceOneHot(t *testing.T) {
+	in := Generate(Config{N: 20, M: 4, Placement: PlaceOneHot, Seed: 1})
+	for j, p := range in.Assign {
+		if p != 0 {
+			t.Fatalf("job %d on processor %d", j, p)
+		}
+	}
+}
+
+func TestPlaceBalancedIsBalanced(t *testing.T) {
+	in := Generate(Config{N: 400, M: 4, Sizes: SizeUniform, Placement: PlaceBalanced, Seed: 2})
+	loads := in.Loads(in.Assign)
+	var min, max int64 = loads[0], loads[0]
+	for _, l := range loads {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	// LPT keeps the spread below one max job size.
+	if max-min > in.MaxSize() {
+		t.Fatalf("balanced placement spread %d > max size %d", max-min, in.MaxSize())
+	}
+}
+
+func TestPlaceSkewedSkews(t *testing.T) {
+	in := Generate(Config{N: 2000, M: 8, Sizes: SizeEqual, MaxSize: 1, Placement: PlaceSkewed, Seed: 4})
+	loads := in.Loads(in.Assign)
+	if loads[0] <= loads[7] {
+		t.Fatalf("skewed placement not skewed: %v", loads)
+	}
+}
+
+func TestCostModels(t *testing.T) {
+	base := Config{N: 50, M: 4, MaxSize: 100, Seed: 6}
+
+	cfg := base
+	cfg.Costs = CostUnit
+	for _, j := range Generate(cfg).Jobs {
+		if j.Cost != 1 {
+			t.Fatalf("unit cost = %d", j.Cost)
+		}
+	}
+	cfg.Costs = CostProportional
+	for _, j := range Generate(cfg).Jobs {
+		if j.Cost != j.Size {
+			t.Fatalf("proportional cost %d for size %d", j.Cost, j.Size)
+		}
+	}
+	cfg.Costs = CostAntiCorrelated
+	for _, j := range Generate(cfg).Jobs {
+		if j.Cost < 1 {
+			t.Fatalf("anticorrelated cost %d", j.Cost)
+		}
+	}
+}
+
+func TestZipfIsHeavyTailed(t *testing.T) {
+	in := Generate(Config{N: 5000, M: 2, MaxSize: 10000, Sizes: SizeZipf, Seed: 8})
+	small, big := 0, 0
+	for _, j := range in.Jobs {
+		if j.Size <= 100 {
+			small++
+		}
+		if j.Size >= 5000 {
+			big++
+		}
+	}
+	if small < 2000 {
+		t.Fatalf("zipf: only %d/5000 small jobs", small)
+	}
+	if big == 0 {
+		t.Fatal("zipf: no large jobs in the tail")
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate accepted N=0")
+		}
+	}()
+	Generate(Config{N: 0, M: 1})
+}
+
+func TestEnumStrings(t *testing.T) {
+	if SizeZipf.String() != "zipf" || PlaceSkewed.String() != "skewed" || CostUnit.String() != "unit" {
+		t.Fatal("enum String() mismatch")
+	}
+	if SizeDist(99).String() == "" || Placement(99).String() == "" || CostModel(99).String() == "" {
+		t.Fatal("unknown enum String() empty")
+	}
+}
+
+// Property: generation with any seed yields a valid instance whose total
+// load is conserved across Loads.
+func TestGenerateProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		m := int(mRaw%10) + 1
+		in := Generate(Config{N: n, M: m, Sizes: SizeZipf, Placement: PlaceRandom, Seed: seed})
+		if in.Validate() != nil {
+			return false
+		}
+		var sum int64
+		for _, l := range in.Loads(in.Assign) {
+			sum += l
+		}
+		return sum == in.TotalSize()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

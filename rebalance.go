@@ -1,0 +1,149 @@
+// Package rebalance is a complete implementation of the algorithms in
+// "The Load Rebalancing Problem" (Aggarwal, Motwani, Zhu — SPAA 2003):
+// given jobs already assigned to processors, relocate at most k jobs
+// (or jobs of total relocation cost at most a budget B) to minimize the
+// makespan.
+//
+// The package exposes every algorithm the paper develops or cites:
+//
+//   - Greedy — the §2 variant of Graham's heuristic, a tight (2 − 1/m)-
+//     approximation in O(n log n).
+//   - Partition / PartitionBudget — the §3 PARTITION family: a
+//     1.5-approximation for the k-move model (M-PARTITION, no knowledge
+//     of OPT required) and its §3.2 extension to arbitrary relocation
+//     costs under a budget.
+//   - PTAS — the §4 approximation scheme: (1+ε)·OPT at cost ≤ B, for
+//     small instances and moderate ε.
+//   - Exact — branch-and-bound optimum for small instances.
+//   - GAPBaseline — the Shmoys–Tardos generalized-assignment rounding
+//     the paper compares against (2-approximation).
+//
+// Instances are built with New or generated with the Workload helpers;
+// every solver returns a Solution whose metrics are recomputed from the
+// returned assignment, and Check verifies any solution independently.
+package rebalance
+
+import (
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gap"
+	"repro/internal/greedy"
+	"repro/internal/instance"
+	"repro/internal/ptas"
+	"repro/internal/verify"
+)
+
+// Job is a unit of work: a size (its load contribution) and the cost of
+// relocating it away from its current processor.
+type Job = instance.Job
+
+// Instance is a load rebalancing instance: m processors, jobs, and the
+// initial assignment.
+type Instance = instance.Instance
+
+// Solution is an assignment together with metrics recomputed over it.
+type Solution = instance.Solution
+
+// ErrInfeasible is returned when no solution satisfies the constraints.
+var ErrInfeasible = instance.ErrInfeasible
+
+// New builds a validated instance from job sizes, optional relocation
+// costs (nil means unit costs), and the initial assignment.
+func New(m int, sizes, costs []int64, assign []int) (*Instance, error) {
+	return instance.New(m, sizes, costs, assign)
+}
+
+// MustNew is New, panicking on error; for literals in tests and examples.
+func MustNew(m int, sizes, costs []int64, assign []int) *Instance {
+	return instance.MustNew(m, sizes, costs, assign)
+}
+
+// GreedyOrder selects the placement order of GREEDY's second step; see
+// the paper's Theorem 1 for why it matters.
+type GreedyOrder = greedy.Order
+
+// Placement orders for Greedy.
+const (
+	OrderRemoval       = greedy.OrderRemoval
+	OrderLargestFirst  = greedy.OrderLargestFirst
+	OrderSmallestFirst = greedy.OrderSmallestFirst
+)
+
+// Greedy runs the §2 GREEDY algorithm with move budget k: a tight
+// (2 − 1/m)-approximation in O((n+k) log n) time.
+func Greedy(in *Instance, k int) Solution {
+	return greedy.Rebalance(in, k, greedy.OrderLargestFirst)
+}
+
+// GreedyWithOrder is Greedy with an explicit Step 2 placement order.
+func GreedyWithOrder(in *Instance, k int, order GreedyOrder) Solution {
+	return greedy.Rebalance(in, k, order)
+}
+
+// Partition runs §3.1 M-PARTITION with move budget k: a 1.5-approximation
+// of the optimal makespan achievable with at most k moves, in
+// O(n log n · log(makespan)) time. The returned solution never relocates
+// more than k jobs.
+func Partition(in *Instance, k int) Solution {
+	return core.MPartition(in, k, core.BinarySearch)
+}
+
+// PartitionAt runs one §3 PARTITION pass against an explicit target
+// value (a known or guessed OPT), returning feasibility, the removal
+// count, and the solution.
+func PartitionAt(in *Instance, target int64) core.Result {
+	return core.Partition(in, target)
+}
+
+// PartitionBudget runs the §3.2 arbitrary-cost variant: relocation cost
+// at most budget, makespan at most 1.5·(1+ε)·OPT(budget) where ε is the
+// knapsack relaxation (0 whenever the exact knapsack DP is affordable).
+func PartitionBudget(in *Instance, budget int64) Solution {
+	return core.PartitionBudget(in, budget, core.BudgetOptions{})
+}
+
+// PTASOptions tunes the §4 approximation scheme.
+type PTASOptions = ptas.Options
+
+// PTAS runs the §4 approximation scheme: relocation cost at most budget
+// and makespan at most (1+ε)·OPT(budget). Exponential in 1/ε; intended
+// for small instances (see Options.MaxJobs).
+func PTAS(in *Instance, budget int64, opts PTASOptions) (Solution, error) {
+	return ptas.Solve(in, budget, opts)
+}
+
+// Exact solves the k-move problem optimally by branch and bound;
+// exponential, intended for small instances.
+func Exact(in *Instance, k int) (Solution, error) {
+	return exact.Solve(in, k, exact.Limits{})
+}
+
+// ExactBudget solves the budget problem optimally by branch and bound.
+func ExactBudget(in *Instance, budget int64) (Solution, error) {
+	return exact.SolveBudget(in, budget, exact.Limits{})
+}
+
+// GAPBaseline runs the Shmoys–Tardos 2-approximation through the §2
+// reduction to generalized assignment: relocation cost at most budget,
+// makespan at most 2·OPT(budget).
+func GAPBaseline(in *Instance, budget int64) (Solution, error) {
+	return gap.Rebalance(in, budget)
+}
+
+// Check independently verifies a solution against its instance,
+// recomputing the makespan, move count and move cost.
+func Check(in *Instance, sol Solution) (verify.Report, error) {
+	return verify.Solution(in, sol.Assign)
+}
+
+// CheckMoves verifies a solution and its k-move constraint.
+func CheckMoves(in *Instance, sol Solution, k int) error {
+	_, err := verify.WithinMoves(in, sol.Assign, k)
+	return err
+}
+
+// CheckBudget verifies a solution and its cost budget.
+func CheckBudget(in *Instance, sol Solution, budget int64) error {
+	_, err := verify.WithinBudget(in, sol.Assign, budget)
+	return err
+}

@@ -1,0 +1,169 @@
+package rebalance
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func demo() *Instance {
+	// Two loaded servers, one idle.
+	return MustNew(3,
+		[]int64{9, 7, 6, 5, 4, 3, 2},
+		nil,
+		[]int{0, 0, 0, 1, 1, 1, 1})
+}
+
+func TestGreedyAPI(t *testing.T) {
+	in := demo()
+	sol := Greedy(in, 3)
+	if err := CheckMoves(in, sol, 3); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Makespan >= in.InitialMakespan() {
+		t.Fatalf("no improvement: %d -> %d", in.InitialMakespan(), sol.Makespan)
+	}
+}
+
+func TestPartitionAPI(t *testing.T) {
+	in := demo()
+	sol := Partition(in, 3)
+	if err := CheckMoves(in, sol, 3); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Exact(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 2*sol.Makespan > 3*opt.Makespan {
+		t.Fatalf("1.5 bound violated: %d vs OPT %d", sol.Makespan, opt.Makespan)
+	}
+}
+
+func TestPartitionAtAPI(t *testing.T) {
+	in := demo()
+	opt, err := Exact(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := PartitionAt(in, opt.Makespan)
+	if !r.Feasible {
+		t.Fatal("OPT target infeasible")
+	}
+	if 2*r.Solution.Makespan > 3*opt.Makespan {
+		t.Fatalf("1.5 bound violated at known OPT")
+	}
+}
+
+func TestBudgetAPIs(t *testing.T) {
+	in := MustNew(2, []int64{8, 5, 4}, []int64{10, 2, 3}, []int{0, 0, 0})
+	b := int64(5)
+	sol := PartitionBudget(in, b)
+	if err := CheckBudget(in, sol, b); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := ExactBudget(in, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 2*sol.Makespan > 3*opt.Makespan {
+		t.Fatalf("budget 1.5 bound violated: %d vs %d", sol.Makespan, opt.Makespan)
+	}
+}
+
+func TestPTASAPI(t *testing.T) {
+	in := demo()
+	sol, err := PTAS(in, 3, PTASOptions{Eps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckBudget(in, sol, 3); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Exact(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Makespan > 2*opt.Makespan {
+		t.Fatalf("(1+ε) bound violated: %d vs %d", sol.Makespan, opt.Makespan)
+	}
+}
+
+func TestGAPBaselineAPI(t *testing.T) {
+	in := demo()
+	sol, err := GAPBaseline(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckBudget(in, sol, 3); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Exact(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Makespan > 2*opt.Makespan {
+		t.Fatalf("2 bound violated: %d vs %d", sol.Makespan, opt.Makespan)
+	}
+}
+
+func TestCheckAPI(t *testing.T) {
+	in := demo()
+	sol := Greedy(in, 2)
+	rep, err := Check(in, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan != sol.Makespan || rep.Moves != sol.Moves {
+		t.Fatalf("check disagrees with solution: %+v vs %+v", rep, sol)
+	}
+	if err := CheckMoves(in, sol, 0); err == nil && sol.Moves > 0 {
+		t.Fatal("CheckMoves passed an over-budget solution")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, nil, nil, nil); err == nil {
+		t.Fatal("M=0 accepted")
+	}
+	if _, err := New(2, []int64{1}, nil, []int{5}); err == nil {
+		t.Fatal("out-of-range assignment accepted")
+	}
+}
+
+// Cross-algorithm property: on any random instance the quality ordering
+// Exact ≤ Partition ≤ 1.5·Exact and Exact ≤ Greedy ≤ 2·Exact holds, and
+// all respect the move budget.
+func TestAlgorithmHierarchyProperty(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		in := workload.Generate(workload.Config{
+			N: 9, M: 3, MaxSize: 20, Sizes: workload.SizeUniform,
+			Placement: workload.PlaceRandom, Seed: seed,
+		})
+		k := int(kRaw % 10)
+		opt, err := Exact(in, k)
+		if err != nil {
+			return true
+		}
+		p := Partition(in, k)
+		g := Greedy(in, k)
+		if CheckMoves(in, p, k) != nil || CheckMoves(in, g, k) != nil {
+			return false
+		}
+		if p.Makespan < opt.Makespan || g.Makespan < opt.Makespan {
+			return false // nothing beats the optimum
+		}
+		if 2*p.Makespan > 3*opt.Makespan {
+			return false // 1.5 bound
+		}
+		m := int64(in.M)
+		if g.Makespan*m > opt.Makespan*(2*m-1) {
+			return false // (2 − 1/m) bound
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

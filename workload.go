@@ -1,0 +1,62 @@
+package rebalance
+
+import (
+	"repro/internal/instance"
+	"repro/internal/workload"
+)
+
+// Workload generation — re-exported from the internal generator so
+// external users can synthesize the paper's instance families.
+
+// WorkloadConfig describes a synthetic instance family; see the field
+// docs on the underlying type.
+type WorkloadConfig = workload.Config
+
+// SizeDist selects a job-size distribution.
+type SizeDist = workload.SizeDist
+
+// Job-size distributions.
+const (
+	SizeUniform = workload.SizeUniform
+	SizeZipf    = workload.SizeZipf
+	SizeBimodal = workload.SizeBimodal
+	SizeEqual   = workload.SizeEqual
+)
+
+// PlacementDist selects the initial job placement.
+type PlacementDist = workload.Placement
+
+// Initial placements.
+const (
+	PlaceRandom   = workload.PlaceRandom
+	PlaceSkewed   = workload.PlaceSkewed
+	PlaceBalanced = workload.PlaceBalanced
+	PlaceOneHot   = workload.PlaceOneHot
+)
+
+// CostModel selects the relocation-cost model.
+type CostModel = workload.CostModel
+
+// Relocation cost models.
+const (
+	CostUnit           = workload.CostUnit
+	CostProportional   = workload.CostProportional
+	CostAntiCorrelated = workload.CostAntiCorrelated
+	CostRandom         = workload.CostRandom
+)
+
+// Generate produces a deterministic synthetic instance from the
+// configuration (same config + seed ⇒ identical instance).
+func Generate(cfg WorkloadConfig) *Instance { return workload.Generate(cfg) }
+
+// GreedyTight returns the §2 Theorem 1 instance on which GREEDY's ratio
+// reaches 2 − 1/m under an adversarial order; the optimum with
+// GreedyTightK(m) moves is m.
+func GreedyTight(m int) *Instance { return instance.GreedyTight(m) }
+
+// GreedyTightK returns the move budget of the Theorem 1 construction.
+func GreedyTightK(m int) int { return instance.GreedyTightK(m) }
+
+// PartitionTight returns the §3 Theorem 2 instance on which PARTITION's
+// 1.5 ratio is tight with one allowed move.
+func PartitionTight() *Instance { return instance.PartitionTight() }
