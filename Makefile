@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test short race vet bench check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+check: vet test race
+
+clean:
+	$(GO) clean ./...

@@ -5,28 +5,80 @@
 // Usage:
 //
 //	experiments [-only E1,E5] [-list] [-parallel]
+//	experiments -only E9 -trace e9.jsonl -metrics -debug-addr localhost:6060
 //
 // -parallel runs the experiments concurrently (output order preserved);
 // leave it off when recording timing-sensitive tables (E3, E11).
+//
+// Observability: -trace FILE streams the solvers' structured JSONL
+// events, -metrics prints the aggregated metric summary to stderr after
+// the suite, and -debug-addr HOST:PORT serves expvar (/debug/vars,
+// including the live metric snapshot) and pprof (/debug/pprof) while
+// experiments run — profiling hooks for the long simulation paths.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"sync"
 	"time"
 
+	"repro"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	parallel := flag.Bool("parallel", false, "run experiments concurrently (distorts timing tables)")
+	traceFile := flag.String("trace", "", "write a JSONL event trace to this file")
+	metrics := flag.Bool("metrics", false, "print an end-of-run metrics summary to stderr")
+	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address during the run")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(rebalance.Version())
+		return
+	}
+
+	var sink *obs.Sink
+	var tracer *obs.JSONLTracer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tracer = obs.NewJSONL(f)
+		tracer.Clock = time.Now
+		sink = obs.NewTracing(tracer)
+	} else if *metrics || *debugAddr != "" {
+		sink = obs.New()
+	}
+	if sink != nil {
+		experiments.SetObs(sink)
+	}
+	if sink.Tracing() {
+		sink.Emit("trace_header", obs.Fields{"version": rebalance.Version(), "cmd": "experiments"})
+	}
+	if *debugAddr != "" {
+		obs.PublishExpvar("rebalance", sink)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+	}
 
 	selected := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -82,5 +134,18 @@ func main() {
 		fmt.Printf("Expected shape: %s.\n\n", e.Note)
 		results[i].tab.Render(os.Stdout)
 		fmt.Printf("\n(%s in %v)\n\n", e.ID, results[i].elapsed.Round(time.Millisecond))
+	}
+
+	if *metrics && sink != nil {
+		snap := sink.Snapshot()
+		snap.Version = rebalance.Version()
+		if err := snap.WriteSummary(os.Stderr); err != nil {
+			log.Printf("metrics: %v", err)
+		}
+	}
+	if tracer != nil {
+		if err := tracer.Err(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"log"
 	"os"
 
+	"repro"
 	"repro/internal/workload"
 )
 
@@ -25,7 +26,13 @@ func main() {
 	place := flag.String("place", "skewed", "initial placement: random|skewed|balanced|onehot")
 	costs := flag.String("costs", "unit", "cost model: unit|proportional|anticorrelated|random")
 	seed := flag.Uint64("seed", 1, "RNG seed")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(rebalance.Version())
+		return
+	}
 
 	cfg := workload.Config{N: *n, M: *m, MaxSize: *maxSize, Seed: *seed}
 	var err error

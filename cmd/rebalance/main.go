@@ -7,6 +7,7 @@
 //	rebalance -alg mpartition -k 10 < instance.json
 //	rebalance -alg budget -budget 500 instance.json
 //	rebalance -alg greedy -k 3 -show instance.json
+//	rebalance -alg mpartition -k 10 -trace run.jsonl -metrics instance.json
 //	rebalance -alg constrained -k 5 extended.json
 //	rebalance -alg conflict extended.json
 //	rebalance -alg frontier instance.json
@@ -14,7 +15,14 @@
 // Algorithms: greedy, mpartition, budget, ptas, exact, gap, lpt,
 // multifit, hs-ptas, constrained, conflict, frontier.
 // greedy/mpartition/exact/constrained take -k; budget/ptas/gap take
-// -budget; ptas/hs-ptas take -eps.
+// -budget; ptas/hs-ptas take -eps. Passing a flag the chosen algorithm
+// does not consume is an error, not a silent no-op.
+//
+// Observability: -trace FILE streams structured JSONL events (probe
+// targets, removals, DP layers, LP pivots — see DESIGN.md
+// §"Observability"), -metrics prints an end-of-run metric summary to
+// stderr, and -debug-addr HOST:PORT serves expvar (/debug/vars) and
+// pprof (/debug/pprof) while the run is in flight.
 package main
 
 import (
@@ -22,11 +30,64 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"sort"
+	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/instance"
+	"repro/internal/obs"
 )
+
+// algFlags says which tuning flags each algorithm consumes; validation
+// rejects explicitly-set flags outside this set so a mistyped
+// combination (e.g. -alg greedy -budget 500) fails loudly instead of
+// silently ignoring the budget.
+var algFlags = map[string]map[string]bool{
+	"greedy":      {"k": true},
+	"mpartition":  {"k": true},
+	"exact":       {"k": true},
+	"constrained": {"k": true},
+	"budget":      {"budget": true},
+	"gap":         {"budget": true},
+	"ptas":        {"budget": true, "eps": true},
+	"hs-ptas":     {"eps": true},
+	"lpt":         {},
+	"multifit":    {},
+	"conflict":    {},
+	"frontier":    {},
+}
+
+// validateFlags rejects explicitly-set algorithm tuning flags that the
+// chosen algorithm ignores. set holds the names of flags the user set.
+func validateFlags(alg string, set map[string]bool) error {
+	accepted, ok := algFlags[alg]
+	if !ok {
+		return fmt.Errorf("unknown algorithm %q", alg)
+	}
+	var bad []string
+	for _, name := range []string{"k", "budget", "eps"} {
+		if set[name] && !accepted[name] {
+			bad = append(bad, "-"+name)
+		}
+	}
+	if len(bad) > 0 {
+		var takes []string
+		for name := range accepted {
+			takes = append(takes, "-"+name)
+		}
+		sort.Strings(takes)
+		hint := "takes no tuning flags"
+		if len(takes) > 0 {
+			hint = "takes " + strings.Join(takes, ", ")
+		}
+		return fmt.Errorf("-alg %s ignores %s (%s %s)", alg, strings.Join(bad, ", "), alg, hint)
+	}
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -37,7 +98,47 @@ func main() {
 	budget := flag.Int64("budget", 0, "relocation cost budget (budget, ptas, gap)")
 	eps := flag.Float64("eps", 1.0, "approximation parameter (ptas, hs-ptas)")
 	show := flag.Bool("show", false, "print the resulting assignment")
+	traceFile := flag.String("trace", "", "write a JSONL event trace to this file")
+	metrics := flag.Bool("metrics", false, "print an end-of-run metrics summary to stderr")
+	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address during the run")
+	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(rebalance.Version())
+		return
+	}
+
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if err := validateFlags(*alg, explicit); err != nil {
+		log.Fatal(err)
+	}
+
+	// Observability: a sink exists whenever any surface asked for it;
+	// solvers receive nil otherwise and skip all instrumentation.
+	var sink *obs.Sink
+	var tracer *obs.JSONLTracer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tracer = obs.NewJSONL(f)
+		tracer.Clock = time.Now
+		sink = obs.NewTracing(tracer)
+	} else if *metrics || *debugAddr != "" {
+		sink = obs.New()
+	}
+	if *debugAddr != "" {
+		obs.PublishExpvar("rebalance", sink)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+	}
 
 	var r io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -54,20 +155,27 @@ func main() {
 	}
 	in := &ext.Instance
 
+	if sink.Tracing() {
+		sink.Emit("trace_header", obs.Fields{
+			"version": rebalance.Version(), "alg": *alg,
+			"jobs": in.N(), "procs": in.M,
+		})
+	}
+
 	var sol rebalance.Solution
 	switch *alg {
 	case "greedy":
-		sol = rebalance.Greedy(in, *k)
+		sol = rebalance.GreedyObs(in, *k, sink)
 	case "mpartition":
-		sol = rebalance.Partition(in, *k)
+		sol = rebalance.PartitionObs(in, *k, sink)
 	case "budget":
-		sol = rebalance.PartitionBudget(in, *budget)
+		sol = rebalance.PartitionBudgetObs(in, *budget, sink)
 	case "ptas":
-		sol, err = rebalance.PTAS(in, *budget, rebalance.PTASOptions{Eps: *eps})
+		sol, err = rebalance.PTAS(in, *budget, rebalance.PTASOptions{Eps: *eps, Obs: sink})
 	case "exact":
 		sol, err = rebalance.Exact(in, *k)
 	case "gap":
-		sol, err = rebalance.GAPBaseline(in, *budget)
+		sol, err = rebalance.GAPBaselineObs(in, *budget, sink)
 	case "lpt":
 		sol = rebalance.ScheduleLPT(in)
 	case "multifit":
@@ -84,7 +192,8 @@ func main() {
 		ci := &rebalance.ConflictInstance{Base: in, Conflicts: ext.Conflicts}
 		sol, err = rebalance.ConflictMinMakespan(ci)
 	case "frontier":
-		runFrontier(in)
+		runFrontier(in, sink)
+		finishObs(sink, tracer, *metrics)
 		return
 	default:
 		log.Fatalf("unknown algorithm %q", *alg)
@@ -112,10 +221,28 @@ func main() {
 				j, in.Jobs[j].Size, in.Jobs[j].Cost, in.Assign[j], p, marker)
 		}
 	}
+	finishObs(sink, tracer, *metrics)
+}
+
+// finishObs flushes the observability surfaces: the metrics summary to
+// stderr when requested and any sticky trace write error.
+func finishObs(sink *obs.Sink, tracer *obs.JSONLTracer, metrics bool) {
+	if metrics && sink != nil {
+		snap := sink.Snapshot()
+		snap.Version = rebalance.Version()
+		if err := snap.WriteSummary(os.Stderr); err != nil {
+			log.Printf("metrics: %v", err)
+		}
+	}
+	if tracer != nil {
+		if err := tracer.Err(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+	}
 }
 
 // runFrontier prints the makespan-vs-k tradeoff for doubling budgets.
-func runFrontier(in *rebalance.Instance) {
+func runFrontier(in *rebalance.Instance, sink *obs.Sink) {
 	var ks []int
 	for k := 0; k <= in.N(); {
 		ks = append(ks, k)
@@ -127,7 +254,7 @@ func runFrontier(in *rebalance.Instance) {
 	}
 	fmt.Printf("instance: %s\n", in)
 	fmt.Printf("%8s %12s %8s %14s\n", "k", "makespan", "moves", "vs lower bound")
-	for _, pt := range rebalance.Frontier(in, ks) {
+	for _, pt := range rebalance.FrontierObs(in, ks, sink) {
 		fmt.Printf("%8d %12d %8d %14.3f\n",
 			pt.K, pt.Makespan, pt.Moves, float64(pt.Makespan)/float64(in.LowerBound()))
 	}

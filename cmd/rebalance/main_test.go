@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		alg  string
+		set  []string
+		ok   bool
+	}{
+		{"greedy", []string{"k"}, true},
+		{"greedy", []string{"budget"}, false},
+		{"greedy", []string{"k", "eps"}, false},
+		{"mpartition", []string{"k"}, true},
+		{"mpartition", []string{"budget"}, false},
+		{"budget", []string{"budget"}, true},
+		{"budget", []string{"k"}, false},
+		{"ptas", []string{"budget", "eps"}, true},
+		{"ptas", []string{"k"}, false},
+		{"hs-ptas", []string{"eps"}, true},
+		{"hs-ptas", []string{"budget"}, false},
+		{"lpt", nil, true},
+		{"lpt", []string{"k"}, false},
+		{"frontier", []string{"eps"}, false},
+		{"nope", nil, false},
+	}
+	for _, c := range cases {
+		set := map[string]bool{}
+		for _, f := range c.set {
+			set[f] = true
+		}
+		err := validateFlags(c.alg, set)
+		if (err == nil) != c.ok {
+			t.Errorf("validateFlags(%q, %v) = %v, want ok=%v", c.alg, c.set, err, c.ok)
+		}
+	}
+}
+
+func TestValidateFlagsCoversAllAlgorithms(t *testing.T) {
+	// Every algorithm the switch in main dispatches on must have a
+	// validation entry, or a new algorithm silently skips validation.
+	for _, alg := range []string{"greedy", "mpartition", "budget", "ptas", "exact",
+		"gap", "lpt", "multifit", "hs-ptas", "constrained", "conflict", "frontier"} {
+		if _, ok := algFlags[alg]; !ok {
+			t.Errorf("algorithm %q missing from algFlags", alg)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // FrontierPoint is one point of the makespan-vs-moves tradeoff curve.
@@ -20,6 +21,15 @@ type FrontierPoint struct {
 // GOMAXPROCS workers (each run is independent and read-only on the
 // instance); results are returned in the order of ks.
 func Frontier(in *Instance, ks []int) []FrontierPoint {
+	return FrontierObs(in, ks, nil)
+}
+
+// FrontierObs is Frontier with an observability sink threaded into each
+// M-PARTITION run. The sink's tracer and metrics are shared across the
+// concurrent workers (all obs primitives are safe for concurrent use),
+// so a trace interleaves events from different budgets; correlate them
+// by the k field on search_result events.
+func FrontierObs(in *Instance, ks []int, sink *obs.Sink) []FrontierPoint {
 	points := make([]FrontierPoint, len(ks))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(ks) {
@@ -35,7 +45,7 @@ func Frontier(in *Instance, ks []int) []FrontierPoint {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				sol := core.MPartition(in, ks[i], core.IncrementalScan)
+				sol := core.MPartitionObs(in, ks[i], core.IncrementalScan, sink)
 				points[i] = FrontierPoint{K: ks[i], Makespan: sol.Makespan, Moves: sol.Moves}
 			}
 		}()

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/instance"
 	"repro/internal/knapsack"
+	"repro/internal/obs"
 )
 
 // BudgetOptions tunes the §3.2 arbitrary-cost algorithm.
@@ -47,6 +48,37 @@ type BudgetResult struct {
 // one retained. The produced solution has makespan at most
 // 1.5·(1+Eps)·target whenever target ≥ OPT, at relocation cost ≤ Cost.
 func PartitionBudgetAt(in *instance.Instance, target int64, opts BudgetOptions) BudgetResult {
+	return PartitionBudgetAtObs(in, target, opts, nil)
+}
+
+// PartitionBudgetAtObs is PartitionBudgetAt with observability: probe
+// events and the core.budget_* / core.knapsack_* metrics flow into
+// sink. A nil sink is equivalent to PartitionBudgetAt.
+func PartitionBudgetAtObs(in *instance.Instance, target int64, opts BudgetOptions, sink *obs.Sink) BudgetResult {
+	if sink == nil {
+		return partitionBudgetAt(in, target, opts, nil)
+	}
+	sink.Count("core.budget_probes", 1)
+	if sink.Tracing() {
+		sink.Emit("probe_start", obs.Fields{"target": target, "budgeted": true})
+	}
+	res := partitionBudgetAt(in, target, opts, sink)
+	if res.Feasible {
+		sink.Count("core.budget_probes_feasible", 1)
+		sink.Observe("core.budget_probe_cost", res.Cost)
+	}
+	if sink.Tracing() {
+		f := obs.Fields{"target": target, "budgeted": true, "feasible": res.Feasible}
+		if res.Feasible {
+			f["cost"] = res.Cost
+			f["makespan"] = res.Solution.Makespan
+		}
+		sink.Emit("probe_result", f)
+	}
+	return res
+}
+
+func partitionBudgetAt(in *instance.Instance, target int64, opts BudgetOptions, sink *obs.Sink) BudgetResult {
 	opts.defaults()
 	res := BudgetResult{Target: target}
 	if target < in.MaxSize() || target*int64(in.M) < in.TotalSize() {
@@ -109,8 +141,10 @@ func PartitionBudgetAt(in *instance.Instance, target int64, opts BudgetOptions) 
 		var keepIdx []int
 		var keptVal int64
 		if knapsack.ExactCost(len(ids), cap) <= opts.ExactWork {
+			sink.Count("core.knapsack_exact", 1)
 			keepIdx, keptVal = knapsack.MaxKeep(items, cap)
 		} else {
+			sink.Count("core.knapsack_approx", 1)
 			keepIdx, keptVal = knapsack.MaxKeepApprox(items, cap, opts.Eps)
 		}
 		kept = make([]int, len(keepIdx))
@@ -267,20 +301,35 @@ func PartitionBudgetAt(in *instance.Instance, target int64, opts BudgetOptions) 
 // as MPartition applies: every target ≥ OPT(budget) is feasible by the
 // paper's Lemma 7, so the search terminates at a target ≤ OPT(budget).
 func PartitionBudget(in *instance.Instance, budget int64, opts BudgetOptions) instance.Solution {
+	return PartitionBudgetObs(in, budget, opts, nil)
+}
+
+// PartitionBudgetObs is PartitionBudget with observability; a nil sink
+// is equivalent to PartitionBudget.
+func PartitionBudgetObs(in *instance.Instance, budget int64, opts BudgetOptions, sink *obs.Sink) instance.Solution {
 	if budget < 0 {
 		budget = 0
 	}
+	finish := func(sol instance.Solution, target int64) instance.Solution {
+		if sink.Tracing() {
+			sink.Emit("search_result", obs.Fields{
+				"budget": budget, "target": target,
+				"makespan": sol.Makespan, "moves": sol.Moves, "cost": sol.MoveCost,
+			})
+		}
+		return sol
+	}
 	feasible := func(v int64) (BudgetResult, bool) {
-		r := PartitionBudgetAt(in, v, opts)
+		r := PartitionBudgetAtObs(in, v, opts, sink)
 		return r, r.Feasible && r.Cost <= budget
 	}
 	lo, hi := in.LowerBound(), in.InitialMakespan()
 	if lo >= hi {
-		return instance.NewSolution(in, in.Assign)
+		return finish(instance.NewSolution(in, in.Assign), hi)
 	}
 	best, ok := feasible(hi)
 	if !ok {
-		return instance.NewSolution(in, in.Assign)
+		return finish(instance.NewSolution(in, in.Assign), 0)
 	}
 	for lo < hi {
 		mid := lo + (hi-lo)/2
@@ -291,7 +340,7 @@ func PartitionBudget(in *instance.Instance, budget int64, opts BudgetOptions) in
 		}
 	}
 	if best.Solution.Makespan >= in.InitialMakespan() {
-		return instance.NewSolution(in, in.Assign)
+		return finish(instance.NewSolution(in, in.Assign), 0)
 	}
-	return best.Solution
+	return finish(best.Solution, best.Target)
 }

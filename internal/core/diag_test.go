@@ -67,7 +67,7 @@ func TestSolverReuseMatchesFreshRuns(t *testing.T) {
 	in := workload.Generate(workload.Config{
 		N: 40, M: 4, MaxSize: 60, Placement: workload.PlaceSkewed, Seed: 9,
 	})
-	s := newSolver(in)
+	s := newSolver(in, nil)
 	for v := in.LowerBound(); v <= in.InitialMakespan(); v += 7 {
 		a := s.run(v)
 		b := Partition(in, v)

@@ -2,6 +2,8 @@ package core
 
 import (
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // incrementalScan is the paper-faithful §3.1 M-PARTITION search: walk
@@ -183,6 +185,12 @@ func (ic *incrementalScan) scan(k int) (Result, bool) {
 			return Result{}, false
 		}
 		khat, ok := ic.moves()
+		if ic.s.sink != nil {
+			ic.s.sink.Count("core.scan_thresholds", 1)
+			if ic.s.sink.Tracing() {
+				ic.s.sink.Emit("threshold", obs.Fields{"target": v, "khat": khat, "feasible": ok && khat <= int64(k)})
+			}
+		}
 		if !ok || khat > int64(k) {
 			return Result{}, false
 		}

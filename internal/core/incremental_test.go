@@ -44,7 +44,7 @@ func TestIncrementalMoveCountAgreesWithRun(t *testing.T) {
 			N: 20, M: 4, MaxSize: 40, Sizes: workload.SizeBimodal,
 			Placement: workload.PlaceRandom, Seed: seed,
 		})
-		s := newSolver(in)
+		s := newSolver(in, nil)
 		ic := newIncrementalScan(s)
 		for v := in.LowerBound(); v <= in.InitialMakespan(); v++ {
 			for p := 0; p < in.M; p++ {

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/instance"
+	"repro/internal/obs"
 )
 
 // SearchMode selects how MPartition locates its target value (§3.1).
@@ -37,20 +38,40 @@ const (
 // k < 0 is treated as 0. The fallback for pathological infeasibility is
 // the initial assignment (always valid with 0 moves).
 func MPartition(in *instance.Instance, k int, mode SearchMode) instance.Solution {
+	return MPartitionObs(in, k, mode, nil)
+}
+
+// MPartitionObs is MPartition with observability: every PARTITION probe
+// emits probe_start/removal/probe_result events and updates the core.*
+// metrics in sink; the accepted target additionally emits a
+// search_result event. A nil sink is equivalent to MPartition.
+func MPartitionObs(in *instance.Instance, k int, mode SearchMode, sink *obs.Sink) instance.Solution {
 	if k < 0 {
 		k = 0
 	}
-	s := newSolver(in) // sort once; every probe reuses the order
+	s := newSolver(in, sink) // sort once; every probe reuses the order
 	feasible := func(v int64) (Result, bool) {
 		r := s.run(v)
 		return r, r.Feasible && r.Removals <= k
+	}
+
+	// finish stamps the accepted target (0 for the do-nothing fallback)
+	// on the returned solution's search_result event.
+	finish := func(sol instance.Solution, target int64) instance.Solution {
+		if sink.Tracing() {
+			sink.Emit("search_result", obs.Fields{
+				"k": k, "mode": mode.String(), "target": target,
+				"makespan": sol.Makespan, "moves": sol.Moves,
+			})
+		}
+		return sol
 	}
 
 	lo := in.LowerBound()
 	hi := in.InitialMakespan()
 	if lo >= hi {
 		// The initial assignment is already optimal.
-		return instance.NewSolution(in, in.Assign)
+		return finish(instance.NewSolution(in, in.Assign), hi)
 	}
 
 	var best Result
@@ -83,13 +104,25 @@ func MPartition(in *instance.Instance, k int, mode SearchMode) instance.Solution
 	if !ok {
 		// Defensive: with k ≥ 0 the initial makespan is always reachable
 		// with zero moves.
-		return instance.NewSolution(in, in.Assign)
+		return finish(instance.NewSolution(in, in.Assign), 0)
 	}
 	// Never return something worse than doing nothing.
 	if best.Solution.Makespan >= in.InitialMakespan() {
-		return instance.NewSolution(in, in.Assign)
+		return finish(instance.NewSolution(in, in.Assign), 0)
 	}
-	return best.Solution
+	return finish(best.Solution, best.Target)
+}
+
+// String names the search mode for trace events.
+func (m SearchMode) String() string {
+	switch m {
+	case ThresholdScan:
+		return "threshold"
+	case IncrementalScan:
+		return "incremental"
+	default:
+		return "binary"
+	}
 }
 
 // thresholdLadder returns, sorted ascending and deduplicated, every

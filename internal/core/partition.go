@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/instance"
+	"repro/internal/obs"
 )
 
 // Result is the outcome of one PARTITION run at a fixed target value.
@@ -48,10 +49,25 @@ type Result struct {
 type solver struct {
 	in     *instance.Instance
 	byProc [][]int // per processor, job IDs sorted by decreasing size
+
+	// sink is the observability handle; nil disables instrumentation
+	// (the only cost left on the probe path is nil checks). The counters
+	// and histograms are resolved once here, not per probe.
+	sink          *obs.Sink
+	probes        *obs.Counter
+	probesOK      *obs.Counter
+	removalsTotal *obs.Counter
+	probeRemovals *obs.Histogram
 }
 
-func newSolver(in *instance.Instance) *solver {
-	s := &solver{in: in, byProc: instance.JobsOn(in.M, in.Assign)}
+func newSolver(in *instance.Instance, sink *obs.Sink) *solver {
+	s := &solver{in: in, byProc: instance.JobsOn(in.M, in.Assign), sink: sink}
+	if sink != nil {
+		s.probes = sink.Reg.Counter("core.probes")
+		s.probesOK = sink.Reg.Counter("core.probes_feasible")
+		s.removalsTotal = sink.Reg.Counter("core.removals")
+		s.probeRemovals = sink.Reg.Histogram("core.probe_removals")
+	}
 	for p := range s.byProc {
 		list := s.byProc[p]
 		sort.Slice(list, func(x, y int) bool {
@@ -78,10 +94,47 @@ type procState struct {
 // most 1.5·target whenever target is at least the true optimum, and its
 // removal count is minimal in the sense of the paper's Lemma 3/4.
 func Partition(in *instance.Instance, target int64) Result {
-	return newSolver(in).run(target)
+	return newSolver(in, nil).run(target)
 }
 
+// PartitionObs is Partition with observability: per-probe counters and
+// probe_start / removal / probe_result trace events flow into sink. A
+// nil sink is equivalent to Partition.
+func PartitionObs(in *instance.Instance, target int64, sink *obs.Sink) Result {
+	return newSolver(in, sink).run(target)
+}
+
+// run executes one PARTITION probe, wrapping runProbe with the
+// per-probe instrumentation so every return path emits exactly one
+// probe_result event.
 func (s *solver) run(target int64) Result {
+	if s.sink == nil {
+		return s.runProbe(target)
+	}
+	s.probes.Inc()
+	if s.sink.Tracing() {
+		s.sink.Emit("probe_start", obs.Fields{"target": target})
+	}
+	res := s.runProbe(target)
+	if res.Feasible {
+		s.probesOK.Inc()
+		s.removalsTotal.Add(int64(res.Removals))
+		s.probeRemovals.Observe(int64(res.Removals))
+	}
+	if s.sink.Tracing() {
+		f := obs.Fields{"target": target, "feasible": res.Feasible}
+		if res.Feasible {
+			f["removals"] = res.Removals
+			f["large_total"] = res.LargeTotal
+			f["large_extra"] = res.LargeExtra
+			f["makespan"] = res.Solution.Makespan
+		}
+		s.sink.Emit("probe_result", f)
+	}
+	return res
+}
+
+func (s *solver) runProbe(target int64) Result {
 	in := s.in
 	res := Result{Target: target}
 	// Unconditional lower bounds: any makespan is at least the largest
@@ -124,6 +177,9 @@ func (s *solver) run(target int64) Result {
 		for i := 0; i < st.largeCnt-1; i++ {
 			removedLarge = append(removedLarge, st.jobs[i])
 			removals++
+			if s.sink.Tracing() {
+				s.sink.Emit("removal", obs.Fields{"target": target, "job": st.jobs[i], "proc": p, "kind": "large", "step": 1})
+			}
 		}
 	}
 	res.LargeExtra = removals
@@ -206,6 +262,9 @@ func (s *solver) run(target int64) Result {
 		for i := 0; i < st.a; i++ {
 			removedSmall = append(removedSmall, smalls[i])
 			removals++
+			if s.sink.Tracing() {
+				s.sink.Emit("removal", obs.Fields{"target": target, "job": smalls[i], "proc": p, "kind": "small", "step": 3})
+			}
 		}
 	}
 
@@ -222,10 +281,16 @@ func (s *solver) run(target int64) Result {
 			removedLarge = append(removedLarge, st.jobs[st.largeCnt-1])
 			removals++
 			cnt--
+			if s.sink.Tracing() {
+				s.sink.Emit("removal", obs.Fields{"target": target, "job": st.jobs[st.largeCnt-1], "proc": p, "kind": "large", "step": 4})
+			}
 		}
 		for i := 0; i < cnt; i++ {
 			removedSmall = append(removedSmall, smalls[i])
 			removals++
+			if s.sink.Tracing() {
+				s.sink.Emit("removal", obs.Fields{"target": target, "job": smalls[i], "proc": p, "kind": "small", "step": 4})
+			}
 		}
 	}
 

@@ -22,12 +22,23 @@ import (
 	"repro/internal/instance"
 	"repro/internal/lpbound"
 	"repro/internal/movemin"
+	"repro/internal/obs"
 	"repro/internal/ptas"
 	"repro/internal/scheduling"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
+
+// sink is the package-wide observability handle; nil (the default)
+// disables all instrumentation. cmd/experiments sets it from its
+// -trace/-metrics/-debug-addr flags before running the suite.
+var sink *obs.Sink
+
+// SetObs routes solver, LP and simulation instrumentation of subsequent
+// experiment runs into s. Call before Run; not safe concurrently with a
+// running experiment.
+func SetObs(s *obs.Sink) { sink = s }
 
 // Experiment is one entry of the suite.
 type Experiment struct {
@@ -81,9 +92,9 @@ func E1() *stats.Table {
 		in := instance.GreedyTight(m)
 		k := instance.GreedyTightK(m)
 		opt := int64(m)
-		adv := greedy.Rebalance(in, k, greedy.OrderSmallestFirst)
-		good := greedy.Rebalance(in, k, greedy.OrderLargestFirst)
-		mp := core.MPartition(in, k, core.BinarySearch)
+		adv := greedy.RebalanceObs(in, k, greedy.OrderSmallestFirst, sink)
+		good := greedy.RebalanceObs(in, k, greedy.OrderLargestFirst, sink)
+		mp := core.MPartitionObs(in, k, core.BinarySearch, sink)
 		t.Addf(m, opt, adv.Makespan, float64(adv.Makespan)/float64(opt),
 			2-1.0/float64(m), good.Makespan, mp.Makespan, float64(mp.Makespan)/float64(opt))
 	}
@@ -105,8 +116,8 @@ func E2() *stats.Table {
 				if err != nil {
 					continue
 				}
-				g := greedy.Rebalance(in, k, greedy.OrderLargestFirst)
-				p := core.MPartition(in, k, core.BinarySearch)
+				g := greedy.RebalanceObs(in, k, greedy.OrderLargestFirst, sink)
+				p := core.MPartitionObs(in, k, core.BinarySearch, sink)
 				gr = append(gr, float64(g.Makespan)/float64(opt.Makespan))
 				pr = append(pr, float64(p.Makespan)/float64(opt.Makespan))
 			}
@@ -116,7 +127,7 @@ func E2() *stats.Table {
 	}
 	// The paper's tight instance: exactly 1.5.
 	in := instance.PartitionTight()
-	p := core.MPartition(in, instance.PartitionTightK(), core.BinarySearch)
+	p := core.MPartitionObs(in, instance.PartitionTightK(), core.BinarySearch, sink)
 	t.Addf("paper-tight", instance.PartitionTightK(), 1, "-", "-",
 		float64(p.Makespan)/float64(instance.PartitionTightOPT()),
 		float64(p.Makespan)/float64(instance.PartitionTightOPT()))
@@ -132,10 +143,10 @@ func E3() *stats.Table {
 		})
 		k := n / 10
 		g0 := time.Now()
-		greedy.Rebalance(in, k, greedy.OrderLargestFirst)
+		greedy.RebalanceObs(in, k, greedy.OrderLargestFirst, sink)
 		gd := time.Since(g0)
 		p0 := time.Now()
-		core.MPartition(in, k, core.BinarySearch)
+		core.MPartitionObs(in, k, core.BinarySearch, sink)
 		pd := time.Since(p0)
 		nlogn := float64(n) * log2(float64(n))
 		t.Addf(n, float64(gd.Microseconds())/1000, float64(gd.Nanoseconds())/nlogn,
@@ -171,7 +182,7 @@ func E4() *stats.Table {
 				continue
 			}
 			t0 := time.Now()
-			sol, err := ptas.Solve(in, b, ptas.Options{Eps: eps})
+			sol, err := ptas.Solve(in, b, ptas.Options{Eps: eps, Obs: sink})
 			if err != nil {
 				continue
 			}
@@ -200,20 +211,20 @@ func E5() *stats.Table {
 			return s.Makespan, err == nil
 		}},
 		{"ptas(eps=1)", "1+eps", func(in *instance.Instance, k int) (int64, bool) {
-			s, err := ptas.Solve(in, int64(k), ptas.Options{Eps: 1})
+			s, err := ptas.Solve(in, int64(k), ptas.Options{Eps: 1, Obs: sink})
 			return s.Makespan, err == nil
 		}},
 		{"mpartition", "1.5", func(in *instance.Instance, k int) (int64, bool) {
-			return core.MPartition(in, k, core.BinarySearch).Makespan, true
+			return core.MPartitionObs(in, k, core.BinarySearch, sink).Makespan, true
 		}},
 		{"partition-budget", "1.5(1+eps)", func(in *instance.Instance, k int) (int64, bool) {
 			return core.PartitionBudget(in, int64(k), core.BudgetOptions{}).Makespan, true
 		}},
 		{"greedy", "2-1/m", func(in *instance.Instance, k int) (int64, bool) {
-			return greedy.Rebalance(in, k, greedy.OrderLargestFirst).Makespan, true
+			return greedy.RebalanceObs(in, k, greedy.OrderLargestFirst, sink).Makespan, true
 		}},
 		{"gap-baseline", "2", func(in *instance.Instance, k int) (int64, bool) {
-			s, err := gap.Rebalance(in, int64(k))
+			s, err := gap.RebalanceObs(in, int64(k), sink)
 			return s.Makespan, err == nil
 		}},
 	}
@@ -260,7 +271,7 @@ func E6() *stats.Table {
 		for _, frac := range []int64{0, 5, 10, 25, 50, 100} {
 			b := maxB * frac / 100
 			pb := core.PartitionBudget(in, b, core.BudgetOptions{})
-			gb, err := gap.Rebalance(in, b)
+			gb, err := gap.RebalanceObs(in, b, sink)
 			gms := int64(-1)
 			if err == nil {
 				gms = gb.Makespan
@@ -285,8 +296,8 @@ func E7() *stats.Table {
 		if err != nil {
 			continue
 		}
-		mp := core.MPartition(in, k, core.BinarySearch)
-		gp, err := gap.Rebalance(in, int64(k))
+		mp := core.MPartitionObs(in, k, core.BinarySearch, sink)
+		gp, err := gap.RebalanceObs(in, int64(k), sink)
 		if err != nil {
 			continue
 		}
@@ -303,10 +314,10 @@ func E7() *stats.Table {
 		Placement: workload.PlaceSkewed, Seed: 9,
 	})
 	t0 := time.Now()
-	core.MPartition(in, 10, core.BinarySearch)
+	core.MPartitionObs(in, 10, core.BinarySearch, sink)
 	mpT := time.Since(t0)
 	t0 = time.Now()
-	if _, err := gap.Rebalance(in, 10); err != nil {
+	if _, err := gap.RebalanceObs(in, 10, sink); err != nil {
 		panic(err)
 	}
 	gapT := time.Since(t0)
@@ -352,9 +363,9 @@ func E9() *stats.Table {
 	t := stats.NewTable("policy", "peak makespan", "mean makespan", "mean imbalance", "total moves")
 	cfg := sim.Config{
 		Sites: 200, Servers: 10, Steps: 300, RebalanceEvery: 5,
-		MovesPerRound: 8, FlashProb: 0.15, Seed: 42,
+		MovesPerRound: 8, FlashProb: 0.15, Seed: 42, Obs: sink,
 	}
-	for _, p := range []sim.Policy{sim.PolicyNone{}, sim.PolicyGreedy{}, sim.PolicyMPartition{}, sim.PolicyTriggered{Trigger: 1.5}, sim.PolicyFull{}} {
+	for _, p := range []sim.Policy{sim.PolicyNone{}, sim.PolicyGreedy{Obs: sink}, sim.PolicyMPartition{Obs: sink}, sim.PolicyTriggered{Trigger: 1.5, Obs: sink}, sim.PolicyFull{Obs: sink}} {
 		m, err := sim.Run(cfg, p)
 		if err != nil {
 			panic(err)
@@ -418,13 +429,13 @@ func E11() *stats.Table {
 		})
 		k := n / 8
 		t0 := time.Now()
-		b := core.MPartition(in, k, core.BinarySearch)
+		b := core.MPartitionObs(in, k, core.BinarySearch, sink)
 		bt := time.Since(t0)
 		t0 = time.Now()
-		l := core.MPartition(in, k, core.ThresholdScan)
+		l := core.MPartitionObs(in, k, core.ThresholdScan, sink)
 		lt := time.Since(t0)
 		t0 = time.Now()
-		ic := core.MPartition(in, k, core.IncrementalScan)
+		ic := core.MPartitionObs(in, k, core.IncrementalScan, sink)
 		it := time.Since(t0)
 		t.Addf(n, float64(bt.Microseconds())/1000, float64(lt.Microseconds())/1000,
 			float64(it.Microseconds())/1000, b.Makespan, l.Makespan, ic.Makespan)
@@ -443,7 +454,7 @@ func E12() *stats.Table {
 		Sizes: workload.SizeUniform, Seed: 12,
 	})
 	for _, k := range []int{0, 1, 2, 3, 5, 8, 10} {
-		sol := core.MPartition(small, k, core.IncrementalScan)
+		sol := core.MPartitionObs(small, k, core.IncrementalScan, sink)
 		opt, err := exact.Solve(small, k, exact.Limits{})
 		optStr := "-"
 		if err == nil {
@@ -456,7 +467,7 @@ func E12() *stats.Table {
 		N: 2000, M: 16, Sizes: workload.SizeZipf, Placement: workload.PlaceSkewed, Seed: 12,
 	})
 	for _, k := range []int{0, 10, 50, 200, 1000, 2000} {
-		sol := core.MPartition(large, k, core.IncrementalScan)
+		sol := core.MPartitionObs(large, k, core.IncrementalScan, sink)
 		t.Addf(large.N(), k, sol.Makespan,
 			float64(sol.Makespan)/float64(large.LowerBound()), sol.Moves, "-")
 	}
@@ -477,8 +488,8 @@ func E13() *stats.Table {
 		if err != nil {
 			panic(err)
 		}
-		mp := core.MPartition(in, k, core.IncrementalScan)
-		g := greedy.Rebalance(in, k, greedy.OrderLargestFirst)
+		mp := core.MPartitionObs(in, k, core.IncrementalScan, sink)
+		g := greedy.RebalanceObs(in, k, greedy.OrderLargestFirst, sink)
 		t.Addf(n, k, lb, mp.Makespan, float64(mp.Makespan)/float64(lb),
 			g.Makespan, float64(g.Makespan)/float64(lb))
 	}
@@ -495,8 +506,8 @@ func E14() *stats.Table {
 			Placement: workload.PlaceOneHot, Seed: 4,
 		})
 		sizes := scheduling.FromInstance(in)
-		mp := core.MPartition(in, in.N(), core.IncrementalScan)
-		g := greedy.Rebalance(in, in.N(), greedy.OrderLargestFirst)
+		mp := core.MPartitionObs(in, in.N(), core.IncrementalScan, sink)
+		g := greedy.RebalanceObs(in, in.N(), greedy.OrderLargestFirst, sink)
 		_, lpt := scheduling.LPT(sizes, in.M)
 		_, mf := scheduling.Multifit(sizes, in.M, 0)
 		_, hs := scheduling.DualPTAS(sizes, in.M, 0.2)

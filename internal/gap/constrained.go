@@ -69,7 +69,7 @@ func RebalanceConstrained(in *instance.Instance, allowed [][]int, budget int64) 
 	if !feasible(hi) {
 		return instance.NewSolution(in, in.Assign), nil
 	}
-	assign, err := round(in, bestX)
+	assign, err := round(in, bestX, nil)
 	if err != nil {
 		return instance.Solution{}, err
 	}

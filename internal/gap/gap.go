@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/instance"
 	"repro/internal/lp"
+	"repro/internal/obs"
 )
 
 // ErrNoSolution is returned when even the loosest target admits no LP
@@ -35,7 +36,7 @@ var ErrNoSolution = errors.New("gap: no feasible target")
 
 // fractional solves the assignment LP at target t and returns the cost
 // and the matrix x[j][i].
-func fractional(in *instance.Instance, t int64) (float64, [][]float64, error) {
+func fractional(in *instance.Instance, t int64, sink *obs.Sink) (float64, [][]float64, error) {
 	n, m := in.N(), in.M
 	if t < in.MaxSize() {
 		return 0, nil, lp.ErrInfeasible
@@ -64,7 +65,7 @@ func fractional(in *instance.Instance, t int64) (float64, [][]float64, error) {
 		}
 		p.Constraints = append(p.Constraints, lp.Constraint{Coef: row, Rel: lp.LE, RHS: float64(t)})
 	}
-	sol, err := lp.Solve(p)
+	sol, err := lp.SolveObs(p, sink)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -80,7 +81,7 @@ func fractional(in *instance.Instance, t int64) (float64, [][]float64, error) {
 
 // round performs the Shmoys–Tardos slot rounding of a fractional
 // assignment and returns an integral assignment.
-func round(in *instance.Instance, x [][]float64) ([]int, error) {
+func round(in *instance.Instance, x [][]float64, sink *obs.Sink) ([]int, error) {
 	n, m := in.N(), in.M
 	const tiny = 1e-7
 
@@ -166,7 +167,7 @@ func round(in *instance.Instance, x [][]float64) ([]int, error) {
 		}
 		p.Constraints = append(p.Constraints, lp.Constraint{Coef: slotRows[s], Rel: lp.LE, RHS: 1})
 	}
-	sol, err := lp.Solve(p)
+	sol, err := lp.SolveObs(p, sink)
 	if err != nil {
 		return nil, fmt.Errorf("gap: rounding LP: %w", err)
 	}
@@ -191,6 +192,14 @@ func round(in *instance.Instance, x [][]float64) ([]int, error) {
 // the budget, then rounding. The result's relocation cost is at most
 // budget and its makespan is at most 2·OPT(budget).
 func Rebalance(in *instance.Instance, budget int64) (instance.Solution, error) {
+	return RebalanceObs(in, budget, nil)
+}
+
+// RebalanceObs is Rebalance with observability: every target probed by
+// the binary search emits a gap_target event, the underlying simplex
+// solves feed the lp.* metrics, and the gap.* counters summarize the
+// run. A nil sink is equivalent to Rebalance.
+func RebalanceObs(in *instance.Instance, budget int64, sink *obs.Sink) (instance.Solution, error) {
 	if budget < 0 {
 		budget = 0
 	}
@@ -206,8 +215,21 @@ func Rebalance(in *instance.Instance, budget int64) (instance.Solution, error) {
 	// LP cost is non-increasing in T, so binary search applies; the
 	// initial makespan is always feasible at cost 0.
 	feasible := func(t int64) bool {
-		cost, x, err := fractional(in, t)
-		if err != nil || cost > float64(budget)+1e-6 {
+		cost, x, err := fractional(in, t, sink)
+		ok := err == nil && cost <= float64(budget)+1e-6
+		if sink != nil {
+			sink.Count("gap.targets", 1)
+			if sink.Tracing() {
+				f := obs.Fields{"target": t, "feasible": ok}
+				if err == nil {
+					f["lp_cost"] = cost
+				} else {
+					f["error"] = err.Error()
+				}
+				sink.Emit("gap_target", f)
+			}
+		}
+		if !ok {
 			return false
 		}
 		best = &attempt{t: t, x: x}
@@ -231,7 +253,7 @@ func Rebalance(in *instance.Instance, budget int64) (instance.Solution, error) {
 			return instance.Solution{}, ErrNoSolution
 		}
 	}
-	assign, err := round(in, best.x)
+	assign, err := round(in, best.x, sink)
 	if err != nil {
 		return instance.Solution{}, err
 	}

@@ -19,12 +19,12 @@ func TestRoundingStructuralGuarantees(t *testing.T) {
 		})
 		// A mid-range target between the bounds.
 		targetT := (in.LowerBound() + in.InitialMakespan()) / 2
-		cost, x, err := fractional(in, targetT)
+		cost, x, err := fractional(in, targetT, nil)
 		if err != nil {
 			// Target below the largest job — skip.
 			continue
 		}
-		assign, err := round(in, x)
+		assign, err := round(in, x, nil)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -49,7 +49,7 @@ func TestFractionalFeasibility(t *testing.T) {
 		N: 10, M: 3, MaxSize: 25, Placement: workload.PlaceRandom, Seed: 6,
 	})
 	targetT := in.InitialMakespan()
-	_, x, err := fractional(in, targetT)
+	_, x, err := fractional(in, targetT, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestFractionalInfeasibleBelowMaxJob(t *testing.T) {
 	in := workload.Generate(workload.Config{
 		N: 6, M: 2, MaxSize: 50, Placement: workload.PlaceRandom, Seed: 9,
 	})
-	if _, _, err := fractional(in, in.MaxSize()-1); err != lp.ErrInfeasible {
+	if _, _, err := fractional(in, in.MaxSize()-1, nil); err != lp.ErrInfeasible {
 		t.Fatalf("err = %v, want ErrInfeasible", err)
 	}
 }
@@ -94,11 +94,11 @@ func TestRoundingAlwaysMatchesEveryJob(t *testing.T) {
 			N: 12, M: 4, MaxSize: 20, Costs: workload.CostProportional,
 			Placement: workload.PlaceOneHot, Seed: seed,
 		})
-		_, x, err := fractional(in, in.LowerBound()+in.MaxSize())
+		_, x, err := fractional(in, in.LowerBound()+in.MaxSize(), nil)
 		if err != nil {
 			continue
 		}
-		assign, err := round(in, x)
+		assign, err := round(in, x, nil)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

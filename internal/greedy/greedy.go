@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/instance"
+	"repro/internal/obs"
 )
 
 // Order selects the Step 2 placement order of the removed jobs.
@@ -38,9 +39,26 @@ const (
 // assignment with recomputed metrics. k may exceed n; removals stop
 // early once every processor is empty. The instance is not modified.
 func Rebalance(in *instance.Instance, k int, order Order) instance.Solution {
+	return RebalanceObs(in, k, order, nil)
+}
+
+// RebalanceObs is Rebalance with observability: Step 1 removals and
+// Step 2 placements emit removal/placement events and update the
+// greedy.* metrics in sink. A nil sink is equivalent to Rebalance.
+func RebalanceObs(in *instance.Instance, k int, order Order, sink *obs.Sink) instance.Solution {
 	assign := append([]int(nil), in.Assign...)
 	if k <= 0 || in.N() == 0 {
 		return instance.NewSolution(in, assign)
+	}
+	// Resolve metrics once; heap-op counting in the loops is a single
+	// cached-counter increment when enabled, a nil check when not.
+	var removalsC, placementsC, heapOpsC *obs.Counter
+	var movedSizeH *obs.Histogram
+	if sink != nil {
+		removalsC = sink.Reg.Counter("greedy.removals")
+		placementsC = sink.Reg.Counter("greedy.placements")
+		heapOpsC = sink.Reg.Counter("greedy.heap_ops")
+		movedSizeH = sink.Reg.Histogram("greedy.moved_size")
 	}
 
 	// Per-processor job lists sorted by decreasing size; heads[p] is the
@@ -76,6 +94,14 @@ func Rebalance(in *instance.Instance, k int, order Order) instance.Solution {
 		loads[p] -= in.Jobs[j].Size
 		heap.Fix(maxH, 0)
 		removed = append(removed, j)
+		if sink != nil {
+			removalsC.Inc()
+			heapOpsC.Inc()
+			movedSizeH.Observe(in.Jobs[j].Size)
+			if sink.Tracing() {
+				sink.Emit("removal", obs.Fields{"job": j, "proc": p, "size": in.Jobs[j].Size, "alg": "greedy"})
+			}
+		}
 	}
 
 	// Step 2: place removed jobs on the current min-load processor.
@@ -99,8 +125,21 @@ func Rebalance(in *instance.Instance, k int, order Order) instance.Solution {
 		assign[j] = p
 		loads[p] += in.Jobs[j].Size
 		heap.Fix(minH, 0)
+		if sink != nil {
+			placementsC.Inc()
+			heapOpsC.Inc()
+			if sink.Tracing() {
+				sink.Emit("placement", obs.Fields{"job": j, "proc": p, "size": in.Jobs[j].Size, "alg": "greedy"})
+			}
+		}
 	}
-	return instance.NewSolution(in, assign)
+	sol := instance.NewSolution(in, assign)
+	if sink.Tracing() {
+		sink.Emit("search_result", obs.Fields{
+			"alg": "greedy", "k": k, "makespan": sol.Makespan, "moves": sol.Moves,
+		})
+	}
+	return sol
 }
 
 // procHeap is a heap of processor indices ordered by load (min-heap by

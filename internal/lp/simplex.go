@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // Relation is a constraint sense.
@@ -58,12 +60,43 @@ type Solution struct {
 // Solve runs two-phase simplex and returns an optimal basic solution,
 // ErrInfeasible, or ErrUnbounded.
 func Solve(p *Problem) (*Solution, error) {
+	return SolveObs(p, nil)
+}
+
+// SolveObs is Solve with observability: each call updates the lp.*
+// metrics (solves, pivots per phase) and emits one lp_solve event into
+// sink. A nil sink is equivalent to Solve.
+func SolveObs(p *Problem, sink *obs.Sink) (*Solution, error) {
+	sol, ph1, ph2, err := solve(p)
+	if sink != nil {
+		sink.Count("lp.solves", 1)
+		sink.Count("lp.pivots", int64(ph1+ph2))
+		sink.Observe("lp.solve_pivots", int64(ph1+ph2))
+		if sink.Tracing() {
+			f := obs.Fields{
+				"vars": p.NumVars, "rows": len(p.Constraints),
+				"phase1_pivots": ph1, "phase2_pivots": ph2,
+			}
+			if err != nil {
+				f["error"] = err.Error()
+			} else {
+				f["value"] = sol.Value
+			}
+			sink.Emit("lp_solve", f)
+		}
+	}
+	return sol, err
+}
+
+// solve is the two-phase core, additionally reporting the pivot counts
+// of each phase.
+func solve(p *Problem) (_ *Solution, phase1, phase2 int, _ error) {
 	if len(p.Objective) != p.NumVars {
-		return nil, fmt.Errorf("lp: objective has %d coefficients, want %d", len(p.Objective), p.NumVars)
+		return nil, 0, 0, fmt.Errorf("lp: objective has %d coefficients, want %d", len(p.Objective), p.NumVars)
 	}
 	for i, c := range p.Constraints {
 		if len(c.Coef) != p.NumVars {
-			return nil, fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(c.Coef), p.NumVars)
+			return nil, 0, 0, fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(c.Coef), p.NumVars)
 		}
 	}
 
@@ -147,11 +180,12 @@ func Solve(p *Problem) (*Solution, error) {
 			}
 		}
 	}
-	if err := pivotLoop(tab, basis, total); err != nil {
-		return nil, err
+	var err error
+	if phase1, err = pivotLoop(tab, basis, total); err != nil {
+		return nil, phase1, 0, err
 	}
 	if -tab[m][total] > 1e-6 {
-		return nil, ErrInfeasible
+		return nil, phase1, 0, ErrInfeasible
 	}
 	// Drive any remaining artificial out of the basis (degenerate rows).
 	for i := 0; i < m; i++ {
@@ -190,8 +224,8 @@ func Solve(p *Problem) (*Solution, error) {
 			}
 		}
 	}
-	if err := pivotLoopBounded(tab, basis, total, n+extra); err != nil {
-		return nil, err
+	if phase2, err = pivotLoopBounded(tab, basis, total, n+extra); err != nil {
+		return nil, phase1, phase2, err
 	}
 
 	x := make([]float64, n)
@@ -204,22 +238,24 @@ func Solve(p *Problem) (*Solution, error) {
 	for j := 0; j < n; j++ {
 		val += p.Objective[j] * x[j]
 	}
-	return &Solution{X: x, Value: val}, nil
+	return &Solution{X: x, Value: val}, phase1, phase2, nil
 }
 
-// pivotLoop runs simplex iterations over all columns (phase 1).
-func pivotLoop(tab [][]float64, basis []int, total int) error {
+// pivotLoop runs simplex iterations over all columns (phase 1) and
+// reports the number of pivots performed.
+func pivotLoop(tab [][]float64, basis []int, total int) (int, error) {
 	return pivotLoopBounded(tab, basis, total, total)
 }
 
 // pivotLoopBounded runs simplex iterations considering only the first
-// limit columns for entering (phase 2 excludes artificial columns).
-func pivotLoopBounded(tab [][]float64, basis []int, total, limit int) error {
+// limit columns for entering (phase 2 excludes artificial columns) and
+// reports the number of pivots performed.
+func pivotLoopBounded(tab [][]float64, basis []int, total, limit int) (int, error) {
 	m := len(basis)
 	obj := tab[m]
 	for iter := 0; ; iter++ {
 		if iter > 200000 {
-			return errors.New("lp: iteration limit exceeded")
+			return iter, errors.New("lp: iteration limit exceeded")
 		}
 		// Bland's rule: first column with negative reduced cost.
 		col := -1
@@ -230,7 +266,7 @@ func pivotLoopBounded(tab [][]float64, basis []int, total, limit int) error {
 			}
 		}
 		if col < 0 {
-			return nil
+			return iter, nil
 		}
 		// Ratio test, ties broken by smallest basis index (Bland).
 		row := -1
@@ -244,7 +280,7 @@ func pivotLoopBounded(tab [][]float64, basis []int, total, limit int) error {
 			}
 		}
 		if row < 0 {
-			return ErrUnbounded
+			return iter, ErrUnbounded
 		}
 		pivot(tab, basis, row, col)
 	}

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	// Run under -race: 8 goroutines hammering one counter must neither
+	// race nor lose increments.
+	var c Counter
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("Counter.Value() = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	for _, v := range []int64{5, 3, 9, 9, 1} {
+		g.SetMax(v)
+	}
+	if got := g.Value(); got != 9 {
+		t.Fatalf("Gauge.Value() = %d, want 9", got)
+	}
+	g.Set(2)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("after Set(2): %d, want 2", got)
+	}
+}
+
+func TestGaugeSetMaxConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.SetMax(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := g.Value(); got != 7999 {
+		t.Fatalf("Gauge.Value() = %d, want 7999", got)
+	}
+}
+
+// TestHistogramQuantileVsSort checks the nearest-rank quantiles against
+// a brute-force reference: sort all samples, take sorted[⌈q·n⌉−1].
+func TestHistogramQuantileVsSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(2000)
+		var h Histogram
+		ref := make([]int64, n)
+		for i := range ref {
+			v := int64(rng.Intn(1 << 20))
+			ref[i] = v
+			h.Observe(v)
+		}
+		sort.Slice(ref, func(a, b int) bool { return ref[a] < ref[b] })
+		for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 1} {
+			idx := int(float64(n)*q+0.9999999999) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			want := ref[idx]
+			if got := h.Quantile(q); got != want {
+				t.Fatalf("n=%d q=%v: Quantile = %d, want %d", n, q, got, want)
+			}
+		}
+		if got := h.Min(); got != ref[0] {
+			t.Fatalf("Min = %d, want %d", got, ref[0])
+		}
+		if got := h.Max(); got != ref[n-1] {
+			t.Fatalf("Max = %d, want %d", got, ref[n-1])
+		}
+	}
+}
+
+func TestHistogramSmallCases(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %d, want 0", got)
+	}
+	h.Observe(7)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 7 {
+			t.Fatalf("single-sample Quantile(%v) = %d, want 7", q, got)
+		}
+	}
+	h.Observe(3)
+	if got := h.Quantile(0.5); got != 3 { // ⌈0.5·2⌉−1 = 0 → smaller value
+		t.Fatalf("two-sample median = %d, want 3", got)
+	}
+	if got, want := h.Sum(), int64(10); got != want {
+		t.Fatalf("Sum = %d, want %d", got, want)
+	}
+	if got := h.Mean(); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+}
+
+// TestHistogramReservoir drives a histogram past the retention limit and
+// checks the exact stats stay exact while quantiles remain plausible.
+func TestHistogramReservoir(t *testing.T) {
+	var h Histogram
+	n := int64(histogramLimit + 5000)
+	var sum int64
+	for i := int64(0); i < n; i++ {
+		h.Observe(i)
+		sum += i
+	}
+	if got := h.Count(); got != n {
+		t.Fatalf("Count = %d, want %d", got, n)
+	}
+	if got := h.Sum(); got != sum {
+		t.Fatalf("Sum = %d, want %d", got, sum)
+	}
+	if got := h.Min(); got != 0 {
+		t.Fatalf("Min = %d, want 0", got)
+	}
+	if got := h.Max(); got != n-1 {
+		t.Fatalf("Max = %d, want %d", got, n-1)
+	}
+	// Uniform input 0..n−1: the subsampled median must land broadly in
+	// the middle. A wide band — this is a sanity check, not a
+	// statistical test.
+	med := h.Quantile(0.5)
+	if med < n/4 || med > 3*n/4 {
+		t.Fatalf("reservoir median %d implausible for uniform 0..%d", med, n-1)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same counter name returned distinct counters")
+	}
+	if r.Gauge("a") != r.Gauge("a") {
+		t.Fatal("same gauge name returned distinct gauges")
+	}
+	if r.Histogram("a") != r.Histogram("a") {
+		t.Fatal("same histogram name returned distinct histograms")
+	}
+}
+
+func TestSnapshotAndSummary(t *testing.T) {
+	s := New()
+	s.Count("core.probes", 3)
+	s.Reg.Gauge("sim.peak").SetMax(42)
+	s.Observe("lp.pivots", 10)
+	s.Observe("lp.pivots", 20)
+
+	snap := s.Snapshot()
+	snap.Version = "test v1"
+	if snap.Counters["core.probes"] != 3 {
+		t.Fatalf("counter snapshot = %d, want 3", snap.Counters["core.probes"])
+	}
+	if snap.Gauges["sim.peak"] != 42 {
+		t.Fatalf("gauge snapshot = %d, want 42", snap.Gauges["sim.peak"])
+	}
+	h := snap.Histograms["lp.pivots"]
+	if h.Count != 2 || h.Sum != 30 || h.Min != 10 || h.Max != 20 || h.Mean != 15 {
+		t.Fatalf("histogram snapshot = %+v", h)
+	}
+
+	var sb strings.Builder
+	if err := snap.WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"# metrics (test v1)", "core.probes", "sim.peak", "lp.pivots", "count=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+
+	var jb strings.Builder
+	if err := snap.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jb.String(), `"core.probes":3`) {
+		t.Errorf("JSON snapshot missing counter:\n%s", jb.String())
+	}
+}
+
+func TestNilSinkSafe(t *testing.T) {
+	var s *Sink
+	// All of these must be no-ops, not panics.
+	s.Count("x", 1)
+	s.Observe("x", 1)
+	s.Emit("x", Fields{"a": 1})
+	if s.Tracing() {
+		t.Fatal("nil sink reports Tracing() = true")
+	}
+	snap := s.Snapshot()
+	if snap.Counters != nil || snap.Gauges != nil || snap.Histograms != nil {
+		t.Fatalf("nil sink snapshot not empty: %+v", snap)
+	}
+}
+
+// BenchmarkDisabledSink measures the no-op path: a nil *Sink guard must
+// be branch-only, with zero allocations.
+func BenchmarkDisabledSink(b *testing.B) {
+	var s *Sink
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s != nil {
+			s.Count("core.probes", 1)
+		}
+		if s.Tracing() {
+			s.Emit("probe_start", Fields{"target": int64(i)})
+		}
+	}
+}

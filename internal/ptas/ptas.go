@@ -35,6 +35,7 @@ import (
 	"sort"
 
 	"repro/internal/instance"
+	"repro/internal/obs"
 )
 
 // ErrTooLarge is returned when the DP exceeds the configured limits.
@@ -49,6 +50,9 @@ type Options struct {
 	MaxStates int
 	// MaxJobs rejects larger instances outright (default 64).
 	MaxJobs int
+	// Obs receives guess / dp_setup / dp_layer trace events and the
+	// ptas.* metrics; nil disables instrumentation.
+	Obs *obs.Sink
 }
 
 func (o *Options) defaults() {
@@ -95,6 +99,19 @@ func Solve(in *instance.Instance, budget int64, opts Options) (instance.Solution
 	var lastErr error
 	for _, g := range guesses {
 		assign, cost, err := solveAt(in, g, delta, opts)
+		if opts.Obs != nil {
+			opts.Obs.Count("ptas.guesses", 1)
+			if opts.Obs.Tracing() {
+				f := obs.Fields{"guess": g, "feasible": err == nil}
+				if err == nil {
+					f["cost"] = cost
+					f["within_budget"] = cost <= budget
+				} else {
+					f["reason"] = err.Error()
+				}
+				opts.Obs.Emit("guess", f)
+			}
+		}
 		if err != nil {
 			if errors.Is(err, errInfeasibleGuess) {
 				continue
@@ -256,6 +273,16 @@ func solveAt(in *instance.Instance, g int64, delta float64, opts Options) ([]int
 	if len(configs) > opts.MaxStates {
 		return nil, 0, ErrTooLarge
 	}
+	if opts.Obs != nil {
+		opts.Obs.Observe("ptas.configs", int64(len(configs)))
+		opts.Obs.Observe("ptas.classes", int64(s))
+		if opts.Obs.Tracing() {
+			opts.Obs.Emit("dp_setup", obs.Fields{
+				"guess": g, "classes": s, "configs": len(configs),
+				"v_total": vTotal, "unit": int64(u),
+			})
+		}
+	}
 
 	// removalCost computes the §4 COST(C, C') for processor p moving to
 	// cfg: cheapest large jobs per over-full class plus the density-
@@ -312,6 +339,10 @@ func solveAt(in *instance.Instance, g int64, delta float64, opts Options) ([]int
 			cfgCost[ci] = removalCost(p, &configs[ci])
 		}
 		next := make(map[string]entry, len(frontier))
+		// generated counts transitions surviving the capacity and class
+		// checks; pruned counts the rejected ones. Local ints so the
+		// disabled path pays nothing beyond the increments.
+		var generated, pruned int64
 		for key, e := range frontier {
 			for i := 0; i < s; i++ {
 				alloc[i] = int(key[i])
@@ -321,6 +352,7 @@ func solveAt(in *instance.Instance, g int64, delta float64, opts Options) ([]int
 				cfg := &configs[ci]
 				nu := used + cfg.v
 				if nu > vTotal {
+					pruned++
 					continue
 				}
 				bad := false
@@ -332,13 +364,26 @@ func solveAt(in *instance.Instance, g int64, delta float64, opts Options) ([]int
 					}
 				}
 				if bad {
+					pruned++
 					continue
 				}
+				generated++
 				nk := encode(nalloc, nu)
 				tot := e.cost + cfgCost[ci]
 				if old, exists := next[nk]; !exists || tot < old.cost {
 					next[nk] = entry{cost: tot, cfgIdx: ci, prevKey: key}
 				}
+			}
+		}
+		if opts.Obs != nil {
+			opts.Obs.Count("ptas.dp_generated", generated)
+			opts.Obs.Count("ptas.dp_pruned", pruned)
+			opts.Obs.Observe("ptas.dp_states", int64(len(next)))
+			if opts.Obs.Tracing() {
+				opts.Obs.Emit("dp_layer", obs.Fields{
+					"guess": g, "proc": p, "frontier_in": len(frontier),
+					"generated": generated, "pruned": pruned, "kept": len(next),
+				})
 			}
 		}
 		if len(next) == 0 {

@@ -1,9 +1,32 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/obs"
 )
+
+// Export is the machine-readable run bundle: the per-policy results of
+// one or more simulations plus, when instrumentation was enabled, the
+// frozen obs metrics snapshot of the run (counters, histograms with
+// quantiles) and the build-info stamp carried inside it.
+type Export struct {
+	Runs    []Metrics     `json:"runs"`
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// WriteJSON writes runs and an optional metrics snapshot as one JSON
+// document, the machine-readable counterpart of WriteSeriesCSV.
+func WriteJSON(w io.Writer, snap *obs.Snapshot, runs ...Metrics) error {
+	if len(runs) == 0 {
+		return fmt.Errorf("sim: no runs to export")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Export{Runs: runs, Metrics: snap})
+}
 
 // WriteSeriesCSV writes one or more runs' makespan series as CSV with a
 // step column, for external plotting of E9-style figures. All series

@@ -2,8 +2,11 @@ package sim
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestWriteSeriesCSV(t *testing.T) {
@@ -34,6 +37,47 @@ func TestWriteSeriesCSVErrors(t *testing.T) {
 	b := Metrics{Policy: "b", Series: []int64{1, 2}}
 	if err := WriteSeriesCSV(&buf, a, b); err == nil {
 		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err == nil {
+		t.Fatal("no runs accepted")
+	}
+
+	c := cfg(4)
+	sink := obs.New()
+	c.Obs = sink
+	m, err := Run(c, PolicyGreedy{Obs: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := sink.Snapshot()
+	buf.Reset()
+	if err := WriteJSON(&buf, &snap, m); err != nil {
+		t.Fatal(err)
+	}
+	var ex Export
+	if err := json.Unmarshal(buf.Bytes(), &ex); err != nil {
+		t.Fatalf("export not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(ex.Runs) != 1 || ex.Runs[0].Policy != m.Policy {
+		t.Fatalf("runs round-trip: %+v", ex.Runs)
+	}
+	if len(ex.Runs[0].Series) != len(m.Series) {
+		t.Fatalf("series length %d, want %d", len(ex.Runs[0].Series), len(m.Series))
+	}
+	if ex.Metrics == nil || ex.Metrics.Histograms["sim.step_makespan"].Count == 0 {
+		t.Fatalf("metrics snapshot missing sim.step_makespan: %+v", ex.Metrics)
+	}
+	// No metrics attached: the metrics key must be omitted entirely.
+	buf.Reset()
+	if err := WriteJSON(&buf, nil, m); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"metrics"`) {
+		t.Fatalf("nil snapshot still exported:\n%s", buf.String())
 	}
 }
 

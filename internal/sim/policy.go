@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/instance"
+	"repro/internal/obs"
 )
 
 // PolicyTriggered wraps M-PARTITION with a hysteresis trigger: it only
@@ -17,6 +18,8 @@ type PolicyTriggered struct {
 	// Trigger is the imbalance factor above which a rebalance runs
 	// (default 1.3).
 	Trigger float64
+	// Obs threads solver instrumentation through every invocation.
+	Obs *obs.Sink
 }
 
 // Name implements Policy.
@@ -38,5 +41,5 @@ func (p PolicyTriggered) Rebalance(in *instance.Instance, k int) instance.Soluti
 	if avg <= 0 || float64(in.InitialMakespan()) <= trigger*avg {
 		return instance.NewSolution(in, in.Assign)
 	}
-	return core.MPartition(in, k, core.IncrementalScan)
+	return core.MPartitionObs(in, k, core.IncrementalScan, p.Obs)
 }

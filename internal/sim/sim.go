@@ -10,10 +10,12 @@ package sim
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/greedy"
 	"repro/internal/instance"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -34,39 +36,41 @@ func (PolicyNone) Rebalance(in *instance.Instance, _ int) instance.Solution {
 	return instance.NewSolution(in, in.Assign)
 }
 
-// PolicyGreedy applies the §2 GREEDY algorithm each round.
-type PolicyGreedy struct{}
+// PolicyGreedy applies the §2 GREEDY algorithm each round. A non-nil
+// Obs threads solver instrumentation through every invocation.
+type PolicyGreedy struct{ Obs *obs.Sink }
 
 // Name implements Policy.
 func (PolicyGreedy) Name() string { return "greedy" }
 
 // Rebalance implements Policy.
-func (PolicyGreedy) Rebalance(in *instance.Instance, k int) instance.Solution {
-	return greedy.Rebalance(in, k, greedy.OrderLargestFirst)
+func (p PolicyGreedy) Rebalance(in *instance.Instance, k int) instance.Solution {
+	return greedy.RebalanceObs(in, k, greedy.OrderLargestFirst, p.Obs)
 }
 
 // PolicyMPartition applies the §3.1 M-PARTITION algorithm each round.
-type PolicyMPartition struct{}
+// A non-nil Obs threads solver instrumentation through every invocation.
+type PolicyMPartition struct{ Obs *obs.Sink }
 
 // Name implements Policy.
 func (PolicyMPartition) Name() string { return "mpartition" }
 
 // Rebalance implements Policy.
-func (PolicyMPartition) Rebalance(in *instance.Instance, k int) instance.Solution {
-	return core.MPartition(in, k, core.BinarySearch)
+func (p PolicyMPartition) Rebalance(in *instance.Instance, k int) instance.Solution {
+	return core.MPartitionObs(in, k, core.BinarySearch, p.Obs)
 }
 
 // PolicyFull repacks every site from scratch each round (GREEDY with an
 // unlimited move budget, i.e. an LPT repack) — the upper envelope on
 // achievable balance, at maximal migration cost.
-type PolicyFull struct{}
+type PolicyFull struct{ Obs *obs.Sink }
 
 // Name implements Policy.
 func (PolicyFull) Name() string { return "full" }
 
 // Rebalance implements Policy.
-func (PolicyFull) Rebalance(in *instance.Instance, _ int) instance.Solution {
-	return greedy.Rebalance(in, in.N(), greedy.OrderLargestFirst)
+func (p PolicyFull) Rebalance(in *instance.Instance, _ int) instance.Solution {
+	return greedy.RebalanceObs(in, in.N(), greedy.OrderLargestFirst, p.Obs)
 }
 
 // Config describes a farm simulation.
@@ -81,6 +85,10 @@ type Config struct {
 	FlashFactor    float64 // flash crowd load multiplier
 	MaxLoad        int64   // per-site load cap (default 1e6)
 	Seed           uint64
+	// Obs receives per-round trace events (round: step, makespan, moves,
+	// policy latency) and the sim.* metrics; nil disables instrumentation.
+	// The traffic trace itself is unaffected, so runs stay reproducible.
+	Obs *obs.Sink
 }
 
 func (c *Config) defaults() error {
@@ -104,14 +112,14 @@ func (c *Config) defaults() error {
 
 // Metrics summarizes one run.
 type Metrics struct {
-	Policy       string
-	PeakMakespan int64
-	MeanMakespan float64
+	Policy       string  `json:"policy"`
+	PeakMakespan int64   `json:"peakMakespan"`
+	MeanMakespan float64 `json:"meanMakespan"`
 	// MeanImbalance is the mean of makespan divided by the flat average
 	// load (1.0 is perfect balance).
-	MeanImbalance float64
-	TotalMoves    int
-	Series        []int64 // makespan after each step
+	MeanImbalance float64 `json:"meanImbalance"`
+	TotalMoves    int     `json:"totalMoves"`
+	Series        []int64 `json:"series"` // makespan after each step
 }
 
 // Run simulates the farm under the policy. Identical Config (including
@@ -155,10 +163,22 @@ func Run(cfg Config, policy Policy) (Metrics, error) {
 			loads[i] = l
 		}
 
+		rebalanced := false
+		var roundMoves int
+		var policyNs int64
 		if step%cfg.RebalanceEvery == 0 {
 			in := instance.MustNew(cfg.Servers, loads, nil, assign)
+			var start time.Time
+			if cfg.Obs != nil {
+				start = time.Now()
+			}
 			sol := policy.Rebalance(in, cfg.MovesPerRound)
+			if cfg.Obs != nil {
+				policyNs = time.Since(start).Nanoseconds()
+			}
 			met.TotalMoves += sol.Moves
+			roundMoves = sol.Moves
+			rebalanced = true
 			copy(assign, sol.Assign)
 		}
 
@@ -181,6 +201,21 @@ func Run(cfg Config, policy Policy) (Metrics, error) {
 		met.Series = append(met.Series, ms)
 		sumMs += float64(ms)
 		sumImb += float64(ms) * float64(cfg.Servers) / float64(total)
+
+		if cfg.Obs != nil {
+			cfg.Obs.Observe("sim.step_makespan", ms)
+			if rebalanced {
+				cfg.Obs.Count("sim.rounds", 1)
+				cfg.Obs.Count("sim.moves", int64(roundMoves))
+				cfg.Obs.Observe("sim.policy_ns", policyNs)
+				if cfg.Obs.Tracing() {
+					cfg.Obs.Emit("round", obs.Fields{
+						"policy": met.Policy, "step": step, "makespan": ms,
+						"moves": roundMoves, "policy_ns": policyNs,
+					})
+				}
+			}
+		}
 	}
 	met.MeanMakespan = sumMs / float64(cfg.Steps)
 	met.MeanImbalance = sumImb / float64(cfg.Steps)

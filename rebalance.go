@@ -24,11 +24,14 @@
 package rebalance
 
 import (
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/gap"
 	"repro/internal/greedy"
 	"repro/internal/instance"
+	"repro/internal/obs"
 	"repro/internal/ptas"
 	"repro/internal/verify"
 )
@@ -128,6 +131,55 @@ func ExactBudget(in *Instance, budget int64) (Solution, error) {
 // makespan at most 2·OPT(budget).
 func GAPBaseline(in *Instance, budget int64) (Solution, error) {
 	return gap.Rebalance(in, budget)
+}
+
+// Observability (see internal/obs and DESIGN.md §"Observability"): a
+// Sink collects named counters/gauges/histograms and optionally streams
+// structured events through a Tracer; pass it to the *Obs solver
+// variants. A nil Sink disables instrumentation at the cost of one nil
+// check per probe.
+type (
+	// Sink bundles a metric registry with an optional tracer.
+	Sink = obs.Sink
+	// Tracer receives structured solver events.
+	Tracer = obs.Tracer
+	// Snapshot is a frozen, JSON-serializable view of a Sink's metrics.
+	Snapshot = obs.Snapshot
+)
+
+// NewSink returns a metrics-only observability sink.
+func NewSink() *Sink { return obs.New() }
+
+// NewTracingSink returns a sink that also streams JSON Lines events to
+// w (one object per event; see DESIGN.md for the event taxonomy). Call
+// TracerErr on the returned tracer after the run to surface write
+// errors.
+func NewTracingSink(w io.Writer) (*Sink, *obs.JSONLTracer) {
+	tr := obs.NewJSONL(w)
+	return obs.NewTracing(tr), tr
+}
+
+// GreedyObs is Greedy with observability.
+func GreedyObs(in *Instance, k int, sink *Sink) Solution {
+	return greedy.RebalanceObs(in, k, greedy.OrderLargestFirst, sink)
+}
+
+// PartitionObs is Partition with observability: every PARTITION probe
+// of the search emits probe_start/removal/probe_result events and
+// updates the core.* metrics.
+func PartitionObs(in *Instance, k int, sink *Sink) Solution {
+	return core.MPartitionObs(in, k, core.BinarySearch, sink)
+}
+
+// PartitionBudgetObs is PartitionBudget with observability.
+func PartitionBudgetObs(in *Instance, budget int64, sink *Sink) Solution {
+	return core.PartitionBudgetObs(in, budget, core.BudgetOptions{}, sink)
+}
+
+// GAPBaselineObs is GAPBaseline with observability (gap.* and lp.*
+// metrics, gap_target and lp_solve events).
+func GAPBaselineObs(in *Instance, budget int64, sink *Sink) (Solution, error) {
+	return gap.RebalanceObs(in, budget, sink)
 }
 
 // Check independently verifies a solution against its instance,

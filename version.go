@@ -1,0 +1,49 @@
+package rebalance
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// version is computed once; build info is immutable for a process.
+var versionOnce = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "rebalance (no build info)"
+	}
+	v := bi.Main.Version
+	if v == "" {
+		v = "(devel)"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			if len(s.Value) >= 12 {
+				rev = s.Value[:12]
+			} else {
+				rev = s.Value
+			}
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	// Pseudo-versions already embed the revision; only append it (and
+	// the dirty marker) when the module version does not carry it.
+	if rev != "" && !strings.Contains(v, rev) {
+		return fmt.Sprintf("rebalance %s %s%s %s", v, rev, dirty, bi.GoVersion)
+	}
+	if dirty != "" && !strings.Contains(v, dirty) {
+		v += dirty
+	}
+	return fmt.Sprintf("rebalance %s %s", v, bi.GoVersion)
+})
+
+// Version returns the build-info string stamped into trace headers,
+// metrics summaries and -version output: module version, VCS revision
+// when embedded, and the Go toolchain version.
+func Version() string { return versionOnce() }
