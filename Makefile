@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet bench check clean
+.PHONY: build test short race vet bench bench-json ci check clean
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,21 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-json runs the benchmark suite and records the parsed results —
+# plus the goos/goarch/gomaxprocs header that makes the parallel numbers
+# interpretable — in BENCH.json.
+bench-json:
+	$(GO) test -bench=. -benchmem -run=^$$ . | $(GO) run ./cmd/benchjson -json BENCH.json
+
+# ci is the single gate: static checks, the full suite, and the race
+# detector over the concurrency-bearing packages (the worker pool and
+# the shared metric sinks; a full -race sweep is the slower `race`).
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/par ./internal/obs
 
 check: vet test race
 

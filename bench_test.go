@@ -61,11 +61,13 @@ func BenchmarkE3Scaling(b *testing.B) {
 		})
 		k := n / 10
 		b.Run(fmt.Sprintf("greedy/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				greedy.Rebalance(in, k, greedy.OrderLargestFirst)
 			}
 		})
 		b.Run(fmt.Sprintf("mpartition/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				core.MPartition(in, k, core.BinarySearch)
 			}
@@ -259,6 +261,26 @@ func BenchmarkE12Frontier(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Frontier(in, ks)
+	}
+}
+
+// Worker scaling of the frontier sweep: the same k-sweep at pool sizes
+// 1/2/4/8. On a multi-core box the workers=8 line should approach the
+// core count in speedup over workers=1; on a single-core box (compare
+// the recorded gomaxprocs) the lines collapse and only measure pool
+// overhead. Results are byte-identical at every worker count.
+func BenchmarkFrontierWorkers(b *testing.B) {
+	in := workload.Generate(workload.Config{
+		N: 2000, M: 16, Sizes: workload.SizeZipf, Placement: workload.PlaceSkewed, Seed: 12,
+	})
+	ks := []int{0, 5, 10, 25, 50, 100, 200, 400, 800, 1200, 1600, 2000}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				FrontierOpts(in, ks, FrontierOptions{Workers: w})
+			}
+		})
 	}
 }
 

@@ -1,0 +1,74 @@
+// Command benchjson converts `go test -bench -benchmem` text output
+// into a machine-readable JSON snapshot (BENCH.json in this repo). It
+// reads benchmark result lines from stdin, echoes the input to stdout
+// unchanged (so it can sit in a pipeline without hiding the run), and
+// writes the parsed records plus an environment header to the file
+// named by -json.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' . | benchjson -json BENCH.json
+//
+// Each record carries the benchmark name, the workers=N sub-benchmark
+// parameter when present (the worker-scaling benchmarks encode the pool
+// size there), iterations, ns/op, and — when -benchmem was on — B/op
+// and allocs/op. The header records goos, goarch, gomaxprocs, and the
+// timestamp, without which cross-machine comparisons of the parallel
+// benchmarks are meaningless.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/benchjson"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("json", "", "write the parsed benchmark snapshot to this file (required)")
+	flag.Parse()
+	if *out == "" {
+		log.Fatal("-json FILE is required")
+	}
+
+	snap := benchjson.Snapshot{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if rec, ok := benchjson.ParseLine(line); ok {
+			snap.Benchmarks = append(snap.Benchmarks, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		log.Fatal("no benchmark result lines on stdin (did the bench run fail?)")
+	}
+
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d benchmark records to %s", len(snap.Benchmarks), *out)
+}

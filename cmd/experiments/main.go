@@ -4,11 +4,15 @@
 //
 // Usage:
 //
-//	experiments [-only E1,E5] [-list] [-parallel]
+//	experiments [-only E1,E5] [-list] [-workers N]
 //	experiments -only E9 -trace e9.jsonl -metrics -debug-addr localhost:6060
 //
-// -parallel runs the experiments concurrently (output order preserved);
-// leave it off when recording timing-sensitive tables (E3, E11).
+// -workers N bounds the worker pool (internal/par) that fans the
+// experiments out and is also handed to the internally parallel
+// surfaces (the E9 policy comparison, the E15 adversary hunt). The
+// default is runtime.GOMAXPROCS(0); table contents are identical at
+// every worker count, but wall-clock columns (E3, E7, E11) are
+// distorted by concurrency — use -workers 1 when recording those.
 //
 // Observability: -trace FILE streams the solvers' structured JSONL
 // events, -metrics prints the aggregated metric summary to stderr after
@@ -18,19 +22,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"runtime"
 	"strings"
-	"sync"
 	"time"
 
 	"repro"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/stats"
 )
 
@@ -39,7 +45,8 @@ func main() {
 	log.SetPrefix("experiments: ")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
-	parallel := flag.Bool("parallel", false, "run experiments concurrently (distorts timing tables)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"worker pool size for the experiment fan-out (1 = sequential; timing tables want 1)")
 	traceFile := flag.String("trace", "", "write a JSONL event trace to this file")
 	metrics := flag.Bool("metrics", false, "print an end-of-run metrics summary to stderr")
 	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address during the run")
@@ -106,28 +113,19 @@ func main() {
 		os.Exit(1)
 	}
 
+	experiments.SetWorkers(*workers)
 	type result struct {
 		tab     *stats.Table
 		elapsed time.Duration
 	}
 	results := make([]result, len(chosen))
-	if *parallel {
-		var wg sync.WaitGroup
-		for i := range chosen {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				start := time.Now()
-				results[i] = result{tab: chosen[i].Run(), elapsed: time.Since(start)}
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		for i := range chosen {
-			start := time.Now()
-			results[i] = result{tab: chosen[i].Run(), elapsed: time.Since(start)}
-		}
-	}
+	// One pool drives the fan-out; -workers 1 degenerates to the
+	// sequential in-order loop. Output order is preserved either way.
+	_ = par.Do(context.Background(), len(chosen), *workers, func(i int) error {
+		start := time.Now()
+		results[i] = result{tab: chosen[i].Run(), elapsed: time.Since(start)}
+		return nil
+	})
 
 	for i, e := range chosen {
 		fmt.Printf("## %s — %s\n\n", e.ID, e.Title)

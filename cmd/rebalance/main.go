@@ -15,8 +15,10 @@
 // Algorithms: greedy, mpartition, budget, ptas, exact, gap, lpt,
 // multifit, hs-ptas, constrained, conflict, frontier.
 // greedy/mpartition/exact/constrained take -k; budget/ptas/gap take
-// -budget; ptas/hs-ptas take -eps. Passing a flag the chosen algorithm
-// does not consume is an error, not a silent no-op.
+// -budget; ptas/hs-ptas take -eps; ptas/frontier take -workers (worker
+// pool size, default runtime.GOMAXPROCS(0); results are identical at
+// every worker count). Passing a flag the chosen algorithm does not
+// consume is an error, not a silent no-op.
 //
 // Observability: -trace FILE streams structured JSONL events (probe
 // targets, removals, DP layers, LP pivots — see DESIGN.md
@@ -33,6 +35,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -53,12 +56,12 @@ var algFlags = map[string]map[string]bool{
 	"constrained": {"k": true},
 	"budget":      {"budget": true},
 	"gap":         {"budget": true},
-	"ptas":        {"budget": true, "eps": true},
+	"ptas":        {"budget": true, "eps": true, "workers": true},
 	"hs-ptas":     {"eps": true},
 	"lpt":         {},
 	"multifit":    {},
 	"conflict":    {},
-	"frontier":    {},
+	"frontier":    {"workers": true},
 }
 
 // validateFlags rejects explicitly-set algorithm tuning flags that the
@@ -69,7 +72,7 @@ func validateFlags(alg string, set map[string]bool) error {
 		return fmt.Errorf("unknown algorithm %q", alg)
 	}
 	var bad []string
-	for _, name := range []string{"k", "budget", "eps"} {
+	for _, name := range []string{"k", "budget", "eps", "workers"} {
 		if set[name] && !accepted[name] {
 			bad = append(bad, "-"+name)
 		}
@@ -97,6 +100,8 @@ func main() {
 	k := flag.Int("k", 0, "move budget (greedy, mpartition, exact, constrained)")
 	budget := flag.Int64("budget", 0, "relocation cost budget (budget, ptas, gap)")
 	eps := flag.Float64("eps", 1.0, "approximation parameter (ptas, hs-ptas)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"worker pool size for parallel surfaces (frontier sweep, ptas guess ladder); 1 = sequential")
 	show := flag.Bool("show", false, "print the resulting assignment")
 	traceFile := flag.String("trace", "", "write a JSONL event trace to this file")
 	metrics := flag.Bool("metrics", false, "print an end-of-run metrics summary to stderr")
@@ -171,7 +176,7 @@ func main() {
 	case "budget":
 		sol = rebalance.PartitionBudgetObs(in, *budget, sink)
 	case "ptas":
-		sol, err = rebalance.PTAS(in, *budget, rebalance.PTASOptions{Eps: *eps, Obs: sink})
+		sol, err = rebalance.PTAS(in, *budget, rebalance.PTASOptions{Eps: *eps, Obs: sink, Workers: *workers})
 	case "exact":
 		sol, err = rebalance.Exact(in, *k)
 	case "gap":
@@ -192,7 +197,7 @@ func main() {
 		ci := &rebalance.ConflictInstance{Base: in, Conflicts: ext.Conflicts}
 		sol, err = rebalance.ConflictMinMakespan(ci)
 	case "frontier":
-		runFrontier(in, sink)
+		runFrontier(in, sink, *workers)
 		finishObs(sink, tracer, *metrics)
 		return
 	default:
@@ -241,8 +246,9 @@ func finishObs(sink *obs.Sink, tracer *obs.JSONLTracer, metrics bool) {
 	}
 }
 
-// runFrontier prints the makespan-vs-k tradeoff for doubling budgets.
-func runFrontier(in *rebalance.Instance, sink *obs.Sink) {
+// runFrontier prints the makespan-vs-k tradeoff for doubling budgets,
+// sweeping the k values on up to workers goroutines.
+func runFrontier(in *rebalance.Instance, sink *obs.Sink, workers int) {
 	var ks []int
 	for k := 0; k <= in.N(); {
 		ks = append(ks, k)
@@ -254,7 +260,7 @@ func runFrontier(in *rebalance.Instance, sink *obs.Sink) {
 	}
 	fmt.Printf("instance: %s\n", in)
 	fmt.Printf("%8s %12s %8s %14s\n", "k", "makespan", "moves", "vs lower bound")
-	for _, pt := range rebalance.FrontierObs(in, ks, sink) {
+	for _, pt := range rebalance.FrontierOpts(in, ks, rebalance.FrontierOptions{Workers: workers, Obs: sink}) {
 		fmt.Printf("%8d %12d %8d %14.3f\n",
 			pt.K, pt.Makespan, pt.Moves, float64(pt.Makespan)/float64(in.LowerBound()))
 	}

@@ -1,11 +1,11 @@
 package rebalance
 
 import (
-	"runtime"
-	"sync"
+	"context"
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/par"
 )
 
 // FrontierPoint is one point of the makespan-vs-moves tradeoff curve.
@@ -15,13 +15,25 @@ type FrontierPoint struct {
 	Moves    int   // moves actually used (≤ K)
 }
 
+// FrontierOptions tunes a frontier sweep.
+type FrontierOptions struct {
+	// Workers bounds the concurrency of the sweep: each budget is an
+	// independent M-PARTITION run, scheduled on the internal/par pool.
+	// ≤ 0 means runtime.GOMAXPROCS(0); 1 forces the sequential path.
+	// The returned points are identical at every worker count.
+	Workers int
+	// Obs threads an observability sink through every run; nil disables
+	// instrumentation.
+	Obs *obs.Sink
+}
+
 // Frontier computes the paper's central tradeoff — the best achievable
 // makespan as the move budget k varies — by running M-PARTITION at each
-// requested budget. Budgets are processed concurrently on up to
-// GOMAXPROCS workers (each run is independent and read-only on the
-// instance); results are returned in the order of ks.
+// requested budget on up to GOMAXPROCS workers (each run is independent
+// and read-only on the instance). Results are returned in the order of
+// ks regardless of scheduling.
 func Frontier(in *Instance, ks []int) []FrontierPoint {
-	return FrontierObs(in, ks, nil)
+	return FrontierOpts(in, ks, FrontierOptions{})
 }
 
 // FrontierObs is Frontier with an observability sink threaded into each
@@ -30,30 +42,19 @@ func Frontier(in *Instance, ks []int) []FrontierPoint {
 // so a trace interleaves events from different budgets; correlate them
 // by the k field on search_result events.
 func FrontierObs(in *Instance, ks []int, sink *obs.Sink) []FrontierPoint {
+	return FrontierOpts(in, ks, FrontierOptions{Obs: sink})
+}
+
+// FrontierOpts is Frontier with explicit options (worker bound,
+// observability).
+func FrontierOpts(in *Instance, ks []int, opts FrontierOptions) []FrontierPoint {
 	points := make([]FrontierPoint, len(ks))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(ks) {
-		workers = len(ks)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				sol := core.MPartitionObs(in, ks[i], core.IncrementalScan, sink)
-				points[i] = FrontierPoint{K: ks[i], Makespan: sol.Makespan, Moves: sol.Moves}
-			}
-		}()
-	}
-	for i := range ks {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	// The error is always nil: runs cannot fail and the context never
+	// fires. Panics from a run propagate to the caller via the pool.
+	_ = par.Do(context.Background(), len(ks), opts.Workers, func(i int) error {
+		sol := core.MPartitionObs(in, ks[i], core.IncrementalScan, opts.Obs)
+		points[i] = FrontierPoint{K: ks[i], Makespan: sol.Makespan, Moves: sol.Moves}
+		return nil
+	})
 	return points
 }

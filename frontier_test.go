@@ -50,6 +50,29 @@ func TestFrontierMatchesSequentialRuns(t *testing.T) {
 	}
 }
 
+// TestFrontierWorkersEquivalence pins FrontierOptions.Workers'
+// determinism contract: every pool size yields deep-equal points in ks
+// order — each k is an independent solve landed at its own index, so
+// scheduling cannot reorder or perturb the curve.
+func TestFrontierWorkersEquivalence(t *testing.T) {
+	in := Generate(WorkloadConfig{
+		N: 80, M: 8, Sizes: SizeZipf, Placement: PlaceSkewed, Seed: 13,
+	})
+	ks := []int{0, 1, 2, 5, 10, 20, 40, 80}
+	seq := FrontierOpts(in, ks, FrontierOptions{Workers: 1})
+	for _, w := range []int{0, 2, 4, 8} {
+		got := FrontierOpts(in, ks, FrontierOptions{Workers: w})
+		if len(got) != len(seq) {
+			t.Fatalf("workers=%d: %d points, want %d", w, len(got), len(seq))
+		}
+		for i := range got {
+			if got[i] != seq[i] {
+				t.Fatalf("workers=%d point %d: %+v != sequential %+v", w, i, got[i], seq[i])
+			}
+		}
+	}
+}
+
 func TestFrontierEmpty(t *testing.T) {
 	in := MustNew(2, []int64{1, 2}, nil, []int{0, 1})
 	if pts := Frontier(in, nil); len(pts) != 0 {

@@ -8,10 +8,13 @@
 package adversary
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/greedy"
 	"repro/internal/instance"
+	"repro/internal/par"
 	"repro/internal/workload"
 )
 
@@ -49,6 +52,12 @@ type Config struct {
 	MaxSize int64 // size range (default 12; small ranges create ties)
 	K       int   // move budget (default N/2)
 	Seed    uint64
+	// Workers bounds the concurrency of trial evaluation (≤ 0 means
+	// runtime.GOMAXPROCS(0), 1 forces sequential). Instances are drawn
+	// from one deterministic stream before evaluation and the reduction
+	// keeps the earliest trial among ratio ties, so the hunt's result
+	// is identical at every worker count.
+	Workers int
 }
 
 func (c *Config) defaults() {
@@ -81,22 +90,36 @@ type Worst struct {
 
 // Hunt random-searches for the worst ratio of the target algorithm
 // against the exact optimum. Instances whose exact solve exceeds the
-// limits are skipped.
+// limits are skipped. Trials are drawn from one deterministic stream up
+// front and then scored concurrently on up to cfg.Workers goroutines;
+// the order-restored reduction keeps the earliest trial achieving the
+// maximum ratio, exactly what a sequential scan returns.
 func Hunt(target Target, cfg Config) Worst {
 	cfg.defaults()
 	rng := workload.NewRNG(cfg.Seed)
-	var worst Worst
-	for trial := 0; trial < cfg.Trials; trial++ {
+	trials := make([]*instance.Instance, cfg.Trials)
+	for t := range trials {
 		sizes := make([]int64, cfg.N)
 		assign := make([]int, cfg.N)
 		for i := range sizes {
 			sizes[i] = 1 + rng.Int63n(cfg.MaxSize)
 			assign[i] = rng.Intn(cfg.M)
 		}
-		in := instance.MustNew(cfg.M, sizes, nil, assign)
+		trials[t] = instance.MustNew(cfg.M, sizes, nil, assign)
+	}
+
+	type score struct {
+		ok       bool
+		makespan int64
+		opt      int64
+		ratio    float64
+	}
+	// The error is always nil: a skipped trial is data, not a failure.
+	scores, _ := par.Map(context.Background(), cfg.Trials, cfg.Workers, func(t int) (score, error) {
+		in := trials[t]
 		opt, err := exact.Solve(in, cfg.K, exact.Limits{})
 		if err != nil || opt.Makespan == 0 {
-			continue
+			return score{}, nil
 		}
 		var ms int64
 		switch target {
@@ -107,9 +130,13 @@ func Hunt(target Target, cfg Config) Worst {
 		case TargetMPartition:
 			ms = core.MPartition(in, cfg.K, core.IncrementalScan).Makespan
 		}
-		ratio := float64(ms) / float64(opt.Makespan)
-		if ratio > worst.Ratio {
-			worst = Worst{Instance: in, K: cfg.K, Makespan: ms, Opt: opt.Makespan, Ratio: ratio}
+		return score{ok: true, makespan: ms, opt: opt.Makespan, ratio: float64(ms) / float64(opt.Makespan)}, nil
+	})
+
+	var worst Worst
+	for t, sc := range scores {
+		if sc.ok && sc.ratio > worst.Ratio {
+			worst = Worst{Instance: trials[t], K: cfg.K, Makespan: sc.makespan, Opt: sc.opt, Ratio: sc.ratio}
 		}
 	}
 	return worst

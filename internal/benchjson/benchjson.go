@@ -1,0 +1,92 @@
+// Package benchjson parses the text output of `go test -bench
+// -benchmem` into structured records. cmd/benchjson uses it to emit the
+// repo's BENCH.json snapshot; keeping the parser in a package makes the
+// line format testable without driving the CLI.
+package benchjson
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Record is one parsed benchmark result line.
+type Record struct {
+	// Name is the full benchmark name including sub-benchmark path,
+	// with the trailing -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the benchmark name (the -N at
+	// the end); 1 when the name carries no suffix.
+	Procs int `json:"procs"`
+	// Workers is the worker pool size parsed from a workers=N
+	// sub-benchmark component, or 0 when the benchmark has none.
+	Workers int `json:"workers,omitempty"`
+	// Iters is the measured iteration count.
+	Iters int64 `json:"iters"`
+	// NsPerOp is the wall-clock cost per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present when -benchmem was on.
+	BytesPerOp  int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is the full BENCH.json document: the environment header that
+// makes the numbers interpretable plus every parsed record.
+type Snapshot struct {
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Timestamp  string   `json:"timestamp"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+// ParseLine parses one benchmark result line
+// ("BenchmarkName-8  1000  123 ns/op  456 B/op  7 allocs/op"). The
+// second return is false for every other line go test prints (goos
+// headers, PASS, sub-test logs), which callers simply skip.
+func ParseLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Record{}, false
+	}
+	rec := Record{Name: fields[0], Procs: 1}
+	if i := strings.LastIndex(fields[0], "-"); i > 0 {
+		if p, err := strconv.Atoi(fields[0][i+1:]); err == nil && p > 0 {
+			rec.Name, rec.Procs = fields[0][:i], p
+		}
+	}
+	for _, part := range strings.Split(rec.Name, "/") {
+		if v, ok := strings.CutPrefix(part, "workers="); ok {
+			if w, err := strconv.Atoi(v); err == nil {
+				rec.Workers = w
+			}
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	rec.Iters = iters
+
+	// The remainder is value/unit pairs; unknown units (MB/s, custom
+	// metrics) are ignored rather than rejected.
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Record{}, false
+			}
+			rec.NsPerOp, sawNs = f, true
+		case "B/op":
+			rec.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			rec.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	if !sawNs {
+		return Record{}, false
+	}
+	return rec, true
+}

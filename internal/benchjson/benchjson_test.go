@@ -1,0 +1,62 @@
+package benchjson
+
+import "testing"
+
+func TestParseLineFull(t *testing.T) {
+	rec, ok := ParseLine("BenchmarkE2PartitionRatio-8   \t    5000\t    245678 ns/op\t   12345 B/op\t     678 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	want := Record{
+		Name: "BenchmarkE2PartitionRatio", Procs: 8, Iters: 5000,
+		NsPerOp: 245678, BytesPerOp: 12345, AllocsPerOp: 678,
+	}
+	if rec != want {
+		t.Fatalf("got %+v, want %+v", rec, want)
+	}
+}
+
+func TestParseLineWorkersSubBench(t *testing.T) {
+	rec, ok := ParseLine("BenchmarkFrontierWorkers/workers=4-8 \t 100\t 1234567.5 ns/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if rec.Name != "BenchmarkFrontierWorkers/workers=4" || rec.Procs != 8 || rec.Workers != 4 {
+		t.Fatalf("got %+v", rec)
+	}
+	if rec.NsPerOp != 1234567.5 || rec.Iters != 100 {
+		t.Fatalf("got %+v", rec)
+	}
+	if rec.BytesPerOp != 0 || rec.AllocsPerOp != 0 {
+		t.Fatalf("benchmem fields should be zero: %+v", rec)
+	}
+}
+
+func TestParseLineNoProcsSuffix(t *testing.T) {
+	rec, ok := ParseLine("BenchmarkThing 	 200	 999 ns/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if rec.Name != "BenchmarkThing" || rec.Procs != 1 {
+		t.Fatalf("got %+v", rec)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: repro",
+		"PASS",
+		"ok  \trepro\t12.345s",
+		"cpu: some cpu model",
+		"BenchmarkBroken-8 notanumber 12 ns/op",
+		"BenchmarkNoNs-8 100 55 B/op",
+		"--- BENCH: BenchmarkX-8",
+	} {
+		if rec, ok := ParseLine(line); ok {
+			t.Errorf("line %q parsed as %+v, want rejection", line, rec)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/workload"
+)
+
+// ladderReference recomputes the threshold ladder the pre-optimization
+// way: every candidate from every family goes through a map with a
+// range filter, no early breaks, then the in-range keys are sorted.
+// thresholdLadder must return exactly this set — the early breaks and
+// the append-sort-dedup pipeline are allowed to change cost, never
+// content.
+func ladderReference(in *instance.Instance, lo, hi int64) []int64 {
+	set := map[int64]bool{lo: true, hi: true}
+	add := func(v int64) {
+		if v >= lo && v <= hi {
+			set[v] = true
+		}
+	}
+	byProc := instance.JobsOn(in.M, in.Assign)
+	for _, list := range byProc {
+		sort.Slice(list, func(x, y int) bool { return in.Jobs[list[x]].Size > in.Jobs[list[y]].Size })
+		var total int64
+		for _, j := range list {
+			total += in.Jobs[j].Size
+			add(2 * in.Jobs[j].Size)
+		}
+		rem := total
+		add(rem)
+		for _, j := range list {
+			rem -= in.Jobs[j].Size
+			add(rem)
+		}
+		suffix := make([]int64, len(list)+1)
+		for i := len(list) - 1; i >= 0; i-- {
+			suffix[i] = suffix[i+1] + in.Jobs[list[i]].Size
+		}
+		for t := 0; t <= len(list); t++ {
+			rem := suffix[t]
+			add(2 * rem)
+			for r := t; r < len(list); r++ {
+				rem -= in.Jobs[list[r]].Size
+				add(2 * rem)
+			}
+		}
+	}
+	out := make([]int64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(x, y int) bool { return out[x] < out[y] })
+	return out
+}
+
+func TestThresholdLadderMatchesReference(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		in := workload.Generate(workload.Config{
+			N: 40, M: 5, MaxSize: 200, Sizes: workload.SizeZipf,
+			Placement: workload.PlaceSkewed, Seed: seed,
+		})
+		lb, im := in.LowerBound(), in.InitialMakespan()
+		ranges := [][2]int64{
+			{lb, im},           // the real search window
+			{0, 2 * im},        // everything in range
+			{im / 2, im/2 + 1}, // nearly empty window
+			{im, im},           // degenerate lo == hi
+		}
+		for _, r := range ranges {
+			got := thresholdLadder(in, r[0], r[1])
+			want := ladderReference(in, r[0], r[1])
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed=%d [%d,%d]: ladder has %d rungs, reference %d\ngot  %v\nwant %v",
+					seed, r[0], r[1], len(got), len(want), got, want)
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i] <= got[i-1] {
+					t.Fatalf("seed=%d: ladder not strictly increasing at %d: %v", seed, i, got)
+				}
+			}
+		}
+	}
+}

@@ -131,11 +131,24 @@ func (m SearchMode) String() string {
 // the per-processor remaining-total sums governing b_i, and the
 // per-regime doubled remaining-small sums governing a_i; lo itself is
 // included since behaviour is constant between consecutive thresholds.
+//
+// Complexity: the a_i family enumerates every (cutoff t, strip count r)
+// pair, so a processor holding n_i jobs contributes Θ(n_i²) candidates
+// — the ladder is an O(n²) superset and a full ThresholdScan costs
+// O(n² log n) time in the worst case (one O(n log n)-ish PARTITION
+// evaluation per rung after the O(n² log n²) sort here). That is why
+// ThresholdScan is only the cross-check oracle for the other modes.
+// Materialization is capped at the in-range set: every generator below
+// is monotone decreasing, so candidates are appended into one
+// preallocated slice only while they can still land in [lo, hi] and
+// each generator breaks out as soon as its values fall below lo —
+// out-of-range candidates are never stored, hashed, or iterated.
 func thresholdLadder(in *instance.Instance, lo, hi int64) []int64 {
-	set := map[int64]bool{lo: true, hi: true}
+	out := make([]int64, 0, 4*in.N()+2*in.M+2)
+	out = append(out, lo, hi)
 	add := func(v int64) {
 		if v >= lo && v <= hi {
-			set[v] = true
+			out = append(out, v)
 		}
 	}
 	byProc := instance.JobsOn(in.M, in.Assign)
@@ -144,36 +157,58 @@ func thresholdLadder(in *instance.Instance, lo, hi int64) []int64 {
 		var total int64
 		for _, j := range list {
 			total += in.Jobs[j].Size
-			add(2 * in.Jobs[j].Size) // L_T breakpoints
+		}
+		// L_T breakpoints 2·p_j: sizes are sorted decreasing, so stop
+		// once the doubled size drops below lo.
+		for _, j := range list {
+			v := 2 * in.Jobs[j].Size
+			if v < lo {
+				break
+			}
+			add(v)
 		}
 		// b_i breakpoints: remaining totals after stripping the r
-		// largest jobs.
+		// largest jobs — strictly decreasing in r.
 		rem := total
 		add(rem)
 		for _, j := range list {
 			rem -= in.Jobs[j].Size
+			if rem < lo {
+				break
+			}
 			add(rem)
 		}
 		// a_i breakpoints: for each large/small cutoff position t (jobs
 		// before t are large in some regime), the doubled remaining
-		// small sums after stripping the r largest smalls.
+		// small sums after stripping the r largest smalls. suffix[t] is
+		// decreasing in t, and each inner walk decreases in r, so both
+		// loops break at the lo boundary.
 		suffix := make([]int64, len(list)+1)
 		for i := len(list) - 1; i >= 0; i-- {
 			suffix[i] = suffix[i+1] + in.Jobs[list[i]].Size
 		}
 		for t := 0; t <= len(list); t++ {
 			rem := suffix[t]
+			if 2*rem < lo {
+				break
+			}
 			add(2 * rem)
 			for r := t; r < len(list); r++ {
 				rem -= in.Jobs[list[r]].Size
+				if 2*rem < lo {
+					break
+				}
 				add(2 * rem)
 			}
 		}
 	}
-	out := make([]int64, 0, len(set))
-	for v := range set {
-		out = append(out, v)
-	}
 	sort.Slice(out, func(x, y int) bool { return out[x] < out[y] })
-	return out
+	// In-place dedup of the sorted candidates.
+	uniq := out[:1]
+	for _, v := range out[1:] {
+		if v != uniq[len(uniq)-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	return uniq
 }

@@ -46,6 +46,14 @@ type Result struct {
 // decreasing size. M-PARTITION probes O(log C) targets, so hoisting the
 // O(n log n) sort out of the probe is the difference between
 // O(n log n + n log C) and O(n log n · log C).
+//
+// A solver also owns the per-probe scratch buffers, so repeated probes
+// (the bisection and incremental-scan loops) reuse the same backing
+// arrays instead of reallocating them: after the first probe the only
+// allocations left are the parts of Result that escape to the caller
+// (Selected and the Solution's copied assignment). A solver is confined
+// to a single goroutine; the parallel surfaces build one solver per
+// M-PARTITION call, so the scratch is never shared.
 type solver struct {
 	in     *instance.Instance
 	byProc [][]int // per processor, job IDs sorted by decreasing size
@@ -58,6 +66,18 @@ type solver struct {
 	probesOK      *obs.Counter
 	removalsTotal *obs.Counter
 	probeRemovals *obs.Histogram
+
+	// Per-probe scratch, reused across probes of the same solver.
+	states       []procState
+	assign       []int   // working assignment, reset from in.Assign each probe
+	order        []int   // Step 3 processor ordering
+	selected     []bool  // Step 3 selection flags
+	freeSlots    []int   // selected large-free processors
+	removedLarge []int   // removal lists (Step 1/3/4)
+	removedSmall []int
+	loads        []int64 // Step 6 running loads
+	removed      []bool  // job-indexed removed-small membership (Step 6)
+	heapItems    []int   // Step 6 min-load heap backing array
 }
 
 func newSolver(in *instance.Instance, sink *obs.Sink) *solver {
@@ -77,6 +97,13 @@ func newSolver(in *instance.Instance, sink *obs.Sink) *solver {
 			return list[x] < list[y]
 		})
 	}
+	s.states = make([]procState, in.M)
+	s.assign = make([]int, in.N())
+	s.order = make([]int, in.M)
+	s.selected = make([]bool, in.M)
+	s.loads = make([]int64, in.M)
+	s.removed = make([]bool, in.N())
+	s.heapItems = make([]int, 0, in.M)
 	return s
 }
 
@@ -145,11 +172,12 @@ func (s *solver) runProbe(target int64) Result {
 	}
 
 	jobs := in.Jobs
-	states := make([]procState, in.M)
+	states := s.states
 	totalLarge := 0
 	for p := 0; p < in.M; p++ {
 		st := &states[p]
 		st.jobs = s.byProc[p]
+		st.largeCnt, st.a, st.b, st.c = 0, 0, 0, 0
 		// Large jobs are a prefix of the size-sorted list.
 		for _, j := range st.jobs {
 			if 2*jobs[j].Size > target {
@@ -166,9 +194,10 @@ func (s *solver) runProbe(target int64) Result {
 		return res
 	}
 
-	assign := append([]int(nil), in.Assign...)
+	assign := s.assign
+	copy(assign, in.Assign)
 	removals := 0
-	var removedLarge, removedSmall []int
+	removedLarge, removedSmall := s.removedLarge[:0], s.removedSmall[:0]
 
 	// Step 1: from each processor keep only its smallest large job (the
 	// last of the large prefix).
@@ -223,7 +252,7 @@ func (s *solver) runProbe(target int64) Result {
 	// Step 3: pick the L_T processors with the smallest c_i, preferring
 	// large-holding processors on ties, and strip their a_i largest
 	// small jobs.
-	order := make([]int, in.M)
+	order := s.order
 	for p := range order {
 		order[p] = p
 	}
@@ -238,13 +267,16 @@ func (s *solver) runProbe(target int64) Result {
 		}
 		return order[x] < order[y]
 	})
-	selected := make([]bool, in.M)
+	selected := s.selected
+	for p := range selected {
+		selected[p] = false
+	}
 	for i := 0; i < totalLarge; i++ {
 		selected[order[i]] = true
 	}
 	// Selected large-free processors, in index order, will receive the
 	// relocated large jobs.
-	var freeSlots []int
+	freeSlots := s.freeSlots[:0]
 	for p := 0; p < in.M; p++ {
 		if selected[p] {
 			res.Selected = append(res.Selected, p)
@@ -294,6 +326,10 @@ func (s *solver) runProbe(target int64) Result {
 		}
 	}
 
+	// The appended scratch slices may have grown; retain the capacity
+	// for the next probe before any return path.
+	s.removedLarge, s.removedSmall, s.freeSlots = removedLarge, removedSmall, freeSlots
+
 	// Steps 4–5: place every displaced large job (from Steps 1 and 4) on
 	// its own large-free selected processor. The counting argument in
 	// DESIGN.md guarantees capacity; if violated the target is rejected.
@@ -306,8 +342,11 @@ func (s *solver) runProbe(target int64) Result {
 
 	// Step 6: greedy placement of the removed small jobs, largest first,
 	// each onto the current minimum-load processor.
-	loads := make([]int64, in.M)
-	removedSet := make(map[int]bool, len(removedSmall))
+	loads := s.loads
+	for p := range loads {
+		loads[p] = 0
+	}
+	removedSet := s.removed // all-false between probes
 	for _, j := range removedSmall {
 		removedSet[j] = true
 	}
@@ -316,13 +355,16 @@ func (s *solver) runProbe(target int64) Result {
 			loads[p] += jobs[j].Size
 		}
 	}
+	for _, j := range removedSmall {
+		removedSet[j] = false
+	}
 	sort.Slice(removedSmall, func(x, y int) bool {
 		if jobs[removedSmall[x]].Size != jobs[removedSmall[y]].Size {
 			return jobs[removedSmall[x]].Size > jobs[removedSmall[y]].Size
 		}
 		return removedSmall[x] < removedSmall[y]
 	})
-	h := &minLoadHeap{loads: loads}
+	h := &minLoadHeap{items: s.heapItems[:0], loads: loads}
 	for p := 0; p < in.M; p++ {
 		h.items = append(h.items, p)
 	}
@@ -333,6 +375,7 @@ func (s *solver) runProbe(target int64) Result {
 		loads[p] += jobs[j].Size
 		heap.Fix(h, 0)
 	}
+	s.heapItems = h.items
 
 	res.Feasible = true
 	res.Removals = removals

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/lpbound"
 	"repro/internal/movemin"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/ptas"
 	"repro/internal/scheduling"
 	"repro/internal/sim"
@@ -39,6 +41,34 @@ var sink *obs.Sink
 // experiment runs into s. Call before Run; not safe concurrently with a
 // running experiment.
 func SetObs(s *obs.Sink) { sink = s }
+
+// workers is the worker budget handed to the internally parallel
+// surfaces (the E9 policy comparison, the E15 adversary hunt). The
+// default 1 keeps each experiment sequential, which is what the
+// timing-sensitive tables want.
+var workers = 1
+
+// SetWorkers sets the worker budget of subsequent experiment runs;
+// n ≤ 0 means runtime.GOMAXPROCS(0). Call before Run; not safe
+// concurrently with a running experiment. Tables are identical at
+// every worker count (the parallel surfaces are determinized), except
+// for wall-clock columns, which parallelism distorts.
+func SetWorkers(n int) { workers = n }
+
+// RunAll executes the given experiments on up to w workers (≤ 0 means
+// runtime.GOMAXPROCS(0), 1 runs them sequentially on the calling
+// goroutine) and returns their tables in input order regardless of
+// scheduling.
+func RunAll(exps []Experiment, w int) []*stats.Table {
+	tables := make([]*stats.Table, len(exps))
+	// The error is always nil: experiments cannot fail and the context
+	// never fires. Panics propagate to the caller via the pool.
+	_ = par.Do(context.Background(), len(exps), w, func(i int) error {
+		tables[i] = exps[i].Run()
+		return nil
+	})
+	return tables
+}
 
 // Experiment is one entry of the suite.
 type Experiment struct {
@@ -365,11 +395,12 @@ func E9() *stats.Table {
 		Sites: 200, Servers: 10, Steps: 300, RebalanceEvery: 5,
 		MovesPerRound: 8, FlashProb: 0.15, Seed: 42, Obs: sink,
 	}
-	for _, p := range []sim.Policy{sim.PolicyNone{}, sim.PolicyGreedy{Obs: sink}, sim.PolicyMPartition{Obs: sink}, sim.PolicyTriggered{Trigger: 1.5, Obs: sink}, sim.PolicyFull{Obs: sink}} {
-		m, err := sim.Run(cfg, p)
-		if err != nil {
-			panic(err)
-		}
+	policies := []sim.Policy{sim.PolicyNone{}, sim.PolicyGreedy{Obs: sink}, sim.PolicyMPartition{Obs: sink}, sim.PolicyTriggered{Trigger: 1.5, Obs: sink}, sim.PolicyFull{Obs: sink}}
+	runs, err := sim.Compare(cfg, policies, workers)
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range runs {
 		t.Addf(m.Policy, m.PeakMakespan, m.MeanMakespan, m.MeanImbalance, m.TotalMoves)
 	}
 	return t
@@ -523,7 +554,7 @@ func E15() *stats.Table {
 	for _, target := range []adversary.Target{
 		adversary.TargetGreedy, adversary.TargetGreedyLPT, adversary.TargetMPartition,
 	} {
-		cfg := adversary.Config{Trials: 600, N: 8, M: 3, Seed: 2003}
+		cfg := adversary.Config{Trials: 600, N: 8, M: 3, Seed: 2003, Workers: workers}
 		w := adversary.Hunt(target, cfg)
 		desc := "-"
 		if w.Instance != nil {

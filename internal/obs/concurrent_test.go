@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSinkConcurrentEmit pins the concurrency contract the parallel
+// solve paths rely on: one Sink shared by many workers must accept
+// interleaved Count/Observe/Emit traffic — while another goroutine
+// snapshots — without races (run under -race) or lost updates.
+func TestSinkConcurrentEmit(t *testing.T) {
+	tr := &CollectTracer{}
+	sink := NewTracing(tr)
+
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sink.Count("shared.counter", 1)
+				sink.Count(fmt.Sprintf("worker%d.counter", w), 1)
+				sink.Observe("shared.histogram", int64(i))
+				sink.Emit("tick", Fields{"worker": w, "i": i})
+			}
+		}(w)
+	}
+	// Concurrent readers: snapshots taken mid-flight must be internally
+	// consistent, not torn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			snap := sink.Snapshot()
+			if c := snap.Counters["shared.counter"]; c < 0 || c > workers*perWorker {
+				t.Errorf("torn snapshot: shared.counter = %d", c)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	snap := sink.Snapshot()
+	if got := snap.Counters["shared.counter"]; got != workers*perWorker {
+		t.Fatalf("shared.counter = %d, want %d (lost updates)", got, workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		name := fmt.Sprintf("worker%d.counter", w)
+		if got := snap.Counters[name]; got != perWorker {
+			t.Fatalf("%s = %d, want %d", name, got, perWorker)
+		}
+	}
+	if h, ok := snap.Histograms["shared.histogram"]; !ok || h.Count != workers*perWorker {
+		t.Fatalf("shared.histogram count = %+v, want %d observations", h, workers*perWorker)
+	}
+	if got := len(tr.Events()); got != workers*perWorker {
+		t.Fatalf("tracer captured %d events, want %d", got, workers*perWorker)
+	}
+}

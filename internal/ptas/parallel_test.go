@@ -1,0 +1,43 @@
+package ptas
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestSolveParallelMatchesSequential pins the determinism contract of
+// Options.Workers: the accepted guess — and therefore the returned
+// solution and error — must be identical at every worker count, across
+// instances where the budget is generous, tight, and infeasible.
+func TestSolveParallelMatchesSequential(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		in := workload.Generate(workload.Config{
+			N: 10, M: 3, MaxSize: 30, Sizes: workload.SizeUniform,
+			Placement: workload.PlaceRandom, Seed: seed,
+		})
+		for _, budget := range []int64{0, 2, in.TotalSize() / 4, in.TotalSize()} {
+			for _, eps := range []float64{1.5, 1.0} {
+				seq, seqErr := Solve(in, budget, Options{Eps: eps, Workers: 1})
+				for _, w := range []int{2, 4, 8} {
+					par, parErr := Solve(in, budget, Options{Eps: eps, Workers: w})
+					name := fmt.Sprintf("seed=%d budget=%d eps=%g workers=%d", seed, budget, eps, w)
+					if (seqErr == nil) != (parErr == nil) {
+						t.Fatalf("%s: sequential err %v, parallel err %v", name, seqErr, parErr)
+					}
+					if seqErr != nil {
+						if seqErr.Error() != parErr.Error() {
+							t.Fatalf("%s: sequential err %q, parallel err %q", name, seqErr, parErr)
+						}
+						continue
+					}
+					if !reflect.DeepEqual(seq, par) {
+						t.Fatalf("%s: sequential %+v, parallel %+v", name, seq, par)
+					}
+				}
+			}
+		}
+	}
+}

@@ -29,13 +29,17 @@ package ptas
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/instance"
 	"repro/internal/obs"
+	"repro/internal/par"
 )
 
 // ErrTooLarge is returned when the DP exceeds the configured limits.
@@ -50,6 +54,15 @@ type Options struct {
 	MaxStates int
 	// MaxJobs rejects larger instances outright (default 64).
 	MaxJobs int
+	// Workers bounds the concurrency of the guess-ladder evaluation:
+	// each guess runs its DP independently on the internal/par pool.
+	// ≤ 0 means runtime.GOMAXPROCS(0); 1 forces the sequential path.
+	// The accepted guess — and therefore the returned solution — is
+	// identical at every worker count; only the ptas.* metric totals
+	// and trace interleaving vary, because the parallel path may probe
+	// guesses beyond the accepted one (and skips guesses a cheaper
+	// accepted guess makes moot).
+	Workers int
 	// Obs receives guess / dp_setup / dp_layer trace events and the
 	// ptas.* metrics; nil disables instrumentation.
 	Obs *obs.Sink
@@ -96,8 +109,7 @@ func Solve(in *instance.Instance, budget int64, opts Options) (instance.Solution
 	}
 	guesses = append(guesses, hi)
 
-	var lastErr error
-	for _, g := range guesses {
+	eval := func(g int64) ([]int, int64, error) {
 		assign, cost, err := solveAt(in, g, delta, opts)
 		if opts.Obs != nil {
 			opts.Obs.Count("ptas.guesses", 1)
@@ -112,31 +124,108 @@ func Solve(in *instance.Instance, budget int64, opts Options) (instance.Solution
 				opts.Obs.Emit("guess", f)
 			}
 		}
-		if err != nil {
-			if errors.Is(err, errInfeasibleGuess) {
+		return assign, cost, err
+	}
+	// accept finalizes a within-budget guess, preferring the do-nothing
+	// fallback when the reconstructed assignment is no better.
+	accept := func(assign []int) (instance.Solution, error) {
+		sol := instance.NewSolution(in, assign)
+		if sol.Makespan >= hi {
+			return instance.NewSolution(in, in.Assign), nil
+		}
+		return sol, nil
+	}
+
+	if par.Workers(opts.Workers, len(guesses)) == 1 {
+		// Sequential path: walk the ladder upward and stop at the first
+		// guess whose DP cost fits the budget.
+		var lastErr error
+		for _, g := range guesses {
+			assign, cost, err := eval(g)
+			if err != nil {
+				if errors.Is(err, errInfeasibleGuess) {
+					continue
+				}
+				lastErr = err
 				continue
 			}
-			lastErr = err
+			if cost <= budget {
+				return accept(assign)
+			}
+		}
+		if lastErr != nil {
+			return instance.Solution{}, lastErr
+		}
+		// The hi guess keeping everything in place costs 0 ≤ budget, so
+		// this is unreachable; kept as a defensive fallback.
+		return instance.NewSolution(in, in.Assign), nil
+	}
+
+	// Parallel path: evaluate the ladder on the worker pool, then reduce
+	// in ladder order, which reproduces the sequential acceptance
+	// exactly. `lowest` tracks the best accepted index so far, letting
+	// workers skip guesses the sequential path would never reach; a skip
+	// can only occur above an accepted index, so the reduce below never
+	// reads a skipped slot.
+	type outcome struct {
+		assign []int
+		cost   int64
+		err    error
+		done   bool // evaluated (not skipped)
+	}
+	outcomes := make([]outcome, len(guesses))
+	var lowest atomic.Int64
+	lowest.Store(int64(len(guesses)))
+	// The error is always nil (eval failures are data, not task errors)
+	// and the context never fires; task panics propagate via the pool.
+	_ = par.Do(context.Background(), len(guesses), opts.Workers, func(i int) error {
+		if int64(i) > lowest.Load() {
+			return nil
+		}
+		assign, cost, err := eval(guesses[i])
+		outcomes[i] = outcome{assign: assign, cost: cost, err: err, done: true}
+		if err == nil && cost <= budget {
+			for {
+				cur := lowest.Load()
+				if int64(i) >= cur || lowest.CompareAndSwap(cur, int64(i)) {
+					break
+				}
+			}
+		}
+		return nil
+	})
+	var lastErr error
+	for i := range outcomes {
+		o := &outcomes[i]
+		if !o.done {
 			continue
 		}
-		if cost <= budget {
-			sol := instance.NewSolution(in, assign)
-			// Guard: the fallback below can only help.
-			if sol.Makespan >= hi {
-				return instance.NewSolution(in, in.Assign), nil
+		if o.err != nil {
+			if errors.Is(o.err, errInfeasibleGuess) {
+				continue
 			}
-			return sol, nil
+			lastErr = o.err
+			continue
+		}
+		if o.cost <= budget {
+			return accept(o.assign)
 		}
 	}
 	if lastErr != nil {
 		return instance.Solution{}, lastErr
 	}
-	// The hi guess keeping everything in place costs 0 ≤ budget, so this
-	// is unreachable; kept as a defensive fallback.
 	return instance.NewSolution(in, in.Assign), nil
 }
 
 var errInfeasibleGuess = errors.New("ptas: guess below a lower bound")
+
+// dpCostPool recycles the per-DP-layer cost slices (one COST(C, C')
+// value per configuration, recomputed for every processor of every
+// guess). The guess ladder runs the DP O(log OPT / δ) times and the
+// parallel path runs several DPs at once, so pooling these — the
+// largest repeatedly-allocated slices in the scheme — keeps the
+// steady-state allocation rate flat in the number of guesses.
+var dpCostPool = sync.Pool{New: func() any { return new([]int64) }}
 
 // config is one W-feasible processor configuration.
 type config struct {
@@ -332,9 +421,15 @@ func solveAt(in *instance.Instance, g int64, delta float64, opts Options) ([]int
 
 	alloc := make([]int, s)
 	nalloc := make([]int, s)
+	costBuf := dpCostPool.Get().(*[]int64)
+	defer dpCostPool.Put(costBuf)
+	if cap(*costBuf) < len(configs) {
+		*costBuf = make([]int64, len(configs))
+	}
 	for p := 0; p < m; p++ {
-		// Per-processor config costs are state-independent.
-		cfgCost := make([]int64, len(configs))
+		// Per-processor config costs are state-independent; the buffer
+		// is pooled across layers, guesses and concurrent solves.
+		cfgCost := (*costBuf)[:len(configs)]
 		for ci := range configs {
 			cfgCost[ci] = removalCost(p, &configs[ci])
 		}
@@ -370,7 +465,15 @@ func solveAt(in *instance.Instance, g int64, delta float64, opts Options) ([]int
 				generated++
 				nk := encode(nalloc, nu)
 				tot := e.cost + cfgCost[ci]
-				if old, exists := next[nk]; !exists || tot < old.cost {
+				// Min by (cost, cfgIdx, prevKey): the tie-breaks make the
+				// recorded back-pointer — and therefore the reconstructed
+				// assignment — canonical even though the frontier is
+				// iterated in randomized map order. Without them, equal-
+				// cost solutions would flip between runs and the
+				// Workers>1 path could not promise byte-identical results.
+				if old, exists := next[nk]; !exists || tot < old.cost ||
+					(tot == old.cost && (ci < old.cfgIdx ||
+						(ci == old.cfgIdx && key < old.prevKey))) {
 					next[nk] = entry{cost: tot, cfgIdx: ci, prevKey: key}
 				}
 			}

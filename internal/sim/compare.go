@@ -1,0 +1,22 @@
+package sim
+
+import (
+	"context"
+
+	"repro/internal/par"
+)
+
+// Compare runs the same configuration under each policy — the E9-style
+// head-to-head — on up to workers goroutines (≤ 0 means
+// runtime.GOMAXPROCS(0), 1 forces sequential). Every run draws its own
+// traffic trace from cfg.Seed, so each policy sees identical load
+// evolution and the returned metrics, in policy order, are identical to
+// sequential Run calls at every worker count. A shared cfg.Obs sink is
+// safe (all obs primitives are concurrency-safe) but its per-round
+// trace events interleave across policies; correlate them by the policy
+// field.
+func Compare(cfg Config, policies []Policy, workers int) ([]Metrics, error) {
+	return par.Map(context.Background(), len(policies), workers, func(i int) (Metrics, error) {
+		return Run(cfg, policies[i])
+	})
+}

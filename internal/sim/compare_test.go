@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCompareMatchesSequentialRuns pins Compare's contract: the metrics
+// slice, in policy order, is exactly what a sequential loop of Run
+// calls produces — every policy redraws the same traffic from cfg.Seed,
+// so concurrency cannot leak into the results.
+func TestCompareMatchesSequentialRuns(t *testing.T) {
+	cfg := Config{
+		Sites: 60, Servers: 5, Steps: 30, RebalanceEvery: 5,
+		MovesPerRound: 4, FlashProb: 0.2, Seed: 17,
+	}
+	policies := []Policy{PolicyNone{}, PolicyGreedy{}, PolicyMPartition{}, PolicyFull{}}
+
+	want := make([]Metrics, len(policies))
+	for i, p := range policies {
+		m, err := Run(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = m
+	}
+	for _, w := range []int{1, 2, 4} {
+		got, err := Compare(cfg, policies, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: Compare diverged from sequential runs\ngot  %+v\nwant %+v", w, got, want)
+		}
+	}
+}
+
+// TestCompareError surfaces a bad config as an error, not a panic.
+func TestCompareError(t *testing.T) {
+	if _, err := Compare(Config{}, []Policy{PolicyNone{}}, 2); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
