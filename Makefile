@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race vet bench bench-json ci check clean
+.PHONY: build test short race race-fast vet bench bench-json ci check clean
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,12 @@ short:
 
 race:
 	$(GO) test -race ./...
+
+# race-fast covers only the concurrency-bearing packages (the worker
+# pool and the shared metric sinks) — the quick pre-push check; `ci`
+# and `race` sweep the whole module.
+race-fast:
+	$(GO) test -race ./internal/par ./internal/obs
 
 vet:
 	$(GO) vet ./...
@@ -27,13 +33,14 @@ bench-json:
 	$(GO) test -bench=. -benchmem -run=^$$ . | $(GO) run ./cmd/benchjson -json BENCH.json
 
 # ci is the single gate: static checks, the full suite, and the race
-# detector over the concurrency-bearing packages (the worker pool and
-# the shared metric sinks; a full -race sweep is the slower `race`).
+# detector over the whole module — cancellation now threads contexts
+# through every solver's hot loop, so data races can hide anywhere a
+# deadline fires mid-search (`race-fast` is the quick narrow subset).
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/par ./internal/obs
+	$(GO) test -race ./...
 
 check: vet test race
 

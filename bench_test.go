@@ -4,6 +4,8 @@
 package rebalance
 
 import (
+	"context"
+
 	"fmt"
 	"testing"
 
@@ -84,7 +86,7 @@ func BenchmarkE4PTAS(b *testing.B) {
 	for _, eps := range []float64{2.5, 1.5, 1.0} {
 		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := ptas.Solve(in, 3, ptas.Options{Eps: eps}); err != nil {
+				if _, err := ptas.Solve(context.Background(), in, 3, ptas.Options{Eps: eps}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -100,7 +102,7 @@ func BenchmarkE5Comparison(b *testing.B) {
 	const k = 4
 	b.Run("exact", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := exact.Solve(in, k, exact.Limits{}); err != nil {
+			if _, err := exact.Solve(context.Background(), in, k, exact.Limits{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -117,7 +119,7 @@ func BenchmarkE5Comparison(b *testing.B) {
 	})
 	b.Run("ptas", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := ptas.Solve(in, k, ptas.Options{Eps: 1.5}); err != nil {
+			if _, err := ptas.Solve(context.Background(), in, k, ptas.Options{Eps: 1.5}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -171,7 +173,7 @@ func BenchmarkE8MoveMin(b *testing.B) {
 	in, target := movemin.FromPartition([]int64{8, 7, 6, 5, 4})
 	b.Run("exact", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := movemin.Exact(in, target, exact.Limits{}); err != nil {
+			if _, _, err := movemin.Exact(context.Background(), in, target, exact.Limits{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -209,7 +211,7 @@ func BenchmarkE10Reductions(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := constrained.Exact(ci, ci.Base.N(), 0); err != nil {
+			if _, err := constrained.Exact(context.Background(), ci, ci.Base.N(), 0); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -7,18 +7,19 @@
 //	rebalance -alg mpartition -k 10 < instance.json
 //	rebalance -alg budget -budget 500 instance.json
 //	rebalance -alg greedy -k 3 -show instance.json
+//	rebalance -alg exact -k 4 -timeout 30s instance.json
 //	rebalance -alg mpartition -k 10 -trace run.jsonl -metrics instance.json
 //	rebalance -alg constrained -k 5 extended.json
-//	rebalance -alg conflict extended.json
 //	rebalance -alg frontier instance.json
+//	rebalance -list
 //
-// Algorithms: greedy, mpartition, budget, ptas, exact, gap, lpt,
-// multifit, hs-ptas, constrained, conflict, frontier.
-// greedy/mpartition/exact/constrained take -k; budget/ptas/gap take
-// -budget; ptas/hs-ptas take -eps; ptas/frontier take -workers (worker
-// pool size, default runtime.GOMAXPROCS(0); results are identical at
-// every worker count). Passing a flag the chosen algorithm does not
-// consume is an error, not a silent no-op.
+// The algorithm catalog — names, accepted tuning flags, approximation
+// bounds — lives in the solver registry (internal/engine) and is
+// printed by -list; the usage text below is generated from the same
+// registry, so it cannot drift from what dispatch accepts. Passing a
+// flag the chosen algorithm does not consume is an error, not a silent
+// no-op. -timeout bounds any run with a deadline: the solver is
+// cancelled mid-search and the command exits with the context error.
 //
 // Observability: -trace FILE streams structured JSONL events (probe
 // targets, removals, DP layers, LP pivots — see DESIGN.md
@@ -28,6 +29,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -36,88 +38,67 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"runtime"
-	"sort"
 	"strings"
 	"time"
 
 	"repro"
+	"repro/internal/engine"
 	"repro/internal/instance"
 	"repro/internal/obs"
 )
 
-// algFlags says which tuning flags each algorithm consumes; validation
-// rejects explicitly-set flags outside this set so a mistyped
-// combination (e.g. -alg greedy -budget 500) fails loudly instead of
-// silently ignoring the budget.
-var algFlags = map[string]map[string]bool{
-	"greedy":      {"k": true},
-	"mpartition":  {"k": true},
-	"exact":       {"k": true},
-	"constrained": {"k": true},
-	"budget":      {"budget": true},
-	"gap":         {"budget": true},
-	"ptas":        {"budget": true, "eps": true, "workers": true},
-	"hs-ptas":     {"eps": true},
-	"lpt":         {},
-	"multifit":    {},
-	"conflict":    {},
-	"frontier":    {"workers": true},
-}
-
-// validateFlags rejects explicitly-set algorithm tuning flags that the
-// chosen algorithm ignores. set holds the names of flags the user set.
-func validateFlags(alg string, set map[string]bool) error {
-	accepted, ok := algFlags[alg]
-	if !ok {
-		return fmt.Errorf("unknown algorithm %q", alg)
-	}
-	var bad []string
-	for _, name := range []string{"k", "budget", "eps", "workers"} {
-		if set[name] && !accepted[name] {
-			bad = append(bad, "-"+name)
-		}
-	}
-	if len(bad) > 0 {
-		var takes []string
-		for name := range accepted {
-			takes = append(takes, "-"+name)
-		}
-		sort.Strings(takes)
-		hint := "takes no tuning flags"
-		if len(takes) > 0 {
-			hint = "takes " + strings.Join(takes, ", ")
-		}
-		return fmt.Errorf("-alg %s ignores %s (%s %s)", alg, strings.Join(bad, ", "), alg, hint)
-	}
-	return nil
+// flagHelp derives a tuning flag's help text from the registry, so the
+// help string names exactly the algorithms that consume the flag.
+func flagHelp(name, meaning string) string {
+	return fmt.Sprintf("%s (%s)", meaning, strings.Join(engine.ConsumersOf(name), ", "))
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rebalance: ")
 	alg := flag.String("alg", "mpartition",
-		"algorithm: greedy|mpartition|budget|ptas|exact|gap|lpt|multifit|hs-ptas|constrained|conflict|frontier")
-	k := flag.Int("k", 0, "move budget (greedy, mpartition, exact, constrained)")
-	budget := flag.Int64("budget", 0, "relocation cost budget (budget, ptas, gap)")
-	eps := flag.Float64("eps", 1.0, "approximation parameter (ptas, hs-ptas)")
+		"algorithm: "+strings.Join(engine.Names(), "|"))
+	list := flag.Bool("list", false, "print the algorithm catalog and exit")
+	k := flag.Int("k", 0, flagHelp("k", "move budget"))
+	budget := flag.Int64("budget", 0, flagHelp("budget", "relocation cost budget"))
+	eps := flag.Float64("eps", 1.0, flagHelp("eps", "approximation parameter"))
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
-		"worker pool size for parallel surfaces (frontier sweep, ptas guess ladder); 1 = sequential")
+		flagHelp("workers", "worker pool size; 1 = sequential, results identical at every value"))
+	timeout := flag.Duration("timeout", 0,
+		"wall-clock limit for the run; 0 disables (exponential solvers poll it mid-search)")
 	show := flag.Bool("show", false, "print the resulting assignment")
 	traceFile := flag.String("trace", "", "write a JSONL event trace to this file")
 	metrics := flag.Bool("metrics", false, "print an end-of-run metrics summary to stderr")
 	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address during the run")
 	version := flag.Bool("version", false, "print build info and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rebalance [flags] [instance.json]\n")
+		flag.PrintDefaults()
+		fmt.Fprint(flag.CommandLine.Output(), "\n"+engine.UsageText())
+	}
 	flag.Parse()
 
 	if *version {
 		fmt.Println(rebalance.Version())
 		return
 	}
+	if *list {
+		fmt.Print(engine.ListText())
+		return
+	}
 
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	if err := validateFlags(*alg, explicit); err != nil {
+	if err := engine.ValidateFlags(*alg, explicit); err != nil {
 		log.Fatal(err)
+	}
+	spec, _ := engine.Lookup(*alg) // ValidateFlags vouched for the name
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	// Observability: a sink exists whenever any surface asked for it;
@@ -167,42 +148,16 @@ func main() {
 		})
 	}
 
-	var sol rebalance.Solution
-	switch *alg {
-	case "greedy":
-		sol = rebalance.GreedyObs(in, *k, sink)
-	case "mpartition":
-		sol = rebalance.PartitionObs(in, *k, sink)
-	case "budget":
-		sol = rebalance.PartitionBudgetObs(in, *budget, sink)
-	case "ptas":
-		sol, err = rebalance.PTAS(in, *budget, rebalance.PTASOptions{Eps: *eps, Obs: sink, Workers: *workers})
-	case "exact":
-		sol, err = rebalance.Exact(in, *k)
-	case "gap":
-		sol, err = rebalance.GAPBaselineObs(in, *budget, sink)
-	case "lpt":
-		sol = rebalance.ScheduleLPT(in)
-	case "multifit":
-		sol = rebalance.ScheduleMultifit(in)
-	case "hs-ptas":
-		sol = rebalance.SchedulePTAS(in, *eps)
-	case "constrained":
-		ci := &rebalance.ConstrainedInstance{Base: in, Allowed: ext.Allowed}
-		if err := ci.Validate(); err != nil {
-			log.Fatal(err)
-		}
-		sol, err = rebalance.ConstrainedExact(ci, *k)
-	case "conflict":
-		ci := &rebalance.ConflictInstance{Base: in, Conflicts: ext.Conflicts}
-		sol, err = rebalance.ConflictMinMakespan(ci)
-	case "frontier":
-		runFrontier(in, sink, *workers)
+	if spec.Kind == engine.KindSweep {
+		runFrontier(ctx, in, sink, *workers)
 		finishObs(sink, tracer, *metrics)
 		return
-	default:
-		log.Fatalf("unknown algorithm %q", *alg)
 	}
+
+	sol, err := engine.Solve(ctx, *alg, in, engine.Params{
+		K: *k, Budget: *budget, Eps: *eps, Workers: *workers,
+		Obs: sink, Allowed: ext.Allowed, Conflicts: ext.Conflicts,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -248,7 +203,7 @@ func finishObs(sink *obs.Sink, tracer *obs.JSONLTracer, metrics bool) {
 
 // runFrontier prints the makespan-vs-k tradeoff for doubling budgets,
 // sweeping the k values on up to workers goroutines.
-func runFrontier(in *rebalance.Instance, sink *obs.Sink, workers int) {
+func runFrontier(ctx context.Context, in *rebalance.Instance, sink *obs.Sink, workers int) {
 	var ks []int
 	for k := 0; k <= in.N(); {
 		ks = append(ks, k)
@@ -260,7 +215,11 @@ func runFrontier(in *rebalance.Instance, sink *obs.Sink, workers int) {
 	}
 	fmt.Printf("instance: %s\n", in)
 	fmt.Printf("%8s %12s %8s %14s\n", "k", "makespan", "moves", "vs lower bound")
-	for _, pt := range rebalance.FrontierOpts(in, ks, rebalance.FrontierOptions{Workers: workers, Obs: sink}) {
+	points, err := rebalance.FrontierCtx(ctx, in, ks, rebalance.FrontierOptions{Workers: workers, Obs: sink})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range points {
 		fmt.Printf("%8d %12d %8d %14.3f\n",
 			pt.K, pt.Makespan, pt.Moves, float64(pt.Makespan)/float64(in.LowerBound()))
 	}

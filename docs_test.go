@@ -1,0 +1,34 @@
+package rebalance
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestREADMETablesMatchRegistry pins the README's CLI documentation to
+// the solver registry: the flag table and the algorithm table embedded
+// in README.md must byte-for-byte match what internal/engine generates,
+// so registering, renaming, or re-flagging a solver without updating
+// the docs fails CI. Regenerate with the marked tables' generator
+// output (engine.MarkdownFlagTable / engine.MarkdownAlgorithmTable).
+func TestREADMETablesMatchRegistry(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(readme)
+	for _, table := range []struct {
+		name, want string
+	}{
+		{"flag table", engine.MarkdownFlagTable()},
+		{"algorithm table", engine.MarkdownAlgorithmTable()},
+	} {
+		if !strings.Contains(doc, table.want) {
+			t.Errorf("README.md %s is out of sync with the internal/engine registry; regenerate it:\n%s",
+				table.name, table.want)
+		}
+	}
+}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -21,7 +22,7 @@ func main() {
 	fmt.Println("Theorem 5: move minimization encodes PARTITION")
 	for _, weights := range [][]int64{{5, 4, 3, 2}, {7, 1, 1, 1}} {
 		in, target := movemin.FromPartition(weights)
-		k, _, err := movemin.Exact(in, target, exact.Limits{})
+		k, _, err := movemin.Exact(context.Background(), in, target, exact.Limits{})
 		switch {
 		case err == nil:
 			fmt.Printf("  weights %v, target %d: feasible with %d moves (PARTITION: yes)\n", weights, target, k)
@@ -45,7 +46,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sol, err := constrained.Exact(ci, ci.Base.N(), 0)
+		sol, err := constrained.Exact(context.Background(), ci, ci.Base.N(), 0)
 		if err != nil {
 			log.Fatal(err)
 		}

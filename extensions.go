@@ -1,6 +1,8 @@
 package rebalance
 
 import (
+	"context"
+
 	"repro/internal/conflict"
 	"repro/internal/constrained"
 	"repro/internal/core"
@@ -40,7 +42,13 @@ func PartitionWithMode(in *Instance, k int, mode SearchMode) Solution {
 // exponential, small instances only. Theorem 5 shows no polynomial
 // approximation exists.
 func MinMoves(in *Instance, target int64) (int, Solution, error) {
-	return movemin.Exact(in, target, exact.Limits{})
+	return movemin.Exact(context.Background(), in, target, exact.Limits{})
+}
+
+// MinMovesCtx is MinMoves under a cancellable context; the underlying
+// branch and bound polls ctx and returns ctx.Err() promptly.
+func MinMovesCtx(ctx context.Context, in *Instance, target int64) (int, Solution, error) {
+	return movemin.Exact(ctx, in, target, exact.Limits{})
 }
 
 // MinMovesBicriteria is the Lemma 4 positive result: a solution with
@@ -67,7 +75,7 @@ type ConstrainedInstance = constrained.Instance
 // ConstrainedExact solves constrained load rebalancing optimally with
 // at most k moves; exponential, small instances only.
 func ConstrainedExact(ci *ConstrainedInstance, k int) (Solution, error) {
-	return constrained.Exact(ci, k, 0)
+	return constrained.Exact(context.Background(), ci, k, 0)
 }
 
 // ConstrainedGreedy is the LPT heuristic honoring allowed sets.
@@ -95,7 +103,7 @@ func ConflictFeasible(ci *ConflictInstance) ([]int, bool) {
 // ConflictMinMakespan finds the optimal conflict-respecting makespan;
 // exponential, small instances only.
 func ConflictMinMakespan(ci *ConflictInstance) (Solution, error) {
-	return conflict.MinMakespan(ci, 0)
+	return conflict.MinMakespan(context.Background(), ci, 0)
 }
 
 // 3-dimensional matching machinery behind the §5 reductions.

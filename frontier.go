@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/par"
 )
@@ -11,20 +12,35 @@ import (
 // FrontierPoint is one point of the makespan-vs-moves tradeoff curve.
 type FrontierPoint struct {
 	K        int   // move budget
-	Makespan int64 // M-PARTITION makespan at that budget (≤ 1.5·OPT(K))
+	Makespan int64 // solver makespan at that budget (≤ 1.5·OPT(K) for the default)
 	Moves    int   // moves actually used (≤ K)
 }
 
 // FrontierOptions tunes a frontier sweep.
 type FrontierOptions struct {
 	// Workers bounds the concurrency of the sweep: each budget is an
-	// independent M-PARTITION run, scheduled on the internal/par pool.
+	// independent solver run, scheduled on the internal/par pool.
 	// ≤ 0 means runtime.GOMAXPROCS(0); 1 forces the sequential path.
 	// The returned points are identical at every worker count.
 	Workers int
 	// Obs threads an observability sink through every run; nil disables
 	// instrumentation.
 	Obs *obs.Sink
+	// Solver computes the point at one move budget. Nil uses the
+	// default — incremental-scan M-PARTITION, which amortizes the
+	// target search across the ladder of budgets. Use FrontierSolver to
+	// sweep any registered engine solver instead.
+	Solver func(ctx context.Context, in *Instance, k int, sink *obs.Sink) (Solution, error)
+}
+
+// FrontierSolver adapts a registered k-capable engine solver (by name)
+// into a FrontierOptions.Solver, so a sweep can trace any algorithm's
+// tradeoff curve: FrontierCtx(ctx, in, ks, FrontierOptions{Solver:
+// FrontierSolver("greedy")}).
+func FrontierSolver(name string) func(ctx context.Context, in *Instance, k int, sink *obs.Sink) (Solution, error) {
+	return func(ctx context.Context, in *Instance, k int, sink *obs.Sink) (Solution, error) {
+		return engine.Solve(ctx, name, in, engine.Params{K: k, Obs: sink})
+	}
 }
 
 // Frontier computes the paper's central tradeoff — the best achievable
@@ -45,16 +61,37 @@ func FrontierObs(in *Instance, ks []int, sink *obs.Sink) []FrontierPoint {
 	return FrontierOpts(in, ks, FrontierOptions{Obs: sink})
 }
 
-// FrontierOpts is Frontier with explicit options (worker bound,
-// observability).
+// FrontierOpts is Frontier with explicit options. With a background
+// context and the default solver a sweep cannot fail, so the error of
+// FrontierCtx is discarded; callers supplying a fallible custom Solver
+// should call FrontierCtx instead.
 func FrontierOpts(in *Instance, ks []int, opts FrontierOptions) []FrontierPoint {
+	points, _ := FrontierCtx(context.Background(), in, ks, opts)
+	return points
+}
+
+// FrontierCtx runs the sweep under a cancellable context: when ctx
+// fires, in-flight solver runs are interrupted mid-search, pending
+// budgets are skipped, and the first error (ctx.Err() or a custom
+// solver's failure) is returned with nil points.
+func FrontierCtx(ctx context.Context, in *Instance, ks []int, opts FrontierOptions) ([]FrontierPoint, error) {
+	solve := opts.Solver
+	if solve == nil {
+		solve = func(ctx context.Context, in *Instance, k int, sink *obs.Sink) (Solution, error) {
+			return core.MPartitionCtx(ctx, in, k, core.IncrementalScan, sink)
+		}
+	}
 	points := make([]FrontierPoint, len(ks))
-	// The error is always nil: runs cannot fail and the context never
-	// fires. Panics from a run propagate to the caller via the pool.
-	_ = par.Do(context.Background(), len(ks), opts.Workers, func(i int) error {
-		sol := core.MPartitionObs(in, ks[i], core.IncrementalScan, opts.Obs)
+	err := par.Do(ctx, len(ks), opts.Workers, func(i int) error {
+		sol, err := solve(ctx, in, ks[i], opts.Obs)
+		if err != nil {
+			return err
+		}
 		points[i] = FrontierPoint{K: ks[i], Makespan: sol.Makespan, Moves: sol.Moves}
 		return nil
 	})
-	return points
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
 }

@@ -1,6 +1,9 @@
 package rebalance
 
 import (
+	"context"
+	"errors"
+
 	"testing"
 )
 
@@ -94,5 +97,46 @@ func TestFrontierWithinBoundOfExact(t *testing.T) {
 		if 2*pts[i].Makespan > 3*opt.Makespan {
 			t.Fatalf("k=%d: frontier %d > 1.5·OPT (%d)", k, pts[i].Makespan, opt.Makespan)
 		}
+	}
+}
+
+// TestFrontierCtxCanceled pins the sweep's cancellation contract: an
+// already-canceled context aborts the sweep with ctx.Err() and no
+// points.
+func TestFrontierCtxCanceled(t *testing.T) {
+	in := Generate(WorkloadConfig{
+		N: 60, M: 6, Sizes: SizeZipf, Placement: PlaceOneHot, Seed: 5,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pts, err := FrontierCtx(ctx, in, []int{0, 1, 2, 4}, FrontierOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if pts != nil {
+		t.Fatalf("canceled sweep returned points: %v", pts)
+	}
+}
+
+// TestFrontierSolverByName sweeps a different registered algorithm and
+// checks each point against a direct engine dispatch at the same k.
+func TestFrontierSolverByName(t *testing.T) {
+	in := Generate(WorkloadConfig{
+		N: 40, M: 4, Sizes: SizeUniform, Placement: PlaceSkewed, Seed: 9,
+	})
+	ks := []int{0, 3, 7, 15}
+	pts, err := FrontierCtx(context.Background(), in, ks, FrontierOptions{Solver: FrontierSolver("greedy")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range ks {
+		want := Greedy(in, k)
+		if pts[i].Makespan != want.Makespan || pts[i].Moves != want.Moves {
+			t.Fatalf("k=%d: sweep (%d,%d) != direct greedy (%d,%d)",
+				k, pts[i].Makespan, pts[i].Moves, want.Makespan, want.Moves)
+		}
+	}
+	if _, err := FrontierCtx(context.Background(), in, ks, FrontierOptions{Solver: FrontierSolver("nope")}); !errors.Is(err, ErrUnknownSolver) {
+		t.Fatalf("unknown solver name: err = %v, want ErrUnknownSolver", err)
 	}
 }

@@ -9,8 +9,10 @@ package adversary
 
 import (
 	"context"
+	"errors"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/exact"
 	"repro/internal/greedy"
 	"repro/internal/instance"
@@ -58,6 +60,11 @@ type Config struct {
 	// keeps the earliest trial among ratio ties, so the hunt's result
 	// is identical at every worker count.
 	Workers int
+	// Alg, when non-empty, attacks the named engine solver instead of
+	// the built-in Target — any k-capable registry entry can be hunted
+	// without adversary-specific wiring. The Target argument is ignored
+	// (use it only for Bound lookups).
+	Alg string
 }
 
 func (c *Config) defaults() {
@@ -93,8 +100,19 @@ type Worst struct {
 // limits are skipped. Trials are drawn from one deterministic stream up
 // front and then scored concurrently on up to cfg.Workers goroutines;
 // the order-restored reduction keeps the earliest trial achieving the
-// maximum ratio, exactly what a sequential scan returns.
+// maximum ratio, exactly what a sequential scan returns. With a
+// background context the only possible error is a bad cfg.Alg name, in
+// which case every trial is skipped and the zero Worst returns; use
+// HuntCtx to observe errors or bound the hunt with a deadline.
 func Hunt(target Target, cfg Config) Worst {
+	worst, _ := HuntCtx(context.Background(), target, cfg)
+	return worst
+}
+
+// HuntCtx is Hunt under a cancellable context: the exact reference
+// solves and the attacked algorithm both poll ctx, so a deadline
+// interrupts the hunt mid-trial and returns ctx.Err().
+func HuntCtx(ctx context.Context, target Target, cfg Config) (Worst, error) {
 	cfg.defaults()
 	rng := workload.NewRNG(cfg.Seed)
 	trials := make([]*instance.Instance, cfg.Trials)
@@ -114,24 +132,42 @@ func Hunt(target Target, cfg Config) Worst {
 		opt      int64
 		ratio    float64
 	}
-	// The error is always nil: a skipped trial is data, not a failure.
-	scores, _ := par.Map(context.Background(), cfg.Trials, cfg.Workers, func(t int) (score, error) {
+	// A skipped trial (exact solve over its limits, or a solver error)
+	// is data, not a failure; only ctx expiry aborts the hunt.
+	scores, err := par.Map(ctx, cfg.Trials, cfg.Workers, func(t int) (score, error) {
 		in := trials[t]
-		opt, err := exact.Solve(in, cfg.K, exact.Limits{})
+		opt, err := exact.Solve(ctx, in, cfg.K, exact.Limits{})
+		if isCtxErr(err) {
+			return score{}, err
+		}
 		if err != nil || opt.Makespan == 0 {
 			return score{}, nil
 		}
 		var ms int64
-		switch target {
-		case TargetGreedy:
-			ms = greedy.Rebalance(in, cfg.K, greedy.OrderSmallestFirst).Makespan
-		case TargetGreedyLPT:
-			ms = greedy.Rebalance(in, cfg.K, greedy.OrderLargestFirst).Makespan
-		case TargetMPartition:
-			ms = core.MPartition(in, cfg.K, core.IncrementalScan).Makespan
+		if cfg.Alg != "" {
+			sol, err := engine.Solve(ctx, cfg.Alg, in, engine.Params{K: cfg.K})
+			if isCtxErr(err) {
+				return score{}, err
+			}
+			if err != nil {
+				return score{}, nil
+			}
+			ms = sol.Makespan
+		} else {
+			switch target {
+			case TargetGreedy:
+				ms = greedy.Rebalance(in, cfg.K, greedy.OrderSmallestFirst).Makespan
+			case TargetGreedyLPT:
+				ms = greedy.Rebalance(in, cfg.K, greedy.OrderLargestFirst).Makespan
+			case TargetMPartition:
+				ms = core.MPartition(in, cfg.K, core.IncrementalScan).Makespan
+			}
 		}
 		return score{ok: true, makespan: ms, opt: opt.Makespan, ratio: float64(ms) / float64(opt.Makespan)}, nil
 	})
+	if err != nil {
+		return Worst{}, err
+	}
 
 	var worst Worst
 	for t, sc := range scores {
@@ -139,7 +175,11 @@ func Hunt(target Target, cfg Config) Worst {
 			worst = Worst{Instance: trials[t], K: cfg.K, Makespan: sc.makespan, Opt: sc.opt, Ratio: sc.ratio}
 		}
 	}
-	return worst
+	return worst, nil
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Bound returns the proven approximation bound of the target at m

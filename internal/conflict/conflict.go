@@ -8,6 +8,7 @@
 package conflict
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -154,8 +155,10 @@ func Feasible(ci *Instance, maxNodes int64) ([]int, bool) {
 }
 
 // MinMakespan finds the optimal makespan among conflict-respecting
-// assignments (unconstrained moves), or reports infeasibility.
-func MinMakespan(ci *Instance, maxNodes int64) (instance.Solution, error) {
+// assignments (unconstrained moves), or reports infeasibility. The
+// search polls ctx every 4096 expanded nodes and returns ctx.Err() when
+// it fires.
+func MinMakespan(ctx context.Context, ci *Instance, maxNodes int64) (instance.Solution, error) {
 	if maxNodes <= 0 {
 		maxNodes = 20_000_000
 	}
@@ -182,11 +185,18 @@ func MinMakespan(ci *Instance, maxNodes int64) (instance.Solution, error) {
 	best := int64(1) << 62
 	var bestAssign []int
 	var nodes int64
+	var ctxErr error
 	var dfs func(i int, curMax int64) bool
 	dfs = func(i int, curMax int64) bool {
 		nodes++
 		if nodes > maxNodes {
 			return false
+		}
+		if nodes&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				return false
+			}
 		}
 		if curMax >= best {
 			return true
@@ -221,6 +231,9 @@ func MinMakespan(ci *Instance, maxNodes int64) (instance.Solution, error) {
 		return true
 	}
 	if !dfs(0, 0) {
+		if ctxErr != nil {
+			return instance.Solution{}, ctxErr
+		}
 		return instance.Solution{}, errors.New("conflict: search limit exceeded")
 	}
 	if bestAssign == nil {

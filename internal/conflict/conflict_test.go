@@ -1,6 +1,8 @@
 package conflict
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/hardness"
@@ -26,7 +28,7 @@ func TestInfeasibleTriangleOnTwoMachines(t *testing.T) {
 	if _, ok := Feasible(ci, 0); ok {
 		t.Fatal("triangle colored with two machines")
 	}
-	if _, err := MinMakespan(ci, 0); err == nil {
+	if _, err := MinMakespan(context.Background(), ci, 0); err == nil {
 		t.Fatal("MinMakespan found a coloring of a triangle on 2 machines")
 	}
 }
@@ -35,7 +37,7 @@ func TestMinMakespanBalances(t *testing.T) {
 	// 4 unit jobs, no conflicts, 2 machines → makespan 2.
 	base := instance.MustNew(2, []int64{1, 1, 1, 1}, nil, []int{0, 0, 0, 0})
 	ci := &Instance{Base: base}
-	sol, err := MinMakespan(ci, 0)
+	sol, err := MinMakespan(context.Background(), ci, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +51,7 @@ func TestMinMakespanWithConflicts(t *testing.T) {
 	// the 3s apart and the 2s apart: optimum pairs 3+2 on each machine.
 	base := instance.MustNew(2, []int64{3, 3, 2, 2}, nil, []int{0, 0, 0, 0})
 	ci := &Instance{Base: base, Conflicts: [][2]int{{0, 1}, {2, 3}}}
-	sol, err := MinMakespan(ci, 0)
+	sol, err := MinMakespan(context.Background(), ci, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package constrained
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -125,8 +126,10 @@ func FromThreeDM(d *hardness.ThreeDM) (*Instance, int64, error) {
 }
 
 // Exact returns the optimal makespan over assignments respecting the
-// allowed sets and relocating at most k jobs, by branch and bound.
-func Exact(ci *Instance, k int, maxNodes int64) (instance.Solution, error) {
+// allowed sets and relocating at most k jobs, by branch and bound. The
+// search polls ctx every 4096 expanded nodes and returns ctx.Err() when
+// it fires.
+func Exact(ctx context.Context, ci *Instance, k int, maxNodes int64) (instance.Solution, error) {
 	in := ci.Base
 	n := in.N()
 	if maxNodes <= 0 {
@@ -147,11 +150,18 @@ func Exact(ci *Instance, k int, maxNodes int64) (instance.Solution, error) {
 	best := in.InitialMakespan() + 1
 	var bestAssign []int
 	var nodes int64
+	var ctxErr error
 	var dfs func(i int, curMax int64, movesLeft int) bool
 	dfs = func(i int, curMax int64, movesLeft int) bool {
 		nodes++
 		if nodes > maxNodes {
 			return false
+		}
+		if nodes&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				return false
+			}
 		}
 		if curMax >= best {
 			return true
@@ -186,6 +196,9 @@ func Exact(ci *Instance, k int, maxNodes int64) (instance.Solution, error) {
 		return true
 	}
 	if !dfs(0, 0, k) {
+		if ctxErr != nil {
+			return instance.Solution{}, ctxErr
+		}
 		return instance.Solution{}, errors.New("constrained: search limit exceeded")
 	}
 	if bestAssign == nil {

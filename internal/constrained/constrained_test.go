@@ -1,6 +1,8 @@
 package constrained
 
 import (
+	"context"
+
 	"errors"
 	"testing"
 
@@ -63,7 +65,7 @@ func TestTheorem6YesInstances(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		sol, err := Exact(ci, ci.Base.N(), 0)
+		sol, err := Exact(context.Background(), ci, ci.Base.N(), 0)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -89,7 +91,7 @@ func TestTheorem6NoInstance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := Exact(ci, ci.Base.N(), 0)
+	sol, err := Exact(context.Background(), ci, ci.Base.N(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +114,7 @@ func TestUncoveredElementRejected(t *testing.T) {
 func TestExactRespectsMoveBudget(t *testing.T) {
 	base := instance.MustNew(2, []int64{4, 3, 2}, nil, []int{0, 0, 0})
 	ci := &Instance{Base: base, Allowed: [][]int{nil, nil, nil}}
-	sol, err := Exact(ci, 1, 0)
+	sol, err := Exact(context.Background(), ci, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +131,7 @@ func TestExactHonorsAllowedSets(t *testing.T) {
 	// {4,3,2}: job0 fixed on m0; best split {4,2}|{3} = 6 or {4}|{3,2}=5.
 	base := instance.MustNew(2, []int64{4, 3, 2}, nil, []int{0, 0, 0})
 	ci := &Instance{Base: base, Allowed: [][]int{{0}, nil, nil}}
-	sol, err := Exact(ci, 3, 0)
+	sol, err := Exact(context.Background(), ci, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +154,7 @@ func TestGreedyRespectsAllowedAndIsDominatedByExact(t *testing.T) {
 		if err := verify.AllowedSets(ci.Base, g.Assign, ci.Allowed); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		e, err := Exact(ci, ci.Base.N(), 0)
+		e, err := Exact(context.Background(), ci, ci.Base.N(), 0)
 		if err != nil {
 			t.Fatal(err)
 		}

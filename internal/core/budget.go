@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 
 	"repro/internal/instance"
@@ -307,17 +308,27 @@ func PartitionBudget(in *instance.Instance, budget int64, opts BudgetOptions) in
 // PartitionBudgetObs is PartitionBudget with observability; a nil sink
 // is equivalent to PartitionBudget.
 func PartitionBudgetObs(in *instance.Instance, budget int64, opts BudgetOptions, sink *obs.Sink) instance.Solution {
+	// The background context never fires, so the error is always nil.
+	sol, _ := PartitionBudgetCtx(context.Background(), in, budget, opts, sink)
+	return sol
+}
+
+// PartitionBudgetCtx is PartitionBudgetObs with a cancellable context:
+// the bisection polls ctx before every budgeted PARTITION probe (each
+// probe runs up to m knapsack solves) and returns ctx.Err() when the
+// context fires mid-search.
+func PartitionBudgetCtx(ctx context.Context, in *instance.Instance, budget int64, opts BudgetOptions, sink *obs.Sink) (instance.Solution, error) {
 	if budget < 0 {
 		budget = 0
 	}
-	finish := func(sol instance.Solution, target int64) instance.Solution {
+	finish := func(sol instance.Solution, target int64) (instance.Solution, error) {
 		if sink.Tracing() {
 			sink.Emit("search_result", obs.Fields{
 				"budget": budget, "target": target,
 				"makespan": sol.Makespan, "moves": sol.Moves, "cost": sol.MoveCost,
 			})
 		}
-		return sol
+		return sol, nil
 	}
 	feasible := func(v int64) (BudgetResult, bool) {
 		r := PartitionBudgetAtObs(in, v, opts, sink)
@@ -332,6 +343,10 @@ func PartitionBudgetObs(in *instance.Instance, budget int64, opts BudgetOptions,
 		return finish(instance.NewSolution(in, in.Assign), 0)
 	}
 	for lo < hi {
+		// Cancellation point: one knapsack-backed probe per step.
+		if err := ctx.Err(); err != nil {
+			return instance.Solution{}, err
+		}
 		mid := lo + (hi-lo)/2
 		if r, good := feasible(mid); good {
 			best, hi = r, mid

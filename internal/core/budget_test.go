@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 	"testing/quick"
 
@@ -48,7 +50,7 @@ func TestPartitionBudgetGuarantee(t *testing.T) {
 			if _, err := verify.WithinBudget(in, sol.Assign, b); err != nil {
 				t.Fatalf("seed %d B %d: %v", seed, b, err)
 			}
-			opt, err := exact.SolveBudget(in, b, exact.Limits{})
+			opt, err := exact.SolveBudget(context.Background(), in, b, exact.Limits{})
 			if err != nil {
 				t.Fatalf("seed %d B %d: %v", seed, b, err)
 			}
@@ -81,7 +83,7 @@ func TestPartitionBudgetUnitCostsMatchMPartition(t *testing.T) {
 		k := 3
 		a := MPartition(in, k, BinarySearch)
 		b := PartitionBudget(in, int64(k), BudgetOptions{})
-		opt, err := exact.Solve(in, k, exact.Limits{})
+		opt, err := exact.Solve(context.Background(), in, k, exact.Limits{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -108,7 +110,7 @@ func TestPartitionBudgetApproxKnapsackPath(t *testing.T) {
 		if _, err := verify.WithinBudget(in, sol.Assign, b); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		opt, err := exact.SolveBudget(in, b, exact.Limits{})
+		opt, err := exact.SolveBudget(context.Background(), in, b, exact.Limits{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -145,7 +147,7 @@ func TestPartitionBudgetProperty(t *testing.T) {
 		if _, err := verify.WithinBudget(in, sol.Assign, budget); err != nil {
 			return false
 		}
-		opt, err := exact.SolveBudget(in, budget, exact.Limits{})
+		opt, err := exact.SolveBudget(context.Background(), in, budget, exact.Limits{})
 		if err != nil {
 			return true
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/obs"
@@ -142,8 +143,13 @@ func (ic *incrementalScan) moves() (int64, bool) {
 
 // scan walks the thresholds and returns the first PARTITION result
 // using at most k moves, or ok=false if none exists (cannot happen for
-// k ≥ 0, since the initial makespan needs zero moves).
-func (ic *incrementalScan) scan(k int) (Result, bool) {
+// k ≥ 0, since the initial makespan needs zero moves). The walk polls
+// ctx every 256 threshold groups and aborts with ctx.Err() when it
+// fires.
+func (ic *incrementalScan) scan(ctx context.Context, k int) (Result, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, false, err
+	}
 	in := ic.s.in
 	lo, hi := in.LowerBound(), in.InitialMakespan()
 
@@ -204,15 +210,21 @@ func (ic *incrementalScan) scan(k int) (Result, bool) {
 		return r, true
 	}
 	if r, ok := try(lo); ok {
-		return r, true
+		return r, true, nil
 	}
+	var groups int
 	for i := 0; i < len(events); {
+		if groups++; groups&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, false, err
+			}
+		}
 		v := events[i].v
 		for ; i < len(events) && events[i].v == v; i++ {
 			ic.refresh(events[i].proc, v)
 		}
 		if r, ok := try(v); ok {
-			return r, true
+			return r, true, nil
 		}
 	}
 	// The initial makespan itself (zero moves) as the final rung.
@@ -220,7 +232,7 @@ func (ic *incrementalScan) scan(k int) (Result, bool) {
 		ic.refresh(p, hi)
 	}
 	if r, ok := try(hi); ok {
-		return r, true
+		return r, true, nil
 	}
-	return Result{}, false
+	return Result{}, false, nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 	"testing/quick"
 
@@ -78,7 +80,7 @@ func TestIncrementalGuarantee(t *testing.T) {
 			if _, err := verify.WithinMoves(in, sol.Assign, k); err != nil {
 				t.Fatalf("seed %d k %d: %v", seed, k, err)
 			}
-			opt, err := exact.Solve(in, k, exact.Limits{})
+			opt, err := exact.Solve(context.Background(), in, k, exact.Limits{})
 			if err != nil {
 				t.Fatal(err)
 			}

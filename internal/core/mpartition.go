@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/instance"
@@ -46,6 +47,17 @@ func MPartition(in *instance.Instance, k int, mode SearchMode) instance.Solution
 // metrics in sink; the accepted target additionally emits a
 // search_result event. A nil sink is equivalent to MPartition.
 func MPartitionObs(in *instance.Instance, k int, mode SearchMode, sink *obs.Sink) instance.Solution {
+	// The background context never fires, so the error is always nil.
+	sol, _ := MPartitionCtx(context.Background(), in, k, mode, sink)
+	return sol
+}
+
+// MPartitionCtx is MPartitionObs with a cancellable context: the target
+// search polls ctx before every PARTITION probe (binary search and
+// threshold-scan modes) and every batch of incremental-scan thresholds,
+// returning ctx.Err() when the context is cancelled or its deadline
+// expires mid-search.
+func MPartitionCtx(ctx context.Context, in *instance.Instance, k int, mode SearchMode, sink *obs.Sink) (instance.Solution, error) {
 	if k < 0 {
 		k = 0
 	}
@@ -57,14 +69,14 @@ func MPartitionObs(in *instance.Instance, k int, mode SearchMode, sink *obs.Sink
 
 	// finish stamps the accepted target (0 for the do-nothing fallback)
 	// on the returned solution's search_result event.
-	finish := func(sol instance.Solution, target int64) instance.Solution {
+	finish := func(sol instance.Solution, target int64) (instance.Solution, error) {
 		if sink.Tracing() {
 			sink.Emit("search_result", obs.Fields{
 				"k": k, "mode": mode.String(), "target": target,
 				"makespan": sol.Makespan, "moves": sol.Moves,
 			})
 		}
-		return sol
+		return sol, nil
 	}
 
 	lo := in.LowerBound()
@@ -79,19 +91,31 @@ func MPartitionObs(in *instance.Instance, k int, mode SearchMode, sink *obs.Sink
 	switch mode {
 	case ThresholdScan:
 		for _, v := range thresholdLadder(in, lo, hi) {
+			// Cancellation point: one probe per ladder rung.
+			if err := ctx.Err(); err != nil {
+				return instance.Solution{}, err
+			}
 			if r, good := feasible(v); good {
 				best, ok = r, true
 				break
 			}
 		}
 	case IncrementalScan:
-		best, ok = newIncrementalScan(s).scan(k)
+		var err error
+		best, ok, err = newIncrementalScan(s).scan(ctx, k)
+		if err != nil {
+			return instance.Solution{}, err
+		}
 	default:
 		// Invariant: hi is feasible (if it is — verified below), and
 		// whenever lo is raised the value below it was infeasible.
 		if r, good := feasible(hi); good {
 			best, ok = r, true
 			for lo < hi {
+				// Cancellation point: one probe per bisection step.
+				if err := ctx.Err(); err != nil {
+					return instance.Solution{}, err
+				}
 				mid := lo + (hi-lo)/2
 				if r, good := feasible(mid); good {
 					best, hi = r, mid

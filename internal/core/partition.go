@@ -69,11 +69,11 @@ type solver struct {
 
 	// Per-probe scratch, reused across probes of the same solver.
 	states       []procState
-	assign       []int   // working assignment, reset from in.Assign each probe
-	order        []int   // Step 3 processor ordering
-	selected     []bool  // Step 3 selection flags
-	freeSlots    []int   // selected large-free processors
-	removedLarge []int   // removal lists (Step 1/3/4)
+	assign       []int  // working assignment, reset from in.Assign each probe
+	order        []int  // Step 3 processor ordering
+	selected     []bool // Step 3 selection flags
+	freeSlots    []int  // selected large-free processors
+	removedLarge []int  // removal lists (Step 1/3/4)
 	removedSmall []int
 	loads        []int64 // Step 6 running loads
 	removed      []bool  // job-indexed removed-small membership (Step 6)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 	"testing/quick"
 
@@ -81,7 +83,7 @@ func TestMPartitionApproximationGuarantee(t *testing.T) {
 				if _, err := verify.WithinMoves(in, sol.Assign, k); err != nil {
 					t.Fatalf("mode %d seed %d k %d: %v", mode, seed, k, err)
 				}
-				opt, err := exact.Solve(in, k, exact.Limits{})
+				opt, err := exact.Solve(context.Background(), in, k, exact.Limits{})
 				if err != nil {
 					t.Fatalf("mode %d seed %d k %d: %v", mode, seed, k, err)
 				}
@@ -203,7 +205,7 @@ func TestMPartitionProperty(t *testing.T) {
 		if _, err := verify.WithinMoves(in, sol.Assign, k); err != nil {
 			return false
 		}
-		opt, err := exact.Solve(in, k, exact.Limits{})
+		opt, err := exact.Solve(context.Background(), in, k, exact.Limits{})
 		if err != nil {
 			return true // skip oversized searches
 		}

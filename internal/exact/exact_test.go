@@ -1,6 +1,8 @@
 package exact
 
 import (
+	"context"
+
 	"errors"
 	"testing"
 
@@ -69,7 +71,7 @@ func bruteForceBudget(in *instance.Instance, budget int64) int64 {
 
 func TestSolveTrivial(t *testing.T) {
 	in := instance.MustNew(2, []int64{4, 3}, nil, []int{0, 0})
-	sol, err := Solve(in, 1, Limits{})
+	sol, err := Solve(context.Background(), in, 1, Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +82,7 @@ func TestSolveTrivial(t *testing.T) {
 
 func TestSolveZeroMoves(t *testing.T) {
 	in := instance.MustNew(2, []int64{4, 3}, nil, []int{0, 0})
-	sol, err := Solve(in, 0, Limits{})
+	sol, err := Solve(context.Background(), in, 0, Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +98,7 @@ func TestSolveMatchesBruteForce(t *testing.T) {
 			Placement: workload.PlaceRandom, Seed: seed,
 		})
 		for _, k := range []int{0, 1, 2, 4, 7} {
-			sol, err := Solve(in, k, Limits{})
+			sol, err := Solve(context.Background(), in, k, Limits{})
 			if err != nil {
 				t.Fatalf("seed %d k %d: %v", seed, k, err)
 			}
@@ -118,7 +120,7 @@ func TestSolveBudgetMatchesBruteForce(t *testing.T) {
 			Placement: workload.PlaceRandom, Costs: workload.CostRandom, Seed: seed,
 		})
 		for _, b := range []int64{0, 5, 12, 100} {
-			sol, err := SolveBudget(in, b, Limits{})
+			sol, err := SolveBudget(context.Background(), in, b, Limits{})
 			if err != nil {
 				t.Fatalf("seed %d B %d: %v", seed, b, err)
 			}
@@ -136,7 +138,7 @@ func TestSolveBudgetMatchesBruteForce(t *testing.T) {
 func TestZeroCostJobsMoveUnderZeroBudget(t *testing.T) {
 	// Job with cost 0 may relocate even with budget 0.
 	in := instance.MustNew(2, []int64{4, 3}, []int64{0, 5}, []int{0, 0})
-	sol, err := SolveBudget(in, 0, Limits{})
+	sol, err := SolveBudget(context.Background(), in, 0, Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,17 +152,17 @@ func TestMinMoves(t *testing.T) {
 	// move, target 3 needs... two jobs can't fit under 3 on one
 	// processor; with m=2 target 3 is infeasible (total 9 > 6).
 	in := instance.MustNew(2, []int64{3, 3, 3}, nil, []int{0, 0, 0})
-	k, sol, err := MinMoves(in, 6, Limits{})
+	k, sol, err := MinMoves(context.Background(), in, 6, Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if k != 1 || sol.Makespan > 6 {
 		t.Fatalf("k = %d sol = %+v, want 1 move", k, sol)
 	}
-	if _, _, err := MinMoves(in, 3, Limits{}); !errors.Is(err, instance.ErrInfeasible) {
+	if _, _, err := MinMoves(context.Background(), in, 3, Limits{}); !errors.Is(err, instance.ErrInfeasible) {
 		t.Fatalf("target 3 err = %v, want ErrInfeasible", err)
 	}
-	k, _, err = MinMoves(in, 9, Limits{})
+	k, _, err = MinMoves(context.Background(), in, 9, Limits{})
 	if err != nil || k != 0 {
 		t.Fatalf("target 9: k = %d err = %v, want 0 moves", k, err)
 	}
@@ -170,7 +172,7 @@ func TestGreedyTightOptimum(t *testing.T) {
 	// On the Theorem 1 instance the optimum with m−1 moves is exactly m.
 	m := 4
 	in := instance.GreedyTight(m)
-	sol, err := Solve(in, instance.GreedyTightK(m), Limits{})
+	sol, err := Solve(context.Background(), in, instance.GreedyTightK(m), Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +183,7 @@ func TestGreedyTightOptimum(t *testing.T) {
 
 func TestPartitionTightOptimum(t *testing.T) {
 	in := instance.PartitionTight()
-	sol, err := Solve(in, instance.PartitionTightK(), Limits{})
+	sol, err := Solve(context.Background(), in, instance.PartitionTightK(), Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,14 +199,14 @@ func TestTooManyJobsRejected(t *testing.T) {
 		sizes[i] = 1
 	}
 	in := instance.MustNew(2, sizes, nil, assign)
-	if _, err := Solve(in, 2, Limits{}); !errors.Is(err, ErrTooLarge) {
+	if _, err := Solve(context.Background(), in, 2, Limits{}); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("err = %v, want ErrTooLarge", err)
 	}
 }
 
 func TestNodeCapAborts(t *testing.T) {
 	in := workload.Generate(workload.Config{N: 14, M: 5, Seed: 1})
-	if _, err := Solve(in, 14, Limits{MaxNodes: 10}); !errors.Is(err, ErrTooLarge) {
+	if _, err := Solve(context.Background(), in, 14, Limits{MaxNodes: 10}); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("err = %v, want ErrTooLarge from node cap", err)
 	}
 }
@@ -213,7 +215,7 @@ func TestMonotoneInK(t *testing.T) {
 	in := workload.Generate(workload.Config{N: 9, M: 3, MaxSize: 30, Seed: 6})
 	prev := int64(1) << 62
 	for k := 0; k <= 9; k++ {
-		sol, err := Solve(in, k, Limits{})
+		sol, err := Solve(context.Background(), in, k, Limits{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -13,7 +14,8 @@ import (
 // that share the incumbent bound atomically. The returned makespan is
 // identical to Solve's; the witness assignment may differ among equally
 // optimal ones when several workers improve the incumbent concurrently.
-func SolveParallel(in *instance.Instance, k int, lim Limits) (instance.Solution, error) {
+// Every worker polls ctx, so cancellation interrupts the whole tree.
+func SolveParallel(ctx context.Context, in *instance.Instance, k int, lim Limits) (instance.Solution, error) {
 	lim.defaults()
 	if in.N() > lim.MaxJobs {
 		return instance.Solution{}, ErrTooLarge
@@ -46,7 +48,7 @@ func SolveParallel(in *instance.Instance, k int, lim Limits) (instance.Solution,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s := newSearcher(in, lim)
+			s := newSearcher(ctx, in, lim)
 			s.k = k
 			for br := range branches {
 				j := s.order[0]
@@ -74,6 +76,9 @@ func SolveParallel(in *instance.Instance, k int, lim Limits) (instance.Solution,
 	close(branches)
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return instance.Solution{}, err
+	}
 	if nodesTotal.Load() > lim.MaxNodes {
 		return instance.Solution{}, ErrTooLarge
 	}
@@ -89,9 +94,18 @@ func SolveParallel(in *instance.Instance, k int, lim Limits) (instance.Solution,
 // the shared atomic bound.
 func (s *searcher) sharedDFS(i int, curMax int64, movesLeft int,
 	best *atomic.Int64, mu *sync.Mutex, bestAssign *[]int) {
+	if s.ctxErr != nil {
+		return
+	}
 	s.nodes++
 	if s.nodes > s.max {
 		return
+	}
+	if s.nodes&4095 == 0 {
+		if err := s.ctx.Err(); err != nil {
+			s.ctxErr = err
+			return
+		}
 	}
 	incumbent := best.Load()
 	if curMax >= incumbent {

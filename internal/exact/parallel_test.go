@@ -1,6 +1,8 @@
 package exact
 
 import (
+	"context"
+
 	"errors"
 	"testing"
 
@@ -16,11 +18,11 @@ func TestParallelMatchesSequential(t *testing.T) {
 			Placement: workload.PlaceRandom, Seed: seed,
 		})
 		for _, k := range []int{0, 2, 5, 9} {
-			seq, err := Solve(in, k, Limits{})
+			seq, err := Solve(context.Background(), in, k, Limits{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			par, err := SolveParallel(in, k, Limits{})
+			par, err := SolveParallel(context.Background(), in, k, Limits{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -37,7 +39,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 
 func TestParallelEmptyAndTrivial(t *testing.T) {
 	in := instance.MustNew(2, []int64{5}, nil, []int{0})
-	sol, err := SolveParallel(in, 1, Limits{})
+	sol, err := SolveParallel(context.Background(), in, 1, Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func TestParallelRejectsOversized(t *testing.T) {
 		sizes[i] = 1
 	}
 	in := instance.MustNew(2, sizes, nil, assign)
-	if _, err := SolveParallel(in, 2, Limits{}); !errors.Is(err, ErrTooLarge) {
+	if _, err := SolveParallel(context.Background(), in, 2, Limits{}); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("err = %v, want ErrTooLarge", err)
 	}
 }
@@ -64,11 +66,11 @@ func TestParallelLargerInstance(t *testing.T) {
 	in := workload.Generate(workload.Config{
 		N: 13, M: 4, MaxSize: 40, Placement: workload.PlaceOneHot, Seed: 2,
 	})
-	seq, err := Solve(in, 6, Limits{})
+	seq, err := Solve(context.Background(), in, 6, Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := SolveParallel(in, 6, Limits{})
+	par, err := SolveParallel(context.Background(), in, 6, Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/conflict"
 	"repro/internal/constrained"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/exact"
 	"repro/internal/gap"
 	"repro/internal/greedy"
@@ -60,14 +61,25 @@ func SetWorkers(n int) { workers = n }
 // goroutine) and returns their tables in input order regardless of
 // scheduling.
 func RunAll(exps []Experiment, w int) []*stats.Table {
+	tables, _ := RunAllCtx(context.Background(), exps, w)
+	return tables
+}
+
+// RunAllCtx is RunAll under a cancellable context: when ctx fires,
+// experiments not yet started are skipped and ctx.Err() returns with
+// the partial tables (finished entries filled, skipped entries nil).
+// An in-flight experiment runs to completion — the tables are built
+// from whole runs only.
+func RunAllCtx(ctx context.Context, exps []Experiment, w int) ([]*stats.Table, error) {
 	tables := make([]*stats.Table, len(exps))
-	// The error is always nil: experiments cannot fail and the context
-	// never fires. Panics propagate to the caller via the pool.
-	_ = par.Do(context.Background(), len(exps), w, func(i int) error {
+	err := par.Do(ctx, len(exps), w, func(i int) error {
 		tables[i] = exps[i].Run()
 		return nil
 	})
-	return tables
+	if err != nil {
+		return tables, err
+	}
+	return tables, nil
 }
 
 // Experiment is one entry of the suite.
@@ -142,7 +154,7 @@ func E2() *stats.Table {
 					N: 10, M: 3, MaxSize: 40, Sizes: wl,
 					Placement: workload.PlaceRandom, Seed: seed,
 				})
-				opt, err := exact.Solve(in, k, exact.Limits{})
+				opt, err := exact.Solve(context.Background(), in, k, exact.Limits{})
 				if err != nil {
 					continue
 				}
@@ -207,12 +219,12 @@ func E4() *stats.Table {
 				Placement: workload.PlaceRandom, Seed: seed,
 			})
 			b := int64(3)
-			opt, err := exact.SolveBudget(in, b, exact.Limits{})
+			opt, err := exact.SolveBudget(context.Background(), in, b, exact.Limits{})
 			if err != nil {
 				continue
 			}
 			t0 := time.Now()
-			sol, err := ptas.Solve(in, b, ptas.Options{Eps: eps, Obs: sink})
+			sol, err := ptas.Solve(context.Background(), in, b, ptas.Options{Eps: eps, Obs: sink})
 			if err != nil {
 				continue
 			}
@@ -227,35 +239,34 @@ func E4() *stats.Table {
 	return t
 }
 
-// E5 compares every algorithm on identical instances.
+// E5 compares every algorithm on identical instances, dispatching each
+// contender through the engine registry by name — the same path the CLI
+// uses — so the table exercises exactly what ships.
 func E5() *stats.Table {
 	t := stats.NewTable("algorithm", "mean ratio", "max ratio", "bound")
 	type algo struct {
-		name  string
-		bound string
-		run   func(in *instance.Instance, k int) (int64, bool)
+		label  string
+		solver string // engine registry name
+		params func(k int) engine.Params
 	}
 	algos := []algo{
-		{"exact", "1", func(in *instance.Instance, k int) (int64, bool) {
-			s, err := exact.Solve(in, k, exact.Limits{})
-			return s.Makespan, err == nil
+		{"exact", "exact", func(k int) engine.Params {
+			return engine.Params{K: k}
 		}},
-		{"ptas(eps=1)", "1+eps", func(in *instance.Instance, k int) (int64, bool) {
-			s, err := ptas.Solve(in, int64(k), ptas.Options{Eps: 1, Obs: sink})
-			return s.Makespan, err == nil
+		{"ptas(eps=1)", "ptas", func(k int) engine.Params {
+			return engine.Params{Budget: int64(k), Eps: 1, Obs: sink}
 		}},
-		{"mpartition", "1.5", func(in *instance.Instance, k int) (int64, bool) {
-			return core.MPartitionObs(in, k, core.BinarySearch, sink).Makespan, true
+		{"mpartition", "mpartition", func(k int) engine.Params {
+			return engine.Params{K: k, Obs: sink}
 		}},
-		{"partition-budget", "1.5(1+eps)", func(in *instance.Instance, k int) (int64, bool) {
-			return core.PartitionBudget(in, int64(k), core.BudgetOptions{}).Makespan, true
+		{"partition-budget", "budget", func(k int) engine.Params {
+			return engine.Params{Budget: int64(k)}
 		}},
-		{"greedy", "2-1/m", func(in *instance.Instance, k int) (int64, bool) {
-			return greedy.RebalanceObs(in, k, greedy.OrderLargestFirst, sink).Makespan, true
+		{"greedy", "greedy", func(k int) engine.Params {
+			return engine.Params{K: k, Obs: sink}
 		}},
-		{"gap-baseline", "2", func(in *instance.Instance, k int) (int64, bool) {
-			s, err := gap.RebalanceObs(in, int64(k), sink)
-			return s.Makespan, err == nil
+		{"gap-baseline", "gap", func(k int) engine.Params {
+			return engine.Params{Budget: int64(k), Obs: sink}
 		}},
 	}
 	type trial struct {
@@ -270,21 +281,27 @@ func E5() *stats.Table {
 			Placement: workload.PlaceRandom, Seed: seed,
 		})
 		k := 3
-		opt, err := exact.Solve(in, k, exact.Limits{})
+		opt, err := exact.Solve(context.Background(), in, k, exact.Limits{})
 		if err != nil {
 			continue
 		}
 		trials = append(trials, trial{in, k, opt.Makespan})
 	}
 	for _, a := range algos {
+		spec, ok := engine.Lookup(a.solver)
+		if !ok {
+			panic("E5: unregistered solver " + a.solver)
+		}
 		var ratios []float64
 		for _, tr := range trials {
-			if ms, ok := a.run(tr.in, tr.k); ok {
-				ratios = append(ratios, float64(ms)/float64(tr.opt))
+			sol, err := engine.Solve(context.Background(), a.solver, tr.in, a.params(tr.k))
+			if err != nil {
+				continue
 			}
+			ratios = append(ratios, float64(sol.Makespan)/float64(tr.opt))
 		}
 		s := stats.Summarize(ratios)
-		t.Addf(a.name, s.Mean, s.Max, a.bound)
+		t.Addf(a.label, s.Mean, s.Max, spec.Guarantee)
 	}
 	return t
 }
@@ -322,7 +339,7 @@ func E7() *stats.Table {
 			Placement: workload.PlaceRandom, Seed: seed,
 		})
 		k := 4
-		opt, err := exact.Solve(in, k, exact.Limits{})
+		opt, err := exact.Solve(context.Background(), in, k, exact.Limits{})
 		if err != nil {
 			continue
 		}
@@ -372,7 +389,7 @@ func E8() *stats.Table {
 	}
 	for _, c := range cases {
 		in, target := movemin.FromPartition(c.weights)
-		k, _, err := movemin.Exact(in, target, exact.Limits{})
+		k, _, err := movemin.Exact(context.Background(), in, target, exact.Limits{})
 		verdict := "feasible"
 		moves := fmt.Sprint(k)
 		if errors.Is(err, instance.ErrInfeasible) {
@@ -421,7 +438,7 @@ func E10() *stats.Table {
 		if err != nil {
 			panic(err)
 		}
-		sol, err := constrained.Exact(ci, ci.Base.N(), 0)
+		sol, err := constrained.Exact(context.Background(), ci, ci.Base.N(), 0)
 		if err != nil {
 			panic(err)
 		}
@@ -486,7 +503,7 @@ func E12() *stats.Table {
 	})
 	for _, k := range []int{0, 1, 2, 3, 5, 8, 10} {
 		sol := core.MPartitionObs(small, k, core.IncrementalScan, sink)
-		opt, err := exact.Solve(small, k, exact.Limits{})
+		opt, err := exact.Solve(context.Background(), small, k, exact.Limits{})
 		optStr := "-"
 		if err == nil {
 			optStr = fmt.Sprint(opt.Makespan)

@@ -1,6 +1,8 @@
 package gap
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/constrained"
@@ -69,7 +71,7 @@ func TestConstrainedTwoApproxAgainstExact(t *testing.T) {
 		if err := ci.Validate(); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		opt, err := constrained.Exact(ci, in.N(), 0)
+		opt, err := constrained.Exact(context.Background(), ci, in.N(), 0)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

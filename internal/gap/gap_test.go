@@ -1,6 +1,8 @@
 package gap
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/exact"
@@ -53,7 +55,7 @@ func TestTwoApproximationGuarantee(t *testing.T) {
 			if _, err := verify.WithinBudget(in, sol.Assign, b); err != nil {
 				t.Fatalf("seed %d B %d: %v", seed, b, err)
 			}
-			opt, err := exact.SolveBudget(in, b, exact.Limits{})
+			opt, err := exact.SolveBudget(context.Background(), in, b, exact.Limits{})
 			if err != nil {
 				t.Fatalf("seed %d B %d: %v", seed, b, err)
 			}
@@ -80,7 +82,7 @@ func TestUnitCostsKMoveComparison(t *testing.T) {
 		if _, err := verify.WithinMoves(in, sol.Assign, k); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		opt, err := exact.Solve(in, k, exact.Limits{})
+		opt, err := exact.Solve(context.Background(), in, k, exact.Limits{})
 		if err != nil {
 			t.Fatal(err)
 		}

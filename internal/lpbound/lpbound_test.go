@@ -1,6 +1,8 @@
 package lpbound
 
 import (
+	"context"
+
 	"testing"
 
 	"repro/internal/core"
@@ -20,7 +22,7 @@ func TestBoundSandwich(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d k %d: %v", seed, k, err)
 			}
-			opt, err := exact.Solve(in, k, exact.Limits{})
+			opt, err := exact.Solve(context.Background(), in, k, exact.Limits{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -76,7 +78,7 @@ func TestBudgetBound(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d B %d: %v", seed, b, err)
 			}
-			opt, err := exact.SolveBudget(in, b, exact.Limits{})
+			opt, err := exact.SolveBudget(context.Background(), in, b, exact.Limits{})
 			if err != nil {
 				t.Fatal(err)
 			}

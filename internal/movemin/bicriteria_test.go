@@ -1,6 +1,8 @@
 package movemin
 
 import (
+	"context"
+
 	"errors"
 	"testing"
 	"testing/quick"
@@ -24,7 +26,7 @@ func TestBicriteriaMoveMinimality(t *testing.T) {
 		lo, hi := in.LowerBound(), in.InitialMakespan()
 		for _, target := range []int64{lo, (lo + hi) / 2, hi} {
 			sol, removals, ok := Bicriteria(in, target)
-			minMoves, _, err := Exact(in, target, exact.Limits{})
+			minMoves, _, err := Exact(context.Background(), in, target, exact.Limits{})
 			if errors.Is(err, instance.ErrInfeasible) {
 				// No assignment reaches the target at all; Bicriteria may
 				// still have run (its feasibility is the weaker packing

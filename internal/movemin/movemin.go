@@ -8,6 +8,7 @@
 package movemin
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/exact"
@@ -29,8 +30,9 @@ func FromPartition(weights []int64) (*instance.Instance, int64) {
 
 // Exact returns the minimum number of moves achieving makespan ≤ target,
 // with a witness solution, or instance.ErrInfeasible / exact.ErrTooLarge.
-func Exact(in *instance.Instance, target int64, lim exact.Limits) (int, instance.Solution, error) {
-	return exact.MinMoves(in, target, lim)
+// The underlying branch and bound honors ctx cancellation.
+func Exact(ctx context.Context, in *instance.Instance, target int64, lim exact.Limits) (int, instance.Solution, error) {
+	return exact.MinMoves(ctx, in, target, lim)
 }
 
 // Greedy is the natural heuristic: while some processor exceeds the

@@ -1,6 +1,8 @@
 package movemin
 
 import (
+	"context"
+
 	"errors"
 	"testing"
 
@@ -51,7 +53,7 @@ func TestTheorem5GadgetDecidesPartition(t *testing.T) {
 			t.Fatalf("test oracle wrong for %v", c.weights)
 		}
 		in, target := FromPartition(c.weights)
-		_, sol, err := Exact(in, target, exact.Limits{})
+		_, sol, err := Exact(context.Background(), in, target, exact.Limits{})
 		if c.yes {
 			if err != nil {
 				t.Fatalf("%v: feasible gadget reported %v", c.weights, err)
@@ -69,7 +71,7 @@ func TestExactMinimality(t *testing.T) {
 	// {3,3,2} on processor 0 with target 5: moving the 2 alone leaves 6;
 	// moving one 3 reaches 5 — exactly one move.
 	in := instance.MustNew(2, []int64{3, 3, 2}, nil, []int{0, 0, 0})
-	k, sol, err := Exact(in, 5, exact.Limits{})
+	k, sol, err := Exact(context.Background(), in, 5, exact.Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +112,7 @@ func TestGreedyFailsWhereExactSucceeds(t *testing.T) {
 	// succeed here; assert only that exact succeeds and greedy's claim,
 	// when made, is genuine — then exhibit a real failure case below.
 	in, target := FromPartition([]int64{4, 3, 3, 2})
-	if _, _, err := Exact(in, target, exact.Limits{}); err != nil {
+	if _, _, err := Exact(context.Background(), in, target, exact.Limits{}); err != nil {
 		t.Fatalf("exact failed: %v", err)
 	}
 	moves, sol, ok := Greedy(in, target)
@@ -148,7 +150,7 @@ func TestGreedyMoveCountNeverBelowExact(t *testing.T) {
 		if !ok {
 			continue
 		}
-		eMoves, _, err := Exact(in, target, exact.Limits{})
+		eMoves, _, err := Exact(context.Background(), in, target, exact.Limits{})
 		if err != nil {
 			t.Fatalf("seed %d: greedy succeeded but exact errored: %v", seed, err)
 		}

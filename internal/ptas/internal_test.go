@@ -1,6 +1,8 @@
 package ptas
 
 import (
+	"context"
+
 	"errors"
 	"testing"
 
@@ -28,7 +30,7 @@ func TestMaxStatesAborts(t *testing.T) {
 		N: 20, M: 4, MaxSize: 1000, Sizes: workload.SizeUniform,
 		Placement: workload.PlaceRandom, Seed: 1,
 	})
-	_, err := Solve(in, 10, Options{Eps: 0.3, MaxStates: 4})
+	_, err := Solve(context.Background(), in, 10, Options{Eps: 0.3, MaxStates: 4})
 	if !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("err = %v, want ErrTooLarge", err)
 	}
@@ -36,7 +38,7 @@ func TestMaxStatesAborts(t *testing.T) {
 
 func TestNegativeBudgetClampedToZero(t *testing.T) {
 	in := instance.MustNew(2, []int64{4, 3}, nil, []int{0, 0})
-	sol, err := Solve(in, -5, Options{Eps: 1})
+	sol, err := Solve(context.Background(), in, -5, Options{Eps: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,11 +49,11 @@ func TestNegativeBudgetClampedToZero(t *testing.T) {
 
 func TestSolveAtRejectsBadGuesses(t *testing.T) {
 	in := instance.MustNew(2, []int64{10, 1}, nil, []int{0, 1})
-	if _, _, err := solveAt(in, 9, 0.2, Options{MaxStates: 1 << 20, MaxJobs: 64}); !errors.Is(err, errInfeasibleGuess) {
+	if _, _, err := solveAt(context.Background(), in, 9, 0.2, Options{MaxStates: 1 << 20, MaxJobs: 64}); !errors.Is(err, errInfeasibleGuess) {
 		t.Fatalf("guess below max job: err = %v", err)
 	}
 	in2 := instance.MustNew(2, []int64{5, 5, 5, 5}, nil, []int{0, 0, 1, 1})
-	if _, _, err := solveAt(in2, 9, 0.2, Options{MaxStates: 1 << 20, MaxJobs: 64}); !errors.Is(err, errInfeasibleGuess) {
+	if _, _, err := solveAt(context.Background(), in2, 9, 0.2, Options{MaxStates: 1 << 20, MaxJobs: 64}); !errors.Is(err, errInfeasibleGuess) {
 		t.Fatalf("guess below average: err = %v", err)
 	}
 }
@@ -64,7 +66,7 @@ func TestSolveAtKeepEverythingIsFree(t *testing.T) {
 			N: 8, M: 3, MaxSize: 20, Costs: workload.CostRandom,
 			Placement: workload.PlaceRandom, Seed: seed,
 		})
-		assign, cost, err := solveAt(in, in.InitialMakespan(), 0.2, Options{MaxStates: 1 << 21, MaxJobs: 64})
+		assign, cost, err := solveAt(context.Background(), in, in.InitialMakespan(), 0.2, Options{MaxStates: 1 << 21, MaxJobs: 64})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -86,7 +88,7 @@ func TestGuessLadderIsGeometric(t *testing.T) {
 	// indirectly: solving with a big budget must land within (1+ε) of
 	// the packing lower bound when a perfect split exists.
 	in := instance.MustNew(2, []int64{4, 4, 4, 4}, nil, []int{0, 0, 0, 0})
-	sol, err := Solve(in, 100, Options{Eps: 0.75})
+	sol, err := Solve(context.Background(), in, 100, Options{Eps: 0.75})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +104,7 @@ func TestCostsConcentratedOnOneJob(t *testing.T) {
 		[]int64{10, 6, 5},
 		[]int64{100, 1, 1},
 		[]int{0, 0, 0})
-	sol, err := Solve(in, 2, Options{Eps: 0.75})
+	sol, err := Solve(context.Background(), in, 2, Options{Eps: 0.75})
 	if err != nil {
 		t.Fatal(err)
 	}

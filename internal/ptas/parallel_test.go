@@ -1,6 +1,8 @@
 package ptas
 
 import (
+	"context"
+
 	"fmt"
 	"reflect"
 	"testing"
@@ -20,9 +22,9 @@ func TestSolveParallelMatchesSequential(t *testing.T) {
 		})
 		for _, budget := range []int64{0, 2, in.TotalSize() / 4, in.TotalSize()} {
 			for _, eps := range []float64{1.5, 1.0} {
-				seq, seqErr := Solve(in, budget, Options{Eps: eps, Workers: 1})
+				seq, seqErr := Solve(context.Background(), in, budget, Options{Eps: eps, Workers: 1})
 				for _, w := range []int{2, 4, 8} {
-					par, parErr := Solve(in, budget, Options{Eps: eps, Workers: w})
+					par, parErr := Solve(context.Background(), in, budget, Options{Eps: eps, Workers: w})
 					name := fmt.Sprintf("seed=%d budget=%d eps=%g workers=%d", seed, budget, eps, w)
 					if (seqErr == nil) != (parErr == nil) {
 						t.Fatalf("%s: sequential err %v, parallel err %v", name, seqErr, parErr)

@@ -81,8 +81,11 @@ func (o *Options) defaults() {
 }
 
 // Solve runs the PTAS: minimum-makespan rebalancing with relocation cost
-// at most budget, within a (1+Eps) factor of optimal.
-func Solve(in *instance.Instance, budget int64, opts Options) (instance.Solution, error) {
+// at most budget, within a (1+Eps) factor of optimal. The guess ladder
+// and every DP layer honor ctx: when the context is cancelled or its
+// deadline expires mid-solve, Solve returns ctx.Err() promptly instead
+// of finishing the exponential state-space walk.
+func Solve(ctx context.Context, in *instance.Instance, budget int64, opts Options) (instance.Solution, error) {
 	opts.defaults()
 	if in.N() > opts.MaxJobs {
 		return instance.Solution{}, ErrTooLarge
@@ -110,7 +113,7 @@ func Solve(in *instance.Instance, budget int64, opts Options) (instance.Solution
 	guesses = append(guesses, hi)
 
 	eval := func(g int64) ([]int, int64, error) {
-		assign, cost, err := solveAt(in, g, delta, opts)
+		assign, cost, err := solveAt(ctx, in, g, delta, opts)
 		if opts.Obs != nil {
 			opts.Obs.Count("ptas.guesses", 1)
 			if opts.Obs.Tracing() {
@@ -141,8 +144,14 @@ func Solve(in *instance.Instance, budget int64, opts Options) (instance.Solution
 		// guess whose DP cost fits the budget.
 		var lastErr error
 		for _, g := range guesses {
+			if err := ctx.Err(); err != nil {
+				return instance.Solution{}, err
+			}
 			assign, cost, err := eval(g)
 			if err != nil {
+				if isCtxErr(err) {
+					return instance.Solution{}, err
+				}
 				if errors.Is(err, errInfeasibleGuess) {
 					continue
 				}
@@ -176,13 +185,18 @@ func Solve(in *instance.Instance, budget int64, opts Options) (instance.Solution
 	outcomes := make([]outcome, len(guesses))
 	var lowest atomic.Int64
 	lowest.Store(int64(len(guesses)))
-	// The error is always nil (eval failures are data, not task errors)
-	// and the context never fires; task panics propagate via the pool.
-	_ = par.Do(context.Background(), len(guesses), opts.Workers, func(i int) error {
+	// Eval failures are data, not task errors — except context errors,
+	// which are returned as task errors so the pool cancels the remaining
+	// guesses and the caller's deadline interrupts the whole ladder. Task
+	// panics propagate via the pool.
+	if err := par.Do(ctx, len(guesses), opts.Workers, func(i int) error {
 		if int64(i) > lowest.Load() {
 			return nil
 		}
 		assign, cost, err := eval(guesses[i])
+		if isCtxErr(err) {
+			return err
+		}
 		outcomes[i] = outcome{assign: assign, cost: cost, err: err, done: true}
 		if err == nil && cost <= budget {
 			for {
@@ -193,7 +207,9 @@ func Solve(in *instance.Instance, budget int64, opts Options) (instance.Solution
 			}
 		}
 		return nil
-	})
+	}); err != nil {
+		return instance.Solution{}, err
+	}
 	var lastErr error
 	for i := range outcomes {
 		o := &outcomes[i]
@@ -219,6 +235,13 @@ func Solve(in *instance.Instance, budget int64, opts Options) (instance.Solution
 
 var errInfeasibleGuess = errors.New("ptas: guess below a lower bound")
 
+// isCtxErr reports whether err is a context cancellation or deadline
+// error — the class that must abort the whole ladder instead of being
+// treated as per-guess data.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // dpCostPool recycles the per-DP-layer cost slices (one COST(C, C')
 // value per configuration, recomputed for every processor of every
 // guess). The guess ladder runs the DP O(log OPT / δ) times and the
@@ -234,8 +257,10 @@ type config struct {
 }
 
 // solveAt runs the discretized DP at guess g and returns the
-// reconstructed assignment and its DP relocation cost.
-func solveAt(in *instance.Instance, g int64, delta float64, opts Options) ([]int, int64, error) {
+// reconstructed assignment and its DP relocation cost. The configuration
+// enumeration and every DP layer poll ctx, so a deadline interrupts the
+// exponential part of the scheme mid-flight with ctx.Err().
+func solveAt(ctx context.Context, in *instance.Instance, g int64, delta float64, opts Options) ([]int, int64, error) {
 	if g < in.MaxSize() || g*int64(in.M) < in.TotalSize() {
 		return nil, 0, errInfeasibleGuess
 	}
@@ -333,9 +358,16 @@ func solveAt(in *instance.Instance, g int64, delta float64, opts Options) ([]int
 	// Enumerate the W-feasible configurations once; x_i ≤ N_i since more
 	// copies of a class than exist can never be placed.
 	var configs []config
+	var ctxErr error
 	var build func(i int, load float64, x []int)
 	build = func(i int, load float64, x []int) {
+		if ctxErr != nil {
+			return
+		}
 		if i == s {
+			if len(configs)&8191 == 0 {
+				ctxErr = ctx.Err()
+			}
 			maxV := int((bigW - load) / u)
 			if maxV > vTotal {
 				maxV = vTotal
@@ -359,6 +391,9 @@ func solveAt(in *instance.Instance, g int64, delta float64, opts Options) ([]int
 		}
 	}
 	build(0, 0, make([]int, s))
+	if ctxErr != nil {
+		return nil, 0, ctxErr
+	}
 	if len(configs) > opts.MaxStates {
 		return nil, 0, ErrTooLarge
 	}
@@ -438,12 +473,21 @@ func solveAt(in *instance.Instance, g int64, delta float64, opts Options) ([]int
 		// checks; pruned counts the rejected ones. Local ints so the
 		// disabled path pays nothing beyond the increments.
 		var generated, pruned int64
+		var steps int
 		for key, e := range frontier {
 			for i := 0; i < s; i++ {
 				alloc[i] = int(key[i])
 			}
 			used := int(key[s]) | int(key[s+1])<<8
 			for ci := range configs {
+				// Cancellation point: a layer explores frontier×configs
+				// transitions — potentially many millions — so the context
+				// is polled every 16384 of them.
+				if steps++; steps&16383 == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, 0, err
+					}
+				}
 				cfg := &configs[ci]
 				nu := used + cfg.v
 				if nu > vTotal {

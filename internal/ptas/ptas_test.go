@@ -1,6 +1,8 @@
 package ptas
 
 import (
+	"context"
+
 	"errors"
 	"testing"
 
@@ -12,7 +14,7 @@ import (
 
 func TestTrivialAlreadyOptimal(t *testing.T) {
 	in := instance.MustNew(2, []int64{5, 5}, nil, []int{0, 1})
-	sol, err := Solve(in, 10, Options{Eps: 1})
+	sol, err := Solve(context.Background(), in, 10, Options{Eps: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +25,7 @@ func TestTrivialAlreadyOptimal(t *testing.T) {
 
 func TestSimpleRebalance(t *testing.T) {
 	in := instance.MustNew(2, []int64{4, 3}, nil, []int{0, 0})
-	sol, err := Solve(in, 1, Options{Eps: 0.5})
+	sol, err := Solve(context.Background(), in, 1, Options{Eps: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,14 +49,14 @@ func TestApproximationGuarantee(t *testing.T) {
 				Placement: workload.PlaceRandom, Seed: seed,
 			})
 			for _, b := range []int64{0, 2, 8, 50} {
-				sol, err := Solve(in, b, Options{Eps: eps})
+				sol, err := Solve(context.Background(), in, b, Options{Eps: eps})
 				if err != nil {
 					t.Fatalf("eps %g seed %d B %d: %v", eps, seed, b, err)
 				}
 				if _, err := verify.WithinBudget(in, sol.Assign, b); err != nil {
 					t.Fatalf("eps %g seed %d B %d: %v", eps, seed, b, err)
 				}
-				opt, err := exact.SolveBudget(in, b, exact.Limits{})
+				opt, err := exact.SolveBudget(context.Background(), in, b, exact.Limits{})
 				if err != nil {
 					t.Fatalf("eps %g seed %d B %d: %v", eps, seed, b, err)
 				}
@@ -76,14 +78,14 @@ func TestUnitCostKMoveModel(t *testing.T) {
 			Placement: workload.PlaceOneHot, Seed: seed,
 		})
 		k := 4
-		sol, err := Solve(in, int64(k), Options{Eps: 1})
+		sol, err := Solve(context.Background(), in, int64(k), Options{Eps: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if _, err := verify.WithinMoves(in, sol.Assign, k); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		opt, err := exact.Solve(in, k, exact.Limits{})
+		opt, err := exact.Solve(context.Background(), in, k, exact.Limits{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -102,12 +104,12 @@ func TestSmallerEpsIsNoWorse(t *testing.T) {
 		Placement: workload.PlaceSkewed, Seed: 7,
 	})
 	b := int64(3)
-	opt, err := exact.SolveBudget(in, b, exact.Limits{})
+	opt, err := exact.SolveBudget(context.Background(), in, b, exact.Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, eps := range []float64{2.5, 0.75} {
-		sol, err := Solve(in, b, Options{Eps: eps})
+		sol, err := Solve(context.Background(), in, b, Options{Eps: eps})
 		if err != nil {
 			t.Fatalf("eps %g: %v", eps, err)
 		}
@@ -122,7 +124,7 @@ func TestZeroBudgetKeepsCostZero(t *testing.T) {
 		N: 7, M: 2, MaxSize: 15, Costs: workload.CostProportional,
 		Placement: workload.PlaceRandom, Seed: 3,
 	})
-	sol, err := Solve(in, 0, Options{Eps: 1})
+	sol, err := Solve(context.Background(), in, 0, Options{Eps: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +140,7 @@ func TestTooManyJobsRejected(t *testing.T) {
 		sizes[i] = 1
 	}
 	in := instance.MustNew(2, sizes, nil, assign)
-	if _, err := Solve(in, 1, Options{Eps: 1}); !errors.Is(err, ErrTooLarge) {
+	if _, err := Solve(context.Background(), in, 1, Options{Eps: 1}); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("err = %v, want ErrTooLarge", err)
 	}
 }
@@ -148,7 +150,7 @@ func TestNeverWorseThanInitial(t *testing.T) {
 		in := workload.Generate(workload.Config{
 			N: 10, M: 3, MaxSize: 25, Placement: workload.PlaceBalanced, Seed: seed,
 		})
-		sol, err := Solve(in, 5, Options{Eps: 1.5})
+		sol, err := Solve(context.Background(), in, 5, Options{Eps: 1.5})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -162,7 +164,7 @@ func TestAllSmallJobs(t *testing.T) {
 	// Every job below δ·G: the DP runs with zero large classes populated.
 	in := instance.MustNew(3, []int64{1, 1, 1, 1, 1, 1, 1, 1, 1}, nil,
 		[]int{0, 0, 0, 0, 0, 0, 0, 0, 0})
-	sol, err := Solve(in, 6, Options{Eps: 1})
+	sol, err := Solve(context.Background(), in, 6, Options{Eps: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +179,7 @@ func TestAllSmallJobs(t *testing.T) {
 
 func TestAllLargeJobs(t *testing.T) {
 	in := instance.MustNew(3, []int64{10, 9, 8}, nil, []int{0, 0, 0})
-	sol, err := Solve(in, 2, Options{Eps: 0.75})
+	sol, err := Solve(context.Background(), in, 2, Options{Eps: 0.75})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package scheduling
 
 import (
+	"context"
+
 	"testing"
 	"testing/quick"
 
@@ -15,7 +17,7 @@ func optMakespan(t *testing.T, sizes []int64, m int) int64 {
 	t.Helper()
 	assign := make([]int, len(sizes))
 	in := instance.MustNew(m, sizes, nil, assign)
-	sol, err := exact.Solve(in, len(sizes), exact.Limits{})
+	sol, err := exact.Solve(context.Background(), in, len(sizes), exact.Limits{})
 	if err != nil {
 		t.Fatal(err)
 	}

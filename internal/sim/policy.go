@@ -18,6 +18,10 @@ type PolicyTriggered struct {
 	// Trigger is the imbalance factor above which a rebalance runs
 	// (default 1.3).
 	Trigger float64
+	// Inner is the policy invoked when the trigger fires; nil uses
+	// incremental-scan M-PARTITION, whose ladder amortizes well across
+	// the repeated nearby targets a drifting farm produces.
+	Inner Policy
 	// Obs threads solver instrumentation through every invocation.
 	Obs *obs.Sink
 }
@@ -40,6 +44,9 @@ func (p PolicyTriggered) Rebalance(in *instance.Instance, k int) instance.Soluti
 	avg := float64(in.TotalSize()) / float64(in.M)
 	if avg <= 0 || float64(in.InitialMakespan()) <= trigger*avg {
 		return instance.NewSolution(in, in.Assign)
+	}
+	if p.Inner != nil {
+		return p.Inner.Rebalance(in, k)
 	}
 	return core.MPartitionObs(in, k, core.IncrementalScan, p.Obs)
 }

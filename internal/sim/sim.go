@@ -8,11 +8,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/greedy"
 	"repro/internal/instance"
 	"repro/internal/obs"
@@ -36,6 +37,30 @@ func (PolicyNone) Rebalance(in *instance.Instance, _ int) instance.Solution {
 	return instance.NewSolution(in, in.Assign)
 }
 
+// PolicyEngine runs any registered engine solver (by name) each round,
+// so a simulation can exercise every k-capable algorithm the registry
+// knows without sim-specific wiring. A solve failure (unknown name, or
+// a solver error) leaves the assignment unchanged for that round —
+// operationally, a rebalancer that fails leaves the farm as it is.
+type PolicyEngine struct {
+	// Solver is the engine registry name ("greedy", "mpartition", …).
+	Solver string
+	// Obs threads solver instrumentation through every invocation.
+	Obs *obs.Sink
+}
+
+// Name implements Policy.
+func (p PolicyEngine) Name() string { return p.Solver }
+
+// Rebalance implements Policy.
+func (p PolicyEngine) Rebalance(in *instance.Instance, k int) instance.Solution {
+	sol, err := engine.Solve(context.Background(), p.Solver, in, engine.Params{K: k, Obs: p.Obs})
+	if err != nil {
+		return instance.NewSolution(in, in.Assign)
+	}
+	return sol
+}
+
 // PolicyGreedy applies the §2 GREEDY algorithm each round. A non-nil
 // Obs threads solver instrumentation through every invocation.
 type PolicyGreedy struct{ Obs *obs.Sink }
@@ -45,7 +70,7 @@ func (PolicyGreedy) Name() string { return "greedy" }
 
 // Rebalance implements Policy.
 func (p PolicyGreedy) Rebalance(in *instance.Instance, k int) instance.Solution {
-	return greedy.RebalanceObs(in, k, greedy.OrderLargestFirst, p.Obs)
+	return PolicyEngine{Solver: "greedy", Obs: p.Obs}.Rebalance(in, k)
 }
 
 // PolicyMPartition applies the §3.1 M-PARTITION algorithm each round.
@@ -57,7 +82,7 @@ func (PolicyMPartition) Name() string { return "mpartition" }
 
 // Rebalance implements Policy.
 func (p PolicyMPartition) Rebalance(in *instance.Instance, k int) instance.Solution {
-	return core.MPartitionObs(in, k, core.BinarySearch, p.Obs)
+	return PolicyEngine{Solver: "mpartition", Obs: p.Obs}.Rebalance(in, k)
 }
 
 // PolicyFull repacks every site from scratch each round (GREEDY with an

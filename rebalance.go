@@ -24,10 +24,11 @@
 package rebalance
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
-	"repro/internal/exact"
+	"repro/internal/engine"
 	"repro/internal/gap"
 	"repro/internal/greedy"
 	"repro/internal/instance"
@@ -110,20 +111,29 @@ type PTASOptions = ptas.Options
 
 // PTAS runs the §4 approximation scheme: relocation cost at most budget
 // and makespan at most (1+ε)·OPT(budget). Exponential in 1/ε; intended
-// for small instances (see Options.MaxJobs).
+// for small instances (see Options.MaxJobs). Use PTASCtx to bound the
+// run with a deadline.
 func PTAS(in *Instance, budget int64, opts PTASOptions) (Solution, error) {
-	return ptas.Solve(in, budget, opts)
+	return ptas.Solve(context.Background(), in, budget, opts)
+}
+
+// PTASCtx is PTAS under a cancellable context: the guess ladder and
+// every DP inner loop poll ctx and return ctx.Err() promptly when it
+// fires.
+func PTASCtx(ctx context.Context, in *Instance, budget int64, opts PTASOptions) (Solution, error) {
+	return ptas.Solve(ctx, in, budget, opts)
 }
 
 // Exact solves the k-move problem optimally by branch and bound;
-// exponential, intended for small instances.
+// exponential, intended for small instances. Bound the run with
+// Solve(ctx, "exact", …) when a deadline is needed.
 func Exact(in *Instance, k int) (Solution, error) {
-	return exact.Solve(in, k, exact.Limits{})
+	return engine.Solve(context.Background(), "exact", in, engine.Params{K: k})
 }
 
 // ExactBudget solves the budget problem optimally by branch and bound.
 func ExactBudget(in *Instance, budget int64) (Solution, error) {
-	return exact.SolveBudget(in, budget, exact.Limits{})
+	return engine.Solve(context.Background(), "exact-budget", in, engine.Params{Budget: budget})
 }
 
 // GAPBaseline runs the Shmoys–Tardos 2-approximation through the §2

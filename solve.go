@@ -1,0 +1,61 @@
+package rebalance
+
+import (
+	"context"
+
+	"repro/internal/engine"
+)
+
+// The unified solve surface: every algorithm in the repository is a
+// named entry in the internal/engine registry, carrying capability
+// metadata (which tuning parameters it consumes, whether it needs the
+// extended instance format, whether it is exponential) and honoring
+// context cancellation in its long-running inner loops. The CLI, the
+// simulator, the experiment suite and the adversary hunt all dispatch
+// through this surface; the classic per-algorithm functions above
+// remain as convenience shims over it. See DESIGN.md §8.
+
+type (
+	// SolverParams is the uniform parameter bundle passed to Solve;
+	// solvers consume only the fields their capabilities advertise.
+	SolverParams = engine.Params
+	// SolverCaps is a solver's capability metadata.
+	SolverCaps = engine.Caps
+	// SolverSpec is one registry entry: a named solver plus metadata.
+	SolverSpec = engine.Spec
+	// Solver is the uniform solve interface every registered algorithm
+	// satisfies.
+	Solver = engine.Solver
+)
+
+// Engine error model, re-exported.
+var (
+	// ErrUnknownSolver is returned (wrapped) for an unregistered name.
+	ErrUnknownSolver = engine.ErrUnknownSolver
+	// ErrUnsupportedSolver is returned (wrapped) when a registry entry
+	// cannot serve the request, e.g. running the frontier sweep through
+	// the single-solution Solve.
+	ErrUnsupportedSolver = engine.ErrUnsupported
+)
+
+// Solve runs the named solver under a cancellable context. A deadline
+// or cancel interrupts branch-and-bound nodes, PTAS DP layers and
+// PARTITION bisection probes promptly and surfaces as ctx.Err().
+func Solve(ctx context.Context, name string, in *Instance, p SolverParams) (Solution, error) {
+	return engine.Solve(ctx, name, in, p)
+}
+
+// GetSolver returns the named solver as a Solver interface value.
+func GetSolver(name string) (Solver, error) {
+	return engine.Get(name)
+}
+
+// Solvers returns every registered solver spec, sorted by name.
+func Solvers() []SolverSpec {
+	return engine.Specs()
+}
+
+// SolverNames returns every registered solver name, sorted.
+func SolverNames() []string {
+	return engine.Names()
+}
