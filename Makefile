@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race race-fast vet bench bench-json ci check clean
+.PHONY: build test short race race-fast vet bench bench-json serve loadtest ci check clean
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,10 @@ race:
 	$(GO) test -race ./...
 
 # race-fast covers only the concurrency-bearing packages (the worker
-# pool and the shared metric sinks) — the quick pre-push check; `ci`
-# and `race` sweep the whole module.
+# pool, the shared metric sinks, the engine registry, and the serving
+# layer) — the quick pre-push check; `ci` and `race` sweep the module.
 race-fast:
-	$(GO) test -race ./internal/par ./internal/obs
+	$(GO) test -race ./internal/par ./internal/obs ./internal/engine ./internal/server/...
 
 vet:
 	$(GO) vet ./...
@@ -32,10 +32,23 @@ bench:
 bench-json:
 	$(GO) test -bench=. -benchmem -run=^$$ . | $(GO) run ./cmd/benchjson -json BENCH.json
 
+# serve runs the solve daemon on :8080 with debug endpoints on :8081;
+# loadtest points the load generator at it (override with make
+# loadtest LOADGEN_FLAGS="-alg ptas -budget 500 -n 100").
+SERVE_FLAGS ?= -addr localhost:8080 -debug-addr localhost:8081
+LOADGEN_FLAGS ?= -addr localhost:8080 -alg mpartition -k 10 -n 200 -c 8
+serve:
+	$(GO) run ./cmd/rebalanced $(SERVE_FLAGS)
+
+loadtest:
+	$(GO) run ./cmd/loadgen $(LOADGEN_FLAGS)
+
 # ci is the single gate: static checks, the full suite, and the race
-# detector over the whole module — cancellation now threads contexts
-# through every solver's hot loop, so data races can hide anywhere a
-# deadline fires mid-search (`race-fast` is the quick narrow subset).
+# detector over the whole module — which includes the server's admission
+# queue, drain path, and concurrent engine dispatch — cancellation
+# threads contexts through every solver's hot loop, so data races can
+# hide anywhere a deadline fires mid-search (`race-fast` is the quick
+# narrow subset).
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...

@@ -43,7 +43,12 @@ func main() {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Warning:    benchjson.EnvWarning(runtime.GOMAXPROCS(0), runtime.NumCPU()),
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	if snap.Warning != "" {
+		log.Printf("warning: %s", snap.Warning)
 	}
 
 	sc := bufio.NewScanner(os.Stdin)

@@ -29,8 +29,10 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
@@ -119,13 +121,20 @@ func main() {
 		elapsed time.Duration
 	}
 	results := make([]result, len(chosen))
+	// Ctrl-C / SIGTERM cancels the fan-out context: experiments not yet
+	// claimed are skipped, and the suite exits with the context error
+	// instead of dying mid-table.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	// One pool drives the fan-out; -workers 1 degenerates to the
 	// sequential in-order loop. Output order is preserved either way.
-	_ = par.Do(context.Background(), len(chosen), *workers, func(i int) error {
+	if err := par.Do(ctx, len(chosen), *workers, func(i int) error {
 		start := time.Now()
 		results[i] = result{tab: chosen[i].Run(), elapsed: time.Since(start)}
 		return nil
-	})
+	}); err != nil {
+		log.Fatalf("interrupted: %v", err)
+	}
 
 	for i, e := range chosen {
 		fmt.Printf("## %s — %s\n\n", e.ID, e.Title)

@@ -1,0 +1,161 @@
+// Command loadgen replays a synthetic workload stream against a running
+// rebalanced daemon and reports throughput and latency percentiles —
+// the measurement half of the serving layer (DESIGN.md §9).
+//
+// Usage:
+//
+//	rebalanced -addr localhost:8080 &
+//	loadgen -addr localhost:8080 -alg mpartition -k 10 -n 500 -c 16
+//	loadgen -addr localhost:8080 -alg ptas -budget 500 -n 100 -c 4 -timeout 2s
+//
+// It pre-generates -instances distinct instances with internal/workload
+// (same knobs as genwork: -jobs, -m, -max, -sizes, -place, -costs,
+// -seed) and cycles through them across -n requests issued by -c
+// concurrent senders. 429 (queue full) and 504 (deadline) responses are
+// counted, not retried, so the report shows how the daemon's admission
+// control behaved under the offered load. Ctrl-C stops the run early
+// and prints the report for the requests already issued.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	addr := flag.String("addr", "localhost:8080", "rebalanced daemon address")
+	alg := flag.String("alg", "mpartition", "solver to request")
+	k := flag.Int("k", 10, "move budget (k-capable solvers)")
+	budget := flag.Int64("budget", 0, "relocation cost budget (budget-capable solvers)")
+	eps := flag.Float64("eps", 0, "approximation parameter (0: solver default)")
+	n := flag.Int("n", 200, "total requests to issue")
+	c := flag.Int("c", 8, "concurrent senders")
+	timeout := flag.Duration("timeout", 0, "per-request deadline sent as timeout_ms (0: server default)")
+	instances := flag.Int("instances", 8, "distinct instances to pre-generate and cycle through")
+	jobs := flag.Int("jobs", 200, "jobs per generated instance")
+	m := flag.Int("m", 8, "processors per generated instance")
+	maxSize := flag.Int64("max", 1000, "maximum job size")
+	sizes := flag.String("sizes", "zipf", "size distribution: uniform|zipf|bimodal|equal")
+	place := flag.String("place", "skewed", "initial placement: random|skewed|balanced|onehot")
+	costs := flag.String("costs", "unit", "cost model: unit|proportional|anticorrelated|random")
+	seed := flag.Uint64("seed", 1, "base RNG seed; instance i uses seed+i")
+	version := flag.Bool("version", false, "print build info and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(rebalance.Version())
+		return
+	}
+
+	cfg := workload.Config{N: *jobs, M: *m, MaxSize: *maxSize}
+	var err error
+	if cfg.Sizes, err = workload.ParseSizeDist(*sizes); err != nil {
+		log.Fatal(err)
+	}
+	if cfg.Placement, err = workload.ParsePlacement(*place); err != nil {
+		log.Fatal(err)
+	}
+	if cfg.Costs, err = workload.ParseCostModel(*costs); err != nil {
+		log.Fatal(err)
+	}
+	if *instances < 1 {
+		*instances = 1
+	}
+	// Ship only the tuning parameters the solver consumes, so flag
+	// defaults (-k 10) don't trip the server's parameter validation on
+	// budget- or eps-only solvers.
+	spec, known := engine.Lookup(*alg)
+	if !known {
+		log.Fatalf("unknown solver %q", *alg)
+	}
+	reqs := make([]server.SolveRequest, *instances)
+	for i := range reqs {
+		cfg.Seed = *seed + uint64(i)
+		reqs[i] = server.SolveRequest{
+			Solver:    *alg,
+			TimeoutMS: int64(*timeout / time.Millisecond),
+		}
+		if spec.Caps.K {
+			reqs[i].K = *k
+		}
+		if spec.Caps.Budget {
+			reqs[i].Budget = *budget
+		}
+		if spec.Caps.Eps {
+			reqs[i].Eps = *eps
+		}
+		reqs[i].Instance.Instance = *workload.Generate(cfg)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cl := client.New(*addr, nil)
+	if err := cl.Ready(ctx); err != nil {
+		log.Fatalf("daemon not ready at %s: %v", *addr, err)
+	}
+
+	// Latency accounting rides the same histogram the daemon's own
+	// metrics use; its p50/p90/p99 are nearest-rank.
+	lat := &obs.Histogram{}
+	var ok, rejected, deadline, failed atomic.Int64
+	start := time.Now()
+	_ = par.Do(ctx, *n, *c, func(i int) error {
+		t0 := time.Now()
+		_, err := cl.Solve(ctx, reqs[i%len(reqs)])
+		lat.Observe(time.Since(t0).Nanoseconds())
+		var ae *client.APIError
+		switch {
+		case err == nil:
+			ok.Add(1)
+		case errors.As(err, &ae) && ae.StatusCode == http.StatusTooManyRequests:
+			rejected.Add(1)
+		case errors.As(err, &ae) && ae.StatusCode == http.StatusGatewayTimeout:
+			deadline.Add(1)
+		case errors.Is(err, context.Canceled):
+			// Ctrl-C mid-request; the par loop stops scheduling next.
+		default:
+			failed.Add(1)
+			log.Printf("request %d: %v", i, err)
+		}
+		return nil // errors are tallied, not fatal: keep offering load
+	})
+	elapsed := time.Since(start)
+
+	issued := lat.Count()
+	fmt.Printf("loadgen: %s against %s\n", *alg, *addr)
+	fmt.Printf("requests:   %d issued / %d requested (concurrency %d)\n", issued, *n, *c)
+	fmt.Printf("outcomes:   %d ok, %d rejected (429), %d deadline (504), %d failed\n",
+		ok.Load(), rejected.Load(), deadline.Load(), failed.Load())
+	fmt.Printf("elapsed:    %v (%.1f req/s)\n", elapsed.Round(time.Millisecond),
+		float64(issued)/elapsed.Seconds())
+	if issued > 0 {
+		fmt.Printf("latency:    p50=%v p90=%v p99=%v max=%v\n",
+			time.Duration(lat.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(lat.Quantile(0.90)).Round(time.Microsecond),
+			time.Duration(lat.Quantile(0.99)).Round(time.Microsecond),
+			time.Duration(lat.Max()).Round(time.Microsecond))
+	}
+	if r := rejected.Load(); r > 0 {
+		fmt.Printf("note:       %d rejections mean the offered load exceeded pool+queue capacity\n", r)
+	}
+}

@@ -37,14 +37,18 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
 	"repro/internal/engine"
 	"repro/internal/instance"
 	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/server/client"
 )
 
 // flagHelp derives a tuning flag's help text from the registry, so the
@@ -66,6 +70,8 @@ func main() {
 		flagHelp("workers", "worker pool size; 1 = sequential, results identical at every value"))
 	timeout := flag.Duration("timeout", 0,
 		"wall-clock limit for the run; 0 disables (exponential solvers poll it mid-search)")
+	remote := flag.String("remote", "",
+		"solve via a running rebalanced daemon at this address instead of in-process")
 	show := flag.Bool("show", false, "print the resulting assignment")
 	traceFile := flag.String("trace", "", "write a JSONL event trace to this file")
 	metrics := flag.Bool("metrics", false, "print an end-of-run metrics summary to stderr")
@@ -94,7 +100,11 @@ func main() {
 	}
 	spec, _ := engine.Lookup(*alg) // ValidateFlags vouched for the name
 
-	ctx := context.Background()
+	// Ctrl-C / SIGTERM flows through the same ctx the solvers poll, so an
+	// interrupted run cancels mid-solve and exits with the context error
+	// instead of dying between bisection probes.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -146,6 +156,12 @@ func main() {
 			"version": rebalance.Version(), "alg": *alg,
 			"jobs": in.N(), "procs": in.M,
 		})
+	}
+
+	if *remote != "" {
+		runRemote(ctx, *remote, *alg, spec, ext, *k, *budget, *eps, *timeout, *show)
+		finishObs(sink, tracer, *metrics)
+		return
 	}
 
 	if spec.Kind == engine.KindSweep {
@@ -201,18 +217,73 @@ func finishObs(sink *obs.Sink, tracer *obs.JSONLTracer, metrics bool) {
 	}
 }
 
+// runRemote ships the solve to a rebalanced daemon and prints the same
+// report as a local run. Solution-kind results are re-verified locally
+// (rebalance.Check), so a buggy or mismatched daemon cannot hand back a
+// silently wrong assignment.
+func runRemote(ctx context.Context, addr, alg string, spec engine.Spec, ext *instance.Extended,
+	k int, budget int64, eps float64, timeout time.Duration, show bool) {
+	// Ship only the parameters the solver's capabilities advertise: the
+	// server rejects set-but-unconsumed fields just like local flag
+	// validation, and flag defaults (e.g. -eps 1.0) must not trip that.
+	req := server.SolveRequest{
+		Solver: alg, Instance: *ext,
+		TimeoutMS: int64(timeout / time.Millisecond),
+	}
+	if spec.Caps.K {
+		req.K = k
+	}
+	if spec.Caps.Budget {
+		req.Budget = budget
+	}
+	if spec.Caps.Eps {
+		req.Eps = eps
+	}
+	resp, err := client.New(addr, nil).Solve(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := &ext.Instance
+	if spec.Kind == engine.KindSweep {
+		fmt.Printf("instance: %s (remote %s)\n", in, addr)
+		fmt.Printf("%8s %12s %8s %14s\n", "k", "makespan", "moves", "vs lower bound")
+		for _, pt := range resp.Points {
+			fmt.Printf("%8d %12d %8d %14.3f\n",
+				pt.K, pt.Makespan, pt.Moves, float64(pt.Makespan)/float64(in.LowerBound()))
+		}
+		return
+	}
+	sol := instance.NewSolution(in, resp.Assign)
+	rep, err := rebalance.Check(in, sol)
+	if err != nil {
+		log.Fatalf("remote solution failed verification: %v", err)
+	}
+	if sol.Makespan != resp.Makespan {
+		log.Fatalf("remote makespan %d disagrees with local recomputation %d", resp.Makespan, sol.Makespan)
+	}
+	fmt.Printf("instance:   %s\n", in)
+	fmt.Printf("algorithm:  %s (remote %s, queue %v, solve %v)\n", alg, addr,
+		time.Duration(resp.QueueNS).Round(time.Microsecond),
+		time.Duration(resp.SolveNS).Round(time.Microsecond))
+	fmt.Printf("makespan:   %d -> %d (lower bound %d)\n",
+		in.InitialMakespan(), rep.Makespan, in.LowerBound())
+	fmt.Printf("moves:      %d (cost %d)\n", rep.Moves, rep.MoveCost)
+	if show {
+		for j, p := range sol.Assign {
+			marker := " "
+			if p != in.Assign[j] {
+				marker = "*"
+			}
+			fmt.Printf("  job %3d size %6d cost %6d: %d -> %d %s\n",
+				j, in.Jobs[j].Size, in.Jobs[j].Cost, in.Assign[j], p, marker)
+		}
+	}
+}
+
 // runFrontier prints the makespan-vs-k tradeoff for doubling budgets,
 // sweeping the k values on up to workers goroutines.
 func runFrontier(ctx context.Context, in *rebalance.Instance, sink *obs.Sink, workers int) {
-	var ks []int
-	for k := 0; k <= in.N(); {
-		ks = append(ks, k)
-		if k == 0 {
-			k = 1
-		} else {
-			k *= 2
-		}
-	}
+	ks := rebalance.DefaultFrontierKs(in.N())
 	fmt.Printf("instance: %s\n", in)
 	fmt.Printf("%8s %12s %8s %14s\n", "k", "makespan", "moves", "vs lower bound")
 	points, err := rebalance.FrontierCtx(ctx, in, ks, rebalance.FrontierOptions{Workers: workers, Obs: sink})

@@ -1,0 +1,134 @@
+// Command rebalanced is the load rebalancing daemon: a long-running
+// HTTP service exposing every solver in the internal/engine registry
+// over a JSON API (see DESIGN.md §9 and the README's "Running as a
+// service" section).
+//
+// Usage:
+//
+//	rebalanced -addr localhost:8080
+//	rebalanced -addr :8080 -pool 4 -queue 128 -timeout 10s -drain 30s
+//	rebalanced -addr :8080 -debug-addr localhost:6060   # expvar + pprof
+//
+// Endpoints:
+//
+//	POST /v1/solve   {"solver":"mpartition","k":10,"instance":{...}}
+//	GET  /v1/solvers solver catalog (names, flags, bounds)
+//	GET  /healthz    liveness
+//	GET  /readyz     readiness (503 while draining)
+//
+// Admission control: at most -queue requests wait while -pool workers
+// solve; beyond that the daemon answers 429 with Retry-After instead of
+// melting down. Every request runs under a deadline (its timeout_ms,
+// clamped to -max-timeout, else -timeout) that cancels the solver
+// mid-search on expiry (504).
+//
+// Shutdown: SIGINT/SIGTERM begins a graceful drain — the listener stops
+// accepting, readyz flips to 503, queued and in-flight solves finish,
+// and after -drain the stragglers are cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rebalanced: ")
+	addr := flag.String("addr", "localhost:8080", "serve the solve API on this address")
+	pool := flag.Int("pool", runtime.GOMAXPROCS(0), "solver pool size: concurrent solves (<=0: GOMAXPROCS)")
+	solverWorkers := flag.Int("solver-workers", 1, "internal parallelism per solve; the pool already parallelizes across requests")
+	queue := flag.Int("queue", server.DefaultQueueDepth, "admission queue depth; beyond it requests get 429")
+	timeout := flag.Duration("timeout", server.DefaultTimeout, "default per-request deadline (queue wait + solve)")
+	maxTimeout := flag.Duration("max-timeout", server.DefaultMaxTimeout, "clamp on request-supplied timeout_ms")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown grace before in-flight solves are cancelled")
+	debugAddr := flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address")
+	metrics := flag.Bool("metrics", false, "print the end-of-run metrics summary to stderr at exit")
+	version := flag.Bool("version", false, "print build info and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(rebalance.Version())
+		return
+	}
+
+	sink := obs.New()
+	obs.PublishExpvar("rebalance", sink)
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+	}
+
+	srv := server.New(server.Config{
+		Workers:        *pool,
+		SolverWorkers:  *solverWorkers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Obs:            sink,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// SIGINT/SIGTERM flows through the same ctx plumbing the solvers
+	// honor: the first signal starts the drain; a second one kills the
+	// process the default way (NotifyContext unregisters on cancel).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("%s serving on http://%s (pool=%d queue=%d timeout=%v)",
+		rebalance.Version(), *addr, *pool, *queue, *timeout)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err) // listener died before any signal
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("signal received; draining (grace %v)", *drain)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- srv.Shutdown(drainCtx) }()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := <-drainErr; err != nil {
+		log.Printf("drain timeout: cancelled in-flight solves (%v)", err)
+	} else {
+		log.Printf("drained cleanly")
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	if *metrics {
+		snap := sink.Snapshot()
+		snap.Version = rebalance.Version()
+		if err := snap.WriteSummary(os.Stderr); err != nil {
+			log.Printf("metrics: %v", err)
+		}
+	}
+}

@@ -43,6 +43,22 @@ func FrontierSolver(name string) func(ctx context.Context, in *Instance, k int, 
 	}
 }
 
+// DefaultFrontierKs returns the doubling ladder of move budgets 0, 1,
+// 2, 4, … capped at n — the default sweep schedule shared by the CLI's
+// frontier mode and the serving layer when the caller names no budgets.
+func DefaultFrontierKs(n int) []int {
+	var ks []int
+	for k := 0; k <= n; {
+		ks = append(ks, k)
+		if k == 0 {
+			k = 1
+		} else {
+			k *= 2
+		}
+	}
+	return ks
+}
+
 // Frontier computes the paper's central tradeoff — the best achievable
 // makespan as the move budget k varies — by running M-PARTITION at each
 // requested budget on up to GOMAXPROCS workers (each run is independent

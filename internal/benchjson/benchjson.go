@@ -32,11 +32,34 @@ type Record struct {
 // Snapshot is the full BENCH.json document: the environment header that
 // makes the numbers interpretable plus every parsed record.
 type Snapshot struct {
-	GOOS       string   `json:"goos"`
-	GOARCH     string   `json:"goarch"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// NumCPU is the machine's logical CPU count; with GOMAXPROCS it
+	// distinguishes "small machine" from "artificially restricted run".
+	NumCPU int `json:"numcpu"`
+	// Warning flags environments whose parallel numbers are structurally
+	// misleading (see EnvWarning); empty otherwise.
+	Warning    string   `json:"warning,omitempty"`
 	Timestamp  string   `json:"timestamp"`
 	Benchmarks []Record `json:"benchmarks"`
+}
+
+// EnvWarning returns the header warning for a benchmark environment, or
+// "" when there is nothing to flag. A GOMAXPROCS=1 run collapses every
+// worker pool to the sequential path, so the workers=N benchmarks show
+// no speedup by construction — a reader comparing such a BENCH.json
+// against a multi-core one would misread that as a parallelism
+// regression.
+func EnvWarning(gomaxprocs, numcpu int) string {
+	switch {
+	case gomaxprocs == 1 && numcpu == 1:
+		return "single-CPU machine: parallel benchmarks run the sequential path; workers=N shows no speedup by construction"
+	case gomaxprocs == 1:
+		return "GOMAXPROCS=1 on a multi-CPU machine: parallel benchmarks run the sequential path; rerun without the restriction for speedup numbers"
+	default:
+		return ""
+	}
 }
 
 // ParseLine parses one benchmark result line

@@ -60,3 +60,36 @@ func TestParseLineRejectsNoise(t *testing.T) {
 		}
 	}
 }
+
+// TestEnvWarning pins the header warning policy: GOMAXPROCS=1 runs are
+// flagged (distinguishing single-CPU machines from restricted runs) and
+// multi-proc runs are not.
+func TestEnvWarning(t *testing.T) {
+	for _, c := range []struct {
+		gomaxprocs, numcpu int
+		want               bool
+		contains           string
+	}{
+		{1, 1, true, "single-CPU machine"},
+		{1, 8, true, "GOMAXPROCS=1"},
+		{8, 8, false, ""},
+		{2, 1, false, ""}, // oversubscribed but parallel: no flag
+	} {
+		got := EnvWarning(c.gomaxprocs, c.numcpu)
+		if (got != "") != c.want {
+			t.Errorf("EnvWarning(%d, %d) = %q, want warning=%v", c.gomaxprocs, c.numcpu, got, c.want)
+		}
+		if c.contains != "" && !containsStr(got, c.contains) {
+			t.Errorf("EnvWarning(%d, %d) = %q, want substring %q", c.gomaxprocs, c.numcpu, got, c.contains)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/obs"
+)
+
+// TestSolveConcurrent hammers the shared registry from many goroutines
+// — multiple solvers, one shared obs sink, same instance — and checks
+// every result against a sequentially computed reference. Run under
+// -race this pins that concurrent engine.Solve calls against the same
+// registry (the serving layer's workload shape) share no mutable state.
+func TestSolveConcurrent(t *testing.T) {
+	in := instance.MustNew(4,
+		[]int64{9, 7, 6, 5, 4, 3, 2, 2, 1, 1},
+		nil,
+		[]int{0, 0, 0, 0, 1, 1, 2, 2, 3, 3})
+	cases := []struct {
+		name string
+		p    Params
+	}{
+		{"greedy", Params{K: 3}},
+		{"mpartition", Params{K: 3}},
+		{"ptas", Params{Budget: 4, Eps: 1, Workers: 1}},
+		{"gap", Params{Budget: 8}},
+		{"lpt", Params{}},
+		{"multifit", Params{}},
+	}
+
+	// Sequential reference pass: every solver here is deterministic for
+	// fixed params, so concurrent runs must reproduce these exactly.
+	refs := make([]instance.Solution, len(cases))
+	for i, c := range cases {
+		sol, err := Solve(context.Background(), c.name, in, c.p)
+		if err != nil {
+			t.Fatalf("reference %s: %v", c.name, err)
+		}
+		refs[i] = sol
+	}
+
+	const goroutines = 4
+	const iters = 8
+	sink := obs.New() // one sink shared by every concurrent solve
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*len(cases))
+	for g := 0; g < goroutines; g++ {
+		for i, c := range cases {
+			wg.Add(1)
+			go func(i int, name string, p Params) {
+				defer wg.Done()
+				p.Obs = sink
+				for it := 0; it < iters; it++ {
+					sol, err := Solve(context.Background(), name, in, p)
+					if err != nil {
+						errs <- fmt.Errorf("%s: %v", name, err)
+						return
+					}
+					if sol.Makespan != refs[i].Makespan || sol.Moves != refs[i].Moves {
+						errs <- fmt.Errorf("%s: concurrent solve (makespan=%d moves=%d) != reference (makespan=%d moves=%d)",
+							name, sol.Makespan, sol.Moves, refs[i].Makespan, refs[i].Moves)
+						return
+					}
+					if fmt.Sprint(sol.Assign) != fmt.Sprint(refs[i].Assign) {
+						errs <- fmt.Errorf("%s: concurrent assign %v != reference %v", name, sol.Assign, refs[i].Assign)
+						return
+					}
+				}
+			}(i, c.name, c.p)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+// Package client is the typed Go client for the rebalanced HTTP API
+// (internal/server). It is used by `cmd/rebalance -remote`, by the load
+// generator, and by the end-to-end tests; the request/response types are
+// the server's own wire structs, so the two cannot drift apart.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// APIError is a non-2xx response decoded from the server's error body.
+type APIError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Message is the server's error string.
+	Message string
+	// RetryAfter is the parsed Retry-After hint on 429 responses, zero
+	// when absent.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("rebalanced: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+// IsRetryable reports whether err is an APIError worth retrying after a
+// backoff: queue-full (429) or draining/cancelled (503).
+func IsRetryable(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) &&
+		(ae.StatusCode == http.StatusTooManyRequests || ae.StatusCode == http.StatusServiceUnavailable)
+}
+
+// Client talks to one rebalanced daemon.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the daemon at base (e.g.
+// "http://localhost:8080"; a bare host:port is promoted to http://).
+// httpClient may be nil for http.DefaultClient; per-request deadlines
+// come from the contexts (and the timeout_ms request field), so the
+// default client's lack of a global timeout is fine.
+func New(base string, httpClient *http.Client) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+}
+
+// do issues one request and decodes the response into out, converting
+// non-2xx statuses into *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		ae := &APIError{StatusCode: resp.StatusCode}
+		var eb server.ErrorResponse
+		if derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&eb); derr == nil {
+			ae.Message = eb.Error
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, perr := strconv.Atoi(ra); perr == nil {
+				ae.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return ae
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// Solve round-trips one solve request.
+func (c *Client) Solve(ctx context.Context, req server.SolveRequest) (*server.SolveResponse, error) {
+	var resp server.SolveResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/solve", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Solvers fetches the daemon's solver catalog.
+func (c *Client) Solvers(ctx context.Context) ([]server.SolverInfo, error) {
+	var infos []server.SolverInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/solvers", nil, &infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// Ready probes /readyz; a draining or unreachable daemon returns an
+// error.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
+}
+
+// Healthy probes /healthz.
+func (c *Client) Healthy(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}

@@ -1,0 +1,455 @@
+// Package server is the network serving layer of the repository: a
+// long-running HTTP JSON API over the internal/engine solver registry,
+// production-shaped rather than a toy mux.
+//
+//   - POST /v1/solve   — run any registered solver (or sweep) on an
+//     instance shipped in the request body.
+//   - GET  /v1/solvers — the solver catalog, generated from the registry.
+//   - GET  /healthz    — liveness (200 while the process runs).
+//   - GET  /readyz     — readiness (503 once draining begins).
+//
+// Admission control: requests enter a bounded queue; when it is full the
+// server answers 429 with a Retry-After header instead of letting work
+// pile up unboundedly. A fixed pool of worker goroutines (sized with the
+// internal/par rules, so deterministic for a given configuration) pulls
+// from the queue, which bounds concurrent solver compute no matter how
+// many connections are open.
+//
+// Deadlines: every request carries a deadline — the request's
+// timeout_ms, clamped to the configured maximum, or the server default —
+// covering queue wait plus solve. The deadline becomes the context
+// threaded into the solver's inner loops (PR 3), so expiry interrupts a
+// branch-and-bound or DP mid-search and surfaces as 504.
+//
+// Graceful drain: Shutdown stops admission (readyz and new solves answer
+// 503), waits for queued and in-flight solves to finish, and on drain
+// timeout cancels the stragglers' contexts so they return promptly. See
+// DESIGN.md §9.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	rebalance "repro"
+	"repro/internal/engine"
+	"repro/internal/instance"
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+// Defaults applied by New to zero Config fields.
+const (
+	DefaultQueueDepth  = 64
+	DefaultTimeout     = 30 * time.Second
+	DefaultMaxTimeout  = 5 * time.Minute
+	DefaultMaxBodySize = 64 << 20
+)
+
+// Config tunes a Server. The zero value is usable: New fills every
+// unset field with the package default.
+type Config struct {
+	// Workers is the solver pool size — the number of goroutines
+	// executing solves concurrently. ≤ 0 means runtime.GOMAXPROCS(0)
+	// (the internal/par resolution rule).
+	Workers int
+	// SolverWorkers is the internal parallelism handed to each solve
+	// (engine Params.Workers). ≤ 0 means 1: with the pool providing
+	// across-request parallelism, single-threaded solver internals keep
+	// the machine share per request deterministic.
+	SolverWorkers int
+	// QueueDepth bounds the admission queue; a request arriving with the
+	// queue full is rejected with 429. ≤ 0 means DefaultQueueDepth.
+	QueueDepth int
+	// DefaultTimeout is the per-request deadline applied when the
+	// request names none. ≤ 0 means the package default.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request-supplied deadlines. ≤ 0 means the
+	// package default.
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds the request body. ≤ 0 means the package
+	// default.
+	MaxBodyBytes int64
+	// Obs receives the serving metrics (request counts, latency
+	// histograms, queue depth, rejections) and is threaded into every
+	// solve; nil disables instrumentation.
+	Obs *obs.Sink
+}
+
+// task is one admitted solve request travelling from handler to worker.
+type task struct {
+	ctx      context.Context
+	req      *SolveRequest
+	enqueued time.Time
+	done     chan taskResult // buffered(1): the worker's send never blocks
+}
+
+type taskResult struct {
+	sol     instance.Solution
+	points  []SweepPoint
+	sweep   bool
+	err     error
+	queueNS int64
+	solveNS int64
+}
+
+// Server dispatches HTTP solve requests through the engine registry.
+// Create with New, expose Handler on an http.Server, and call Shutdown
+// to drain; a Server must be Shutdown (or Close) to release its worker
+// goroutines.
+type Server struct {
+	cfg        Config
+	queue      chan *task
+	rootCtx    context.Context // cancelled to kill stragglers and stop workers
+	rootCancel context.CancelFunc
+	draining   atomic.Bool
+	inflight   sync.WaitGroup // queued + running tasks
+	workers    chan struct{}  // closed when the pool has exited
+}
+
+// New normalizes cfg, starts the worker pool, and returns the server.
+func New(cfg Config) *Server {
+	if cfg.SolverWorkers <= 0 {
+		cfg.SolverWorkers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = DefaultTimeout
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = DefaultMaxTimeout
+	}
+	if cfg.DefaultTimeout > cfg.MaxTimeout {
+		cfg.DefaultTimeout = cfg.MaxTimeout
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodySize
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		queue:      make(chan *task, cfg.QueueDepth),
+		rootCtx:    ctx,
+		rootCancel: cancel,
+		workers:    make(chan struct{}),
+	}
+	n := par.Workers(cfg.Workers, 0)
+	go func() {
+		defer close(s.workers)
+		// One par task per pool worker: par supplies the sizing rules and
+		// last-resort panic capture; per-solve panics are converted to
+		// 500s inside dispatch and never reach the pool.
+		_ = par.Do(context.Background(), n, n, func(int) error {
+			s.workerLoop()
+			return nil
+		})
+	}()
+	return s
+}
+
+// workerLoop pulls tasks until the root context is cancelled, then
+// drains what is left in the queue — those tasks' contexts are already
+// cancelled (Shutdown cancels rootCtx only after admission stopped), so
+// each finishes immediately with a context error.
+func (s *Server) workerLoop() {
+	for {
+		select {
+		case t := <-s.queue:
+			s.runTask(t)
+		case <-s.rootCtx.Done():
+			for {
+				select {
+				case t := <-s.queue:
+					s.runTask(t)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// runTask executes one admitted task and delivers its result.
+func (s *Server) runTask(t *task) {
+	defer s.inflight.Done()
+	s.gauge("server.queue_depth", int64(len(s.queue)))
+	queueNS := time.Since(t.enqueued).Nanoseconds()
+	s.cfg.Obs.Observe("server.queue_ns", queueNS)
+	if err := t.ctx.Err(); err != nil {
+		// Expired while queued: don't burn a worker on a dead request.
+		s.cfg.Obs.Count("server.expired_in_queue", 1)
+		t.done <- taskResult{err: err, queueNS: queueNS}
+		return
+	}
+	start := time.Now()
+	res := s.dispatch(t)
+	res.queueNS = queueNS
+	res.solveNS = time.Since(start).Nanoseconds()
+	s.cfg.Obs.Count("server.requests", 1)
+	s.cfg.Obs.Count("server.requests."+t.req.Solver, 1)
+	s.cfg.Obs.Observe("server.latency_ns."+t.req.Solver, res.solveNS)
+	if res.err != nil {
+		s.cfg.Obs.Count("server.errors", 1)
+	}
+	t.done <- res
+}
+
+// dispatch runs the named solver (or sweep) under the task's context. A
+// solver panic is converted into an error so one bad request cannot take
+// the pool down.
+func (s *Server) dispatch(t *task) (res taskResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.err = fmt.Errorf("server: solver %q panicked: %v", t.req.Solver, r)
+		}
+	}()
+	spec, ok := engine.Lookup(t.req.Solver)
+	if !ok {
+		// Admission already vetted the name; re-check defensively.
+		res.err = fmt.Errorf("%w: %q", engine.ErrUnknownSolver, t.req.Solver)
+		return res
+	}
+	in := &t.req.Instance.Instance
+	if spec.Kind == engine.KindSweep {
+		ks := t.req.Ks
+		if len(ks) == 0 {
+			ks = rebalance.DefaultFrontierKs(in.N())
+		}
+		points, err := rebalance.FrontierCtx(t.ctx, in, ks, rebalance.FrontierOptions{
+			Workers: s.cfg.SolverWorkers, Obs: s.cfg.Obs,
+		})
+		res.sweep = true
+		res.err = err
+		res.points = make([]SweepPoint, len(points))
+		for i, p := range points {
+			res.points[i] = SweepPoint{K: p.K, Makespan: p.Makespan, Moves: p.Moves}
+		}
+		return res
+	}
+	res.sol, res.err = engine.Solve(t.ctx, t.req.Solver, in, engine.Params{
+		K:       t.req.K,
+		Budget:  t.req.Budget,
+		Eps:     t.req.Eps,
+		Workers: s.cfg.SolverWorkers,
+		Obs:     s.cfg.Obs,
+		Allowed: t.req.Instance.Allowed, Conflicts: t.req.Instance.Conflicts,
+	})
+	return res
+}
+
+// Handler returns the API mux. It may be wrapped (logging, auth) before
+// being handed to an http.Server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return mux
+}
+
+// Shutdown drains the server: admission stops immediately (readyz and
+// new solves answer 503), then queued and in-flight solves run to
+// completion. If ctx fires first, the stragglers' solve contexts are
+// cancelled — they return promptly with context errors and their
+// handlers answer 503 — and ctx.Err() is reported. The worker pool has
+// fully exited when Shutdown returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cfg.Obs.Count("server.drain_cancelled", 1)
+	}
+	s.rootCancel() // stops workers; cancels any straggler solve contexts
+	<-s.workers
+	return err
+}
+
+// Close is Shutdown with no grace: in-flight solves are cancelled
+// immediately.
+func (s *Server) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Shutdown(ctx)
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// gauge sets a named gauge when instrumentation is on.
+func (s *Server) gauge(name string, v int64) {
+	if s.cfg.Obs != nil {
+		s.cfg.Obs.Reg.Gauge(name).Set(v)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// statusFor maps a solve error onto an HTTP status: unknown solver 404,
+// unusable request 400, infeasible instance 422, deadline 504,
+// cancellation (drain or disconnect) 503, anything else 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrUnknownSolver):
+		return http.StatusNotFound
+	case errors.Is(err, engine.ErrUnsupported):
+		return http.StatusBadRequest
+	case errors.Is(err, instance.ErrInfeasible):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleSolve is POST /v1/solve: decode and validate, admit (or answer
+// 429/503), then wait for the worker's result or the request deadline.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req SolveRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.cfg.Obs.Count("server.bad_requests", 1)
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if err := req.Instance.Validate(); err != nil {
+		s.cfg.Obs.Count("server.bad_requests", 1)
+		writeError(w, http.StatusBadRequest, "invalid instance: %v", err)
+		return
+	}
+	spec, ok := engine.Lookup(req.Solver)
+	if !ok {
+		s.cfg.Obs.Count("server.unknown_solver", 1)
+		writeError(w, http.StatusNotFound, "unknown solver %q (known: %s)",
+			req.Solver, knownSolvers())
+		return
+	}
+	// Reject parameters the solver does not consume, mirroring the CLI's
+	// flag validation: a nonzero field counts as explicitly set.
+	set := map[string]bool{"k": req.K != 0, "budget": req.Budget != 0, "eps": req.Eps != 0}
+	if err := engine.ValidateFlags(req.Solver, set); err != nil {
+		s.cfg.Obs.Count("server.bad_requests", 1)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Ks) > 0 && spec.Kind != engine.KindSweep {
+		s.cfg.Obs.Count("server.bad_requests", 1)
+		writeError(w, http.StatusBadRequest, "solver %q is not a sweep; ks applies only to sweep-kind solvers", req.Solver)
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	// The solve context dies with the first of: the deadline, the client
+	// connection (r.Context()), or a drain timeout (rootCtx).
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	stop := context.AfterFunc(s.rootCtx, cancel)
+	defer stop()
+
+	t := &task{ctx: ctx, req: &req, enqueued: time.Now(), done: make(chan taskResult, 1)}
+	s.inflight.Add(1)
+	select {
+	case s.queue <- t:
+		s.gauge("server.queue_depth", int64(len(s.queue)))
+	default:
+		s.inflight.Done()
+		s.cfg.Obs.Count("server.rejected_full", 1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "admission queue full (%d deep); retry later", s.cfg.QueueDepth)
+		return
+	}
+
+	select {
+	case res := <-t.done:
+		if res.err != nil {
+			writeError(w, statusFor(res.err), "%v", res.err)
+			return
+		}
+		in := &req.Instance.Instance
+		resp := SolveResponse{
+			Solver:          req.Solver,
+			InitialMakespan: in.InitialMakespan(),
+			LowerBound:      in.LowerBound(),
+			QueueNS:         res.queueNS,
+			SolveNS:         res.solveNS,
+		}
+		if res.sweep {
+			resp.Points = res.points
+		} else {
+			resp.Assign = res.sol.Assign
+			resp.Makespan = res.sol.Makespan
+			resp.Moves = res.sol.Moves
+			resp.MoveCost = res.sol.MoveCost
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case <-ctx.Done():
+		// The worker (if it reached the task) sees the same cancelled
+		// context and stops promptly; its buffered send is discarded.
+		err := ctx.Err()
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.cfg.Obs.Count("server.deadline_expired", 1)
+		}
+		writeError(w, statusFor(err), "solve abandoned: %v", err)
+	}
+}
+
+func knownSolvers() string { return strings.Join(engine.Names(), ", ") }
+
+// handleSolvers is GET /v1/solvers.
+func (s *Server) handleSolvers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, Catalog())
+}
+
+// handleHealthz is GET /healthz — liveness: 200 as long as the process
+// can serve HTTP, draining or not.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, ReadyResponse{Status: "ok", QueueDepth: len(s.queue)})
+}
+
+// handleReadyz is GET /readyz — readiness: 503 once draining begins so
+// load balancers stop routing here before the listener closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Status: "draining", QueueDepth: len(s.queue)})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadyResponse{Status: "ok", QueueDepth: len(s.queue)})
+}

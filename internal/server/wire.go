@@ -1,0 +1,111 @@
+// Wire format of the rebalanced HTTP API. The request embeds the same
+// extended-instance JSON that genwork writes and the CLI reads, so a
+// file produced by `genwork` can be pasted into the "instance" field of
+// a request body unchanged. The response carries the solver's solution
+// (or, for sweep-kind solvers, the tradeoff curve) plus queue/solve
+// timings so callers can see admission latency separately from compute.
+package server
+
+import (
+	"repro/internal/engine"
+	"repro/internal/instance"
+)
+
+// SolveRequest is the body of POST /v1/solve.
+type SolveRequest struct {
+	// Solver names a registered engine solver (see GET /v1/solvers);
+	// sweep-kind entries such as "frontier" are accepted and return
+	// Points instead of an assignment.
+	Solver string `json:"solver"`
+	// Instance is the problem in the extended JSON format (base fields
+	// m/jobs/assign plus optional allowed/conflicts), exactly as written
+	// by genwork.
+	Instance instance.Extended `json:"instance"`
+	// K is the move budget for k-capable solvers.
+	K int `json:"k,omitempty"`
+	// Budget is the relocation cost budget for budget-capable solvers.
+	Budget int64 `json:"budget,omitempty"`
+	// Eps is the approximation parameter; zero means the solver default.
+	Eps float64 `json:"eps,omitempty"`
+	// TimeoutMS requests a per-solve deadline in milliseconds. Zero
+	// means the server's default; the server clamps every request to its
+	// configured maximum. The deadline covers queue wait plus solve.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Ks lists the move budgets for a sweep-kind solver. Empty means the
+	// default doubling ladder 0, 1, 2, 4, … capped at the job count.
+	Ks []int `json:"ks,omitempty"`
+}
+
+// SweepPoint is one point of a sweep-kind solver's tradeoff curve.
+type SweepPoint struct {
+	K        int   `json:"k"`
+	Makespan int64 `json:"makespan"`
+	Moves    int   `json:"moves"`
+}
+
+// SolveResponse is the success body of POST /v1/solve.
+type SolveResponse struct {
+	// Solver echoes the request's solver name.
+	Solver string `json:"solver"`
+	// Assign, Makespan, Moves and MoveCost describe the solution of a
+	// solution-kind solver (absent for sweeps).
+	Assign   []int `json:"assign,omitempty"`
+	Makespan int64 `json:"makespan,omitempty"`
+	Moves    int   `json:"moves,omitempty"`
+	MoveCost int64 `json:"move_cost,omitempty"`
+	// Points is the tradeoff curve of a sweep-kind solver.
+	Points []SweepPoint `json:"points,omitempty"`
+	// InitialMakespan and LowerBound contextualize the result: the
+	// makespan before rebalancing and max(ceil(total/m), max job size).
+	InitialMakespan int64 `json:"initial_makespan"`
+	LowerBound      int64 `json:"lower_bound"`
+	// QueueNS and SolveNS split the request's server-side latency into
+	// admission-queue wait and solver compute, in nanoseconds.
+	QueueNS int64 `json:"queue_ns"`
+	SolveNS int64 `json:"solve_ns"`
+}
+
+// ErrorResponse is the body of every non-2xx API response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// SolverInfo is one entry of GET /v1/solvers — the registry spec
+// flattened into a wire-friendly shape.
+type SolverInfo struct {
+	Name          string   `json:"name"`
+	Summary       string   `json:"summary"`
+	Guarantee     string   `json:"guarantee"`
+	Kind          string   `json:"kind"` // "solution" or "sweep"
+	Flags         []string `json:"flags,omitempty"`
+	Exponential   bool     `json:"exponential,omitempty"`
+	NeedsExtended bool     `json:"needs_extended,omitempty"`
+}
+
+// Catalog renders the engine registry as the GET /v1/solvers payload.
+func Catalog() []SolverInfo {
+	specs := engine.Specs()
+	infos := make([]SolverInfo, len(specs))
+	for i, s := range specs {
+		kind := "solution"
+		if s.Kind == engine.KindSweep {
+			kind = "sweep"
+		}
+		infos[i] = SolverInfo{
+			Name:          s.Name,
+			Summary:       s.Summary,
+			Guarantee:     s.Guarantee,
+			Kind:          kind,
+			Flags:         s.FlagNames(),
+			Exponential:   s.Caps.Exponential,
+			NeedsExtended: s.Caps.NeedsExtended,
+		}
+	}
+	return infos
+}
+
+// ReadyResponse is the body of GET /readyz and GET /healthz.
+type ReadyResponse struct {
+	Status     string `json:"status"` // "ok" or "draining"
+	QueueDepth int    `json:"queue_depth"`
+}
