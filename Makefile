@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race race-fast vet bench bench-json serve loadtest ci check clean
+.PHONY: build test short race race-fast vet bench bench-json serve loadtest fuzz-short ci check clean
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,11 @@ race:
 	$(GO) test -race ./...
 
 # race-fast covers only the concurrency-bearing packages (the worker
-# pool, the shared metric sinks, the engine registry, and the serving
-# layer) — the quick pre-push check; `ci` and `race` sweep the module.
+# pool, the shared metric sinks, the engine registry, the solution
+# cache's single-flight layer, and the serving layer) — the quick
+# pre-push check; `ci` and `race` sweep the module.
 race-fast:
-	$(GO) test -race ./internal/par ./internal/obs ./internal/engine ./internal/server/...
+	$(GO) test -race ./internal/par ./internal/obs ./internal/engine ./internal/cache ./internal/server/...
 
 vet:
 	$(GO) vet ./...
@@ -36,12 +37,23 @@ bench-json:
 # loadtest points the load generator at it (override with make
 # loadtest LOADGEN_FLAGS="-alg ptas -budget 500 -n 100").
 SERVE_FLAGS ?= -addr localhost:8080 -debug-addr localhost:8081
-LOADGEN_FLAGS ?= -addr localhost:8080 -alg mpartition -k 10 -n 200 -c 8
+LOADGEN_FLAGS ?= -addr localhost:8080 -alg mpartition -k 10 -n 200 -c 8 -dup 0.3
 serve:
 	$(GO) run ./cmd/rebalanced $(SERVE_FLAGS)
 
 loadtest:
 	$(GO) run ./cmd/loadgen $(LOADGEN_FLAGS)
+
+# fuzz-short gives each native fuzz target a ~10s budget on top of its
+# committed seed corpus: long enough to shake out encoding and
+# status-mapping regressions, short enough for every CI run. Dedicated
+# long fuzz sessions just raise -fuzztime.
+FUZZTIME ?= 10s
+fuzz-short:
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzMPartitionInvariants -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzPartitionBudgetInvariants -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cache -run '^$$' -fuzz FuzzCanonicalHash -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/server -run '^$$' -fuzz FuzzServerSolve -fuzztime $(FUZZTIME)
 
 # ci is the single gate: static checks, the full suite, and the race
 # detector over the whole module — which includes the server's admission
@@ -54,6 +66,7 @@ ci:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./...
+	$(MAKE) fuzz-short
 
 check: vet test race
 

@@ -8,10 +8,13 @@
 //	loadgen -addr localhost:8080 -alg mpartition -k 10 -n 500 -c 16
 //	loadgen -addr localhost:8080 -alg ptas -budget 500 -n 100 -c 4 -timeout 2s
 //
-// It pre-generates -instances distinct instances with internal/workload
-// (same knobs as genwork: -jobs, -m, -max, -sizes, -place, -costs,
-// -seed) and cycles through them across -n requests issued by -c
-// concurrent senders. 429 (queue full) and 504 (deadline) responses are
+// It pre-generates distinct instances with internal/workload (same
+// knobs as genwork: -jobs, -m, -max, -sizes, -place, -costs, -seed) —
+// one per request by default, or a cycling working set of -instances —
+// issued across -n requests by -c concurrent senders. -dup sets the
+// fraction of requests that re-send the first instance (a hot key),
+// exercising the daemon's solution cache; the report includes the
+// observed hit rate from the responses' "cache" field. 429 (queue full) and 504 (deadline) responses are
 // counted, not retried, so the report shows how the daemon's admission
 // control behaved under the offered load. Ctrl-C stops the run early
 // and prints the report for the requests already issued.
@@ -50,7 +53,8 @@ func main() {
 	n := flag.Int("n", 200, "total requests to issue")
 	c := flag.Int("c", 8, "concurrent senders")
 	timeout := flag.Duration("timeout", 0, "per-request deadline sent as timeout_ms (0: server default)")
-	instances := flag.Int("instances", 8, "distinct instances to pre-generate and cycle through")
+	instances := flag.Int("instances", 0, "distinct instances to pre-generate and cycle through (0: one per request)")
+	dup := flag.Float64("dup", 0, "fraction of requests [0,1] that re-send the first instance (cache hot key)")
 	jobs := flag.Int("jobs", 200, "jobs per generated instance")
 	m := flag.Int("m", 8, "processors per generated instance")
 	maxSize := flag.Int64("max", 1000, "maximum job size")
@@ -77,8 +81,11 @@ func main() {
 	if cfg.Costs, err = workload.ParseCostModel(*costs); err != nil {
 		log.Fatal(err)
 	}
+	// Default: a distinct instance per request, so the daemon's cache
+	// hit rate is controlled by -dup alone. A small -instances value
+	// instead simulates a hot working set cycling through the cache.
 	if *instances < 1 {
-		*instances = 1
+		*instances = *n
 	}
 	// Ship only the tuning parameters the solver consumes, so flag
 	// defaults (-k 10) don't trip the server's parameter validation on
@@ -118,15 +125,38 @@ func main() {
 	// metrics use; its p50/p90/p99 are nearest-rank.
 	lat := &obs.Histogram{}
 	var ok, rejected, deadline, failed atomic.Int64
+	var hits, misses, coalesced atomic.Int64
+	if *dup < 0 {
+		*dup = 0
+	}
+	if *dup > 1 {
+		*dup = 1
+	}
 	start := time.Now()
 	_ = par.Do(ctx, *n, *c, func(i int) error {
+		req := reqs[i%len(reqs)]
+		// Deterministic duplicate schedule: request i is a hot-key repeat
+		// when the running total floor(i·dup) ticks up at i, which spreads
+		// repeats evenly and realizes the -dup fraction at any -n without
+		// an RNG. Request 0 always seeds the cache with the hot key.
+		if i > 0 && int64(float64(i)**dup) > int64(float64(i-1)**dup) {
+			req = reqs[0]
+		}
 		t0 := time.Now()
-		_, err := cl.Solve(ctx, reqs[i%len(reqs)])
+		resp, err := cl.Solve(ctx, req)
 		lat.Observe(time.Since(t0).Nanoseconds())
 		var ae *client.APIError
 		switch {
 		case err == nil:
 			ok.Add(1)
+			switch resp.Cache {
+			case "hit":
+				hits.Add(1)
+			case "miss":
+				misses.Add(1)
+			case "coalesced":
+				coalesced.Add(1)
+			}
 		case errors.As(err, &ae) && ae.StatusCode == http.StatusTooManyRequests:
 			rejected.Add(1)
 		case errors.As(err, &ae) && ae.StatusCode == http.StatusGatewayTimeout:
@@ -154,6 +184,10 @@ func main() {
 			time.Duration(lat.Quantile(0.90)).Round(time.Microsecond),
 			time.Duration(lat.Quantile(0.99)).Round(time.Microsecond),
 			time.Duration(lat.Max()).Round(time.Microsecond))
+	}
+	if h, ms, co := hits.Load(), misses.Load(), coalesced.Load(); h+ms+co > 0 {
+		fmt.Printf("cache:      %d hit, %d miss, %d coalesced (hit rate %.1f%%)\n",
+			h, ms, co, 100*float64(h+co)/float64(h+ms+co))
 	}
 	if r := rejected.Load(); r > 0 {
 		fmt.Printf("note:       %d rejections mean the offered load exceeded pool+queue capacity\n", r)

@@ -12,9 +12,14 @@
 // Endpoints:
 //
 //	POST /v1/solve   {"solver":"mpartition","k":10,"instance":{...}}
+//	POST /v1/batch   {"requests":[{...},{...}]} — per-item results
 //	GET  /v1/solvers solver catalog (names, flags, bounds)
 //	GET  /healthz    liveness
 //	GET  /readyz     readiness (503 while draining)
+//
+// Caching: solution-kind solves are memoized in a canonical-form LRU
+// with single-flight coalescing (-cache entries; -cache -1 disables).
+// Hit/miss/coalesce counters appear under cache.* in expvar.
 //
 // Admission control: at most -queue requests wait while -pool workers
 // solve; beyond that the daemon answers 429 with Retry-After instead of
@@ -55,6 +60,8 @@ func main() {
 	queue := flag.Int("queue", server.DefaultQueueDepth, "admission queue depth; beyond it requests get 429")
 	timeout := flag.Duration("timeout", server.DefaultTimeout, "default per-request deadline (queue wait + solve)")
 	maxTimeout := flag.Duration("max-timeout", server.DefaultMaxTimeout, "clamp on request-supplied timeout_ms")
+	cacheEntries := flag.Int("cache", server.DefaultCacheEntries, "solution cache LRU entries (0: default, negative: disable caching)")
+	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "max requests per /v1/batch call")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown grace before in-flight solves are cancelled")
 	debugAddr := flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address")
 	metrics := flag.Bool("metrics", false, "print the end-of-run metrics summary to stderr at exit")
@@ -82,6 +89,8 @@ func main() {
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		CacheEntries:   *cacheEntries,
+		MaxBatch:       *maxBatch,
 		Obs:            sink,
 	})
 	httpSrv := &http.Server{

@@ -44,11 +44,15 @@ func FrontierSolver(name string) func(ctx context.Context, in *Instance, k int, 
 }
 
 // DefaultFrontierKs returns the doubling ladder of move budgets 0, 1,
-// 2, 4, … capped at n — the default sweep schedule shared by the CLI's
-// frontier mode and the serving layer when the caller names no budgets.
+// 2, 4, … plus the endpoint n — the default sweep schedule shared by
+// the CLI's frontier mode and the serving layer when the caller names
+// no budgets. The endpoint is always included (not only when n is a
+// power of two): k = n is where the curve bottoms out at the
+// unconstrained optimum, and a sweep that stops short of it reports a
+// frontier that never reaches its floor.
 func DefaultFrontierKs(n int) []int {
 	var ks []int
-	for k := 0; k <= n; {
+	for k := 0; k < n; {
 		ks = append(ks, k)
 		if k == 0 {
 			k = 1
@@ -56,6 +60,7 @@ func DefaultFrontierKs(n int) []int {
 			k *= 2
 		}
 	}
+	ks = append(ks, n)
 	return ks
 }
 

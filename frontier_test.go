@@ -7,6 +7,31 @@ import (
 	"testing"
 )
 
+// TestDefaultFrontierKsEndpoint pins the default sweep schedule: it
+// must start at 0, be strictly increasing, and always end at k = n —
+// the point where the frontier bottoms out at the unconstrained
+// optimum. (The old doubling ladder stopped short of n whenever n was
+// not a power of two.)
+func TestDefaultFrontierKsEndpoint(t *testing.T) {
+	for n := 1; n <= 64; n++ {
+		ks := DefaultFrontierKs(n)
+		if ks[0] != 0 {
+			t.Fatalf("n=%d: ladder starts at %d, want 0", n, ks[0])
+		}
+		if last := ks[len(ks)-1]; last != n {
+			t.Fatalf("n=%d: ladder ends at %d, want the endpoint n", n, last)
+		}
+		for i := 1; i < len(ks); i++ {
+			if ks[i] <= ks[i-1] {
+				t.Fatalf("n=%d: ladder not strictly increasing: %v", n, ks)
+			}
+		}
+	}
+	if ks := DefaultFrontierKs(0); len(ks) != 1 || ks[0] != 0 {
+		t.Fatalf("n=0: ladder %v, want [0]", ks)
+	}
+}
+
 func TestFrontierBoundsAndOrder(t *testing.T) {
 	in := Generate(WorkloadConfig{
 		N: 60, M: 6, Sizes: SizeZipf, Placement: PlaceOneHot, Seed: 5,

@@ -1,0 +1,232 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/instance"
+	"repro/internal/obs"
+)
+
+// DefaultMaxEntries is the LRU size bound applied when Config.MaxEntries
+// is unset.
+const DefaultMaxEntries = 4096
+
+// Outcome classifies how the cache served one Solve call.
+type Outcome int
+
+const (
+	// Bypass: the request was not cacheable (sweep-kind solver or
+	// unknown name) and went straight to the engine.
+	Bypass Outcome = iota
+	// Miss: this call ran the engine and populated the cache.
+	Miss
+	// Hit: the result came from a cached entry; no engine call.
+	Hit
+	// Coalesced: an identical request was already in flight; this call
+	// waited for it and shared its result.
+	Coalesced
+)
+
+// String returns the wire name of the outcome ("" for Bypass, so the
+// JSON field is omitted for uncacheable requests).
+func (o Outcome) String() string {
+	switch o {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	}
+	return ""
+}
+
+// Config tunes a Cache.
+type Config struct {
+	// MaxEntries bounds the LRU; ≤ 0 means DefaultMaxEntries.
+	MaxEntries int
+	// BaseCtx is the context in-flight solves run under — typically the
+	// server's root context, so a drain cancels flights. Nil means
+	// context.Background(). Per-call deadlines are layered on top.
+	BaseCtx context.Context
+	// Obs receives the cache.* counters (hits, misses, coalesced,
+	// evictions, size); nil disables instrumentation.
+	Obs *obs.Sink
+}
+
+// flight is one in-progress solve that concurrent identical requests
+// coalesce onto. refs counts the parties still interested (the
+// initiator plus attached waiters); when it reaches zero the flight's
+// context is cancelled so an abandoned solve stops promptly.
+type flight struct {
+	done   chan struct{}     // closed when sol/err are final
+	sol    instance.Solution // canonical job order
+	err    error
+	refs   atomic.Int64
+	cancel context.CancelFunc
+}
+
+// detach drops one party's interest; the last detach cancels the
+// in-flight solve.
+func (f *flight) detach() {
+	if f.refs.Add(-1) == 0 {
+		f.cancel()
+	}
+}
+
+// Cache is the solution cache: canonical-form keyed LRU + single-flight
+// request coalescing over the engine registry. Safe for concurrent use.
+type Cache struct {
+	base context.Context
+	sink *obs.Sink
+
+	mu      sync.Mutex
+	entries *lru
+	flights map[Key]*flight
+}
+
+// New returns a cache with the given configuration.
+func New(cfg Config) *Cache {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = DefaultMaxEntries
+	}
+	if cfg.BaseCtx == nil {
+		cfg.BaseCtx = context.Background()
+	}
+	return &Cache{
+		base:    cfg.BaseCtx,
+		sink:    cfg.Obs,
+		entries: newLRU(cfg.MaxEntries),
+		flights: make(map[Key]*flight),
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries.len()
+}
+
+// Solve runs the named solver through the cache: a canonical-form hit
+// returns the stored result re-indexed onto this request's job order
+// with no engine call; a request identical to one already in flight
+// waits for that flight and shares its outcome; otherwise this call
+// becomes the flight, solves, and populates the cache.
+//
+// Cancellation semantics: a waiter whose ctx fires detaches and returns
+// ctx.Err() without killing the in-flight solve — remaining waiters
+// still get the result. The flight itself runs under BaseCtx plus the
+// initiator's deadline; it is cancelled early only when every attached
+// party has detached. Only successes and ErrInfeasible (a deterministic
+// property of the instance) are cached; contextual errors never poison
+// the cache.
+func (c *Cache) Solve(ctx context.Context, solver string, ext *instance.Extended, p engine.Params) (instance.Solution, Outcome, error) {
+	spec, ok := engine.Lookup(solver)
+	if !ok || spec.Kind != engine.KindSolution {
+		// Unknown names keep the engine's typed error; sweep-kind
+		// entries are not cacheable through this surface.
+		sol, err := engine.Solve(ctx, solver, &ext.Instance, p)
+		return sol, Bypass, err
+	}
+	can := Canonicalize(solver, spec.Caps, ext, p)
+
+	c.mu.Lock()
+	if e, ok := c.entries.get(can.Key); ok {
+		c.mu.Unlock()
+		c.count("cache.hits", solver)
+		if e.err != nil {
+			return instance.Solution{}, Hit, e.err
+		}
+		return can.FromCanonical(e.sol), Hit, nil
+	}
+	if f, ok := c.flights[can.Key]; ok {
+		f.refs.Add(1)
+		c.mu.Unlock()
+		c.count("cache.coalesced", solver)
+		select {
+		case <-f.done:
+			f.detach() // balance the attach; the flight is already final
+			if f.err != nil {
+				return instance.Solution{}, Coalesced, f.err
+			}
+			return can.FromCanonical(f.sol), Coalesced, nil
+		case <-ctx.Done():
+			f.detach()
+			return instance.Solution{}, Coalesced, ctx.Err()
+		}
+	}
+
+	// This call is the flight. It runs under the cache's base context
+	// with the initiator's deadline layered on, NOT under the
+	// initiator's ctx directly: if the initiator disconnects while
+	// waiters are attached, the solve must keep running for them.
+	fctx := c.base
+	var cancel context.CancelFunc
+	if d, ok := ctx.Deadline(); ok {
+		fctx, cancel = context.WithDeadline(c.base, d)
+	} else {
+		fctx, cancel = context.WithCancel(c.base)
+	}
+	f := &flight{done: make(chan struct{}), cancel: cancel}
+	f.refs.Store(1)
+	c.flights[can.Key] = f
+	c.mu.Unlock()
+	c.count("cache.misses", solver)
+
+	// If the initiator's own ctx dies mid-solve, detach it like any
+	// other waiter; the flight survives while others remain attached.
+	stopDetach := context.AfterFunc(ctx, f.detach)
+
+	sol, err := spec.Solve(fctx, &ext.Instance, p)
+
+	c.mu.Lock()
+	delete(c.flights, can.Key)
+	if err == nil || errors.Is(err, instance.ErrInfeasible) {
+		e := &entry{key: can.Key, solver: solver, err: err}
+		if err == nil {
+			e.sol = can.ToCanonical(sol)
+		}
+		for _, ev := range c.entries.add(e) {
+			c.count("cache.evictions", ev.solver)
+		}
+		c.gaugeSize()
+	}
+	c.mu.Unlock()
+	f.sol, f.err = can.ToCanonical(sol), err
+	close(f.done)
+	if stopDetach() {
+		f.detach()
+	}
+	cancel() // release the flight context's resources
+
+	// The flight context reports Canceled when every party detached; if
+	// this initiator's own ctx is what fired, surface its error (e.g.
+	// DeadlineExceeded) instead.
+	if err != nil && ctx.Err() != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		err = ctx.Err()
+	}
+	return sol, Miss, err
+}
+
+// count bumps the aggregate and per-solver counters for one event.
+func (c *Cache) count(name, solver string) {
+	if c.sink == nil {
+		return
+	}
+	c.sink.Count(name, 1)
+	c.sink.Count(name+"."+solver, 1)
+}
+
+// gaugeSize publishes the entry count; the caller holds c.mu.
+func (c *Cache) gaugeSize() {
+	if c.sink == nil {
+		return
+	}
+	c.sink.Reg.Gauge("cache.size").Set(int64(c.entries.len()))
+}

@@ -1,0 +1,429 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/instance"
+	"repro/internal/obs"
+)
+
+// Test-only solvers registered once per test binary. "cachetest-count"
+// counts engine invocations (single-flight assertions); "cachetest-gate"
+// additionally parks until released so concurrent duplicates can pile up
+// on one flight.
+var (
+	registerOnce sync.Once
+	solveCount   atomic.Int64
+	gateStarted  = make(chan struct{}, 64)
+	gateRelease  = make(chan struct{})
+)
+
+func registerTestSolvers() {
+	registerOnce.Do(func() {
+		engine.Register(engine.Spec{
+			Name: "cachetest-count", Summary: "counts invocations", Guarantee: "-",
+			Run: func(_ context.Context, in *instance.Instance, _ engine.Params) (instance.Solution, error) {
+				solveCount.Add(1)
+				return instance.NewSolution(in, in.Assign), nil
+			},
+		})
+		engine.Register(engine.Spec{
+			Name: "cachetest-gate", Summary: "counts invocations, parks until released", Guarantee: "-",
+			Run: func(ctx context.Context, in *instance.Instance, _ engine.Params) (instance.Solution, error) {
+				solveCount.Add(1)
+				gateStarted <- struct{}{}
+				select {
+				case <-gateRelease:
+					return instance.NewSolution(in, in.Assign), nil
+				case <-ctx.Done():
+					return instance.Solution{}, ctx.Err()
+				}
+			},
+		})
+	})
+}
+
+func testExt() *instance.Extended {
+	return extOf(instance.MustNew(3, []int64{7, 5, 4, 3, 3, 2}, nil, []int{0, 0, 0, 1, 1, 2}))
+}
+
+// solverParams builds Params exercising exactly the capabilities the
+// spec advertises, on an instance with n jobs.
+func solverParams(spec engine.Spec, n int) engine.Params {
+	p := engine.Params{Workers: 1}
+	if spec.Caps.K {
+		p.K = 2
+	}
+	if spec.Caps.Budget {
+		p.Budget = 3
+	}
+	if spec.Caps.NeedsExtended {
+		p.Allowed = make([][]int, n)
+	}
+	return p
+}
+
+// TestCachedVsFreshAllSolvers runs every registered solution-kind
+// solver twice through the cache and once directly, asserting the hit
+// is byte-identical to both the miss and the fresh engine result.
+func TestCachedVsFreshAllSolvers(t *testing.T) {
+	registerTestSolvers()
+	for _, spec := range engine.Specs() {
+		if spec.Kind != engine.KindSolution || strings.HasPrefix(spec.Name, "cachetest-") {
+			continue
+		}
+		t.Run(spec.Name, func(t *testing.T) {
+			ext := testExt()
+			p := solverParams(spec, ext.N())
+			if spec.Caps.NeedsExtended {
+				ext.Allowed = p.Allowed
+			}
+			c := New(Config{})
+			fresh, err := engine.Solve(context.Background(), spec.Name, &ext.Instance, p)
+			if err != nil {
+				t.Fatalf("fresh solve: %v", err)
+			}
+			miss, out, err := c.Solve(context.Background(), spec.Name, ext, p)
+			if err != nil || out != Miss {
+				t.Fatalf("first cache solve: outcome %v, err %v", out, err)
+			}
+			hit, out, err := c.Solve(context.Background(), spec.Name, ext, p)
+			if err != nil || out != Hit {
+				t.Fatalf("second cache solve: outcome %v, err %v", out, err)
+			}
+			for name, got := range map[string]instance.Solution{"miss": miss, "hit": hit} {
+				if got.Makespan != fresh.Makespan || got.Moves != fresh.Moves || got.MoveCost != fresh.MoveCost {
+					t.Errorf("%s metrics (%d,%d,%d) != fresh (%d,%d,%d)", name,
+						got.Makespan, got.Moves, got.MoveCost, fresh.Makespan, fresh.Moves, fresh.MoveCost)
+				}
+				for j := range fresh.Assign {
+					if got.Assign[j] != fresh.Assign[j] {
+						t.Errorf("%s assign %v != fresh %v", name, got.Assign, fresh.Assign)
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPermutedRequestHits pins the tentpole property end to end: a
+// permuted-but-identical instance is served from the cache, and the
+// re-indexed solution verifies against the permuted labeling.
+func TestPermutedRequestHits(t *testing.T) {
+	registerTestSolvers()
+	c := New(Config{})
+	in := instance.MustNew(2, []int64{9, 6, 5, 3}, nil, []int{0, 0, 0, 1})
+	p := engine.Params{K: 2, Workers: 1}
+	if _, out, err := c.Solve(context.Background(), "greedy", extOf(in), p); err != nil || out != Miss {
+		t.Fatalf("seed solve: outcome %v, err %v", out, err)
+	}
+	perm := instance.MustNew(2, []int64{3, 5, 9, 6}, nil, []int{1, 0, 0, 0})
+	sol, out, err := c.Solve(context.Background(), "greedy", extOf(perm), p)
+	if err != nil || out != Hit {
+		t.Fatalf("permuted solve: outcome %v, err %v", out, err)
+	}
+	direct, err := engine.Solve(context.Background(), "greedy", perm, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Makespan != direct.Makespan {
+		t.Errorf("permuted hit makespan %d, direct solve %d", sol.Makespan, direct.Makespan)
+	}
+	if got := perm.Makespan(sol.Assign); got != sol.Makespan {
+		t.Errorf("re-indexed assignment scores %d under the permuted labeling, claims %d", got, sol.Makespan)
+	}
+	if got := perm.MoveCount(sol.Assign); got > p.K {
+		t.Errorf("re-indexed assignment makes %d moves, budget k=%d", got, p.K)
+	}
+}
+
+// TestSingleFlightCoalesce floods one key with concurrent identical
+// requests (run under -race in CI) and asserts exactly one engine
+// invocation with every caller sharing its result.
+func TestSingleFlightCoalesce(t *testing.T) {
+	registerTestSolvers()
+	sink := obs.New()
+	c := New(Config{Obs: sink})
+	ext := testExt()
+	p := engine.Params{Workers: 1}
+	before := solveCount.Load()
+
+	const callers = 16
+	outcomes := make([]Outcome, callers)
+	sols := make([]instance.Solution, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sols[i], outcomes[i], errs[i] = c.Solve(context.Background(), "cachetest-gate", ext, p)
+		}(i)
+	}
+	<-gateStarted // one flight is running
+	// Give stragglers a moment to attach to the flight, then release.
+	deadline := time.After(2 * time.Second)
+	for sink.Reg.Counter("cache.coalesced").Value() < callers-1 {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d callers coalesced", sink.Reg.Counter("cache.coalesced").Value())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(gateRelease)
+	wg.Wait()
+
+	if got := solveCount.Load() - before; got != 1 {
+		t.Fatalf("%d engine invocations for %d identical requests, want 1", got, callers)
+	}
+	var miss, coalesced int
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		switch outcomes[i] {
+		case Miss:
+			miss++
+		case Coalesced:
+			coalesced++
+		default:
+			t.Fatalf("caller %d: outcome %v", i, outcomes[i])
+		}
+		if sols[i].Makespan != sols[0].Makespan {
+			t.Fatalf("caller %d got a different solution", i)
+		}
+	}
+	if miss != 1 || coalesced != callers-1 {
+		t.Fatalf("%d miss + %d coalesced, want 1 + %d", miss, coalesced, callers-1)
+	}
+	if sink.Reg.Counter("cache.misses.cachetest-gate").Value() != 1 {
+		t.Error("per-solver miss counter != 1")
+	}
+	// The flight's result landed in the LRU: one more call is a hit.
+	if _, out, err := c.Solve(context.Background(), "cachetest-gate", ext, p); err != nil || out != Hit {
+		t.Fatalf("post-flight solve: outcome %v, err %v", out, err)
+	}
+}
+
+// TestWaiterCancelDoesNotPoisonFlight cancels one coalesced waiter
+// mid-flight: the waiter returns its ctx error promptly, the flight
+// completes for the surviving callers, and the cache entry lands.
+func TestWaiterCancelDoesNotPoisonFlight(t *testing.T) {
+	registerTestSolvers()
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	engine.Register(engine.Spec{
+		Name: "cachetest-waiter", Summary: "parks until released", Guarantee: "-",
+		Run: func(ctx context.Context, in *instance.Instance, _ engine.Params) (instance.Solution, error) {
+			started <- struct{}{}
+			select {
+			case <-release:
+				return instance.NewSolution(in, in.Assign), nil
+			case <-ctx.Done():
+				return instance.Solution{}, ctx.Err()
+			}
+		},
+	})
+	sink := obs.New()
+	c := New(Config{Obs: sink})
+	ext := testExt()
+	p := engine.Params{Workers: 1}
+
+	ownerDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Solve(context.Background(), "cachetest-waiter", ext, p)
+		ownerDone <- err
+	}()
+	<-started
+
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, out, err := c.Solve(waiterCtx, "cachetest-waiter", ext, p)
+		if out != Coalesced {
+			err = errors.New("waiter was not coalesced")
+		}
+		waiterDone <- err
+	}()
+	for sink.Reg.Counter("cache.coalesced").Value() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancelWaiter()
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+	}
+	select {
+	case err := <-ownerDone:
+		t.Fatalf("flight died with the waiter: %v", err)
+	default:
+	}
+	close(release)
+	if err := <-ownerDone; err != nil {
+		t.Fatalf("owner: %v", err)
+	}
+	if _, out, err := c.Solve(context.Background(), "cachetest-waiter", ext, p); err != nil || out != Hit {
+		t.Fatalf("flight result not cached: outcome %v, err %v", out, err)
+	}
+}
+
+// TestAllPartiesGoneCancelsFlight: when the only interested caller's
+// ctx fires, the flight context is cancelled so the solve stops, and
+// the error is not cached.
+func TestAllPartiesGoneCancelsFlight(t *testing.T) {
+	registerTestSolvers()
+	started := make(chan struct{}, 8)
+	engine.Register(engine.Spec{
+		Name: "cachetest-abandon", Summary: "parks until its ctx fires", Guarantee: "-",
+		Run: func(ctx context.Context, _ *instance.Instance, _ engine.Params) (instance.Solution, error) {
+			started <- struct{}{}
+			<-ctx.Done()
+			return instance.Solution{}, ctx.Err()
+		},
+	})
+	c := New(Config{})
+	ext := testExt()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Solve(ctx, "cachetest-abandon", ext, engine.Params{})
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("abandoned solve returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("flight did not cancel after its last party detached")
+	}
+	if c.Len() != 0 {
+		t.Error("cancellation error was cached")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	registerTestSolvers()
+	sink := obs.New()
+	c := New(Config{MaxEntries: 2, Obs: sink})
+	p := engine.Params{Workers: 1}
+	mk := func(first int64) *instance.Extended {
+		return extOf(instance.MustNew(2, []int64{first, 4, 3}, nil, []int{0, 0, 1}))
+	}
+	for _, s := range []int64{10, 11, 12} {
+		if _, out, err := c.Solve(context.Background(), "cachetest-count", mk(s), p); err != nil || out != Miss {
+			t.Fatalf("size %d: outcome %v, err %v", s, out, err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, bound is 2", c.Len())
+	}
+	if got := sink.Reg.Counter("cache.evictions").Value(); got != 1 {
+		t.Fatalf("eviction counter %d, want 1", got)
+	}
+	// The oldest (10) was evicted; the newer two still hit.
+	if _, out, _ := c.Solve(context.Background(), "cachetest-count", mk(11), p); out != Hit {
+		t.Errorf("entry 11: outcome %v, want Hit", out)
+	}
+	if _, out, _ := c.Solve(context.Background(), "cachetest-count", mk(12), p); out != Hit {
+		t.Errorf("entry 12: outcome %v, want Hit", out)
+	}
+	if _, out, _ := c.Solve(context.Background(), "cachetest-count", mk(10), p); out != Miss {
+		t.Errorf("evicted entry 10: outcome %v, want Miss", out)
+	}
+}
+
+// TestLRUTouchOnHit pins recency updates: touching the oldest entry
+// saves it from the next eviction.
+func TestLRUTouchOnHit(t *testing.T) {
+	registerTestSolvers()
+	c := New(Config{MaxEntries: 2})
+	p := engine.Params{Workers: 1}
+	mk := func(first int64) *instance.Extended {
+		return extOf(instance.MustNew(2, []int64{first, 4, 3}, nil, []int{0, 0, 1}))
+	}
+	c.Solve(context.Background(), "cachetest-count", mk(20), p)
+	c.Solve(context.Background(), "cachetest-count", mk(21), p)
+	c.Solve(context.Background(), "cachetest-count", mk(20), p) // touch 20
+	c.Solve(context.Background(), "cachetest-count", mk(22), p) // evicts 21
+	if _, out, _ := c.Solve(context.Background(), "cachetest-count", mk(20), p); out != Hit {
+		t.Errorf("touched entry 20 was evicted (outcome %v)", out)
+	}
+	if _, out, _ := c.Solve(context.Background(), "cachetest-count", mk(21), p); out != Miss {
+		t.Errorf("entry 21 survived past the bound (outcome %v)", out)
+	}
+}
+
+// TestInfeasibleCached: ErrInfeasible is a deterministic property of
+// the instance, so it is cached like a success.
+func TestInfeasibleCached(t *testing.T) {
+	registerTestSolvers()
+	c := New(Config{})
+	// k=0 with an imbalanced start: exact cannot move anything, but that
+	// is feasible; instead use conflict with an over-full clique, which
+	// is genuinely infeasible (3 mutually conflicting jobs, 2 machines).
+	ext := extOf(instance.MustNew(2, []int64{3, 2, 1}, nil, []int{0, 0, 1}))
+	ext.Conflicts = [][2]int{{0, 1}, {0, 2}, {1, 2}}
+	p := engine.Params{Conflicts: ext.Conflicts}
+	_, out, err := c.Solve(context.Background(), "conflict", ext, p)
+	if !errors.Is(err, instance.ErrInfeasible) {
+		t.Fatalf("expected ErrInfeasible, got %v (outcome %v)", err, out)
+	}
+	_, out, err = c.Solve(context.Background(), "conflict", ext, p)
+	if !errors.Is(err, instance.ErrInfeasible) || out != Hit {
+		t.Fatalf("second call: outcome %v, err %v; want Hit + ErrInfeasible", out, err)
+	}
+}
+
+// TestSweepBypasses: sweep-kind entries are not cacheable through this
+// surface and must pass through untouched.
+func TestSweepBypasses(t *testing.T) {
+	registerTestSolvers()
+	c := New(Config{})
+	_, out, err := c.Solve(context.Background(), "frontier", testExt(), engine.Params{})
+	if out != Bypass {
+		t.Fatalf("sweep outcome %v, want Bypass", out)
+	}
+	if !errors.Is(err, engine.ErrUnsupported) {
+		t.Fatalf("sweep through Solve returned %v, want ErrUnsupported", err)
+	}
+	_, out, err = c.Solve(context.Background(), "no-such-solver", testExt(), engine.Params{})
+	if out != Bypass || !errors.Is(err, engine.ErrUnknownSolver) {
+		t.Fatalf("unknown solver: outcome %v, err %v", out, err)
+	}
+}
+
+// TestDeadlineErrorSurfaces: the initiator's deadline is layered onto
+// the flight context, and the returned error is DeadlineExceeded (not
+// the flight's internal Canceled), preserving the server's 504 mapping.
+func TestDeadlineErrorSurfaces(t *testing.T) {
+	registerTestSolvers()
+	c := New(Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	// cachetest-gate parks until ctx fires (gateRelease is already closed
+	// by the coalesce test only within its own run; use a fresh solver).
+	engine.Register(engine.Spec{
+		Name: "cachetest-deadline", Summary: "parks until its ctx fires", Guarantee: "-",
+		Run: func(ctx context.Context, _ *instance.Instance, _ engine.Params) (instance.Solution, error) {
+			<-ctx.Done()
+			return instance.Solution{}, ctx.Err()
+		},
+	})
+	_, _, err := c.Solve(ctx, "cachetest-deadline", testExt(), engine.Params{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline expiry surfaced as %v, want DeadlineExceeded", err)
+	}
+	if c.Len() != 0 {
+		t.Error("deadline error was cached")
+	}
+}

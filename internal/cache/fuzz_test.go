@@ -1,0 +1,130 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/instance"
+)
+
+// fuzzInstance decodes raw fuzz bytes into a valid instance: three
+// bytes per job (size 1–64, cost 0–15, processor).
+func fuzzInstance(mRaw uint8, raw []byte) *instance.Instance {
+	m := int(mRaw%6) + 1
+	if len(raw) == 0 {
+		raw = []byte{1}
+	}
+	if len(raw) > 60 {
+		raw = raw[:60]
+	}
+	n := (len(raw) + 2) / 3
+	at := func(i int) byte {
+		if i < len(raw) {
+			return raw[i]
+		}
+		return 0
+	}
+	sizes := make([]int64, n)
+	costs := make([]int64, n)
+	assign := make([]int, n)
+	for j := 0; j < n; j++ {
+		sizes[j] = int64(at(3*j)%64) + 1
+		costs[j] = int64(at(3*j+1) % 16)
+		assign[j] = int(at(3*j+2)) % m
+	}
+	return instance.MustNew(m, sizes, costs, assign)
+}
+
+// relabel applies perm to the instance: out job i is original job
+// perm[i].
+func relabel(in *instance.Instance, perm []int) *instance.Instance {
+	out := &instance.Instance{M: in.M, Jobs: make([]instance.Job, in.N()), Assign: make([]int, in.N())}
+	for i, j := range perm {
+		out.Jobs[i] = instance.Job{ID: i, Size: in.Jobs[j].Size, Cost: in.Jobs[j].Cost}
+		out.Assign[i] = in.Assign[j]
+	}
+	return out
+}
+
+// FuzzCanonicalHash fuzzes the canonical-form hasher's two defining
+// properties: permutation invariance (relabeled jobs collide on the
+// same key, and the recorded permutation re-indexes solutions
+// correctly) and injectivity under mutation (changing any semantic
+// field of the request — a size, a cost, an assignment, m, or a
+// caps-relevant parameter — changes the key).
+func FuzzCanonicalHash(f *testing.F) {
+	f.Add(uint8(3), uint8(2), []byte{5, 1, 0, 9, 2, 1, 200, 0, 0})
+	f.Add(uint8(1), uint8(0), []byte{255})
+	f.Add(uint8(2), uint8(7), []byte{90, 3, 1, 90, 3, 0, 90, 3, 1})
+	f.Add(uint8(6), uint8(255), []byte{1, 1, 1, 2, 2, 2, 3, 3, 3, 4, 4, 4})
+	f.Fuzz(func(t *testing.T, mRaw, kRaw uint8, raw []byte) {
+		in := fuzzInstance(mRaw, raw)
+		n := in.N()
+		spec, _ := engine.Lookup("greedy")
+		p := engine.Params{K: int(kRaw % 16)}
+		base := Canonicalize("greedy", spec.Caps, extOf(in), p)
+
+		// Permutation invariance: rotation and reversal of the job list.
+		rot := make([]int, n)
+		rev := make([]int, n)
+		shift := int(kRaw) % n
+		for i := range rot {
+			rot[i] = (i + shift) % n
+			rev[i] = n - 1 - i
+		}
+		for _, perm := range [][]int{rot, rev} {
+			twin := relabel(in, perm)
+			got := Canonicalize("greedy", spec.Caps, extOf(twin), p)
+			if got.Key != base.Key {
+				t.Fatalf("relabeled instance hashed differently\noriginal: %+v\ntwin: %+v", in, twin)
+			}
+			// The permutation must re-index a solution onto the twin's
+			// labeling with identical loads.
+			sol := instance.NewSolution(in, in.Assign)
+			mapped := got.FromCanonical(base.ToCanonical(sol))
+			if ms := twin.Makespan(mapped.Assign); ms != sol.Makespan {
+				t.Fatalf("re-indexed solution scores %d, original %d", ms, sol.Makespan)
+			}
+		}
+
+		// Mutations: every semantic change must move the key.
+		mutations := map[string]func() Canonical{
+			"size+1": func() Canonical {
+				mut := in.Clone()
+				mut.Jobs[n-1].Size++
+				return Canonicalize("greedy", spec.Caps, extOf(mut), p)
+			},
+			"cost+1": func() Canonical {
+				mut := in.Clone()
+				mut.Jobs[0].Cost++
+				return Canonicalize("greedy", spec.Caps, extOf(mut), p)
+			},
+			"m+1": func() Canonical {
+				mut := in.Clone()
+				mut.M++
+				return Canonicalize("greedy", spec.Caps, extOf(mut), p)
+			},
+			"k+1": func() Canonical {
+				return Canonicalize("greedy", spec.Caps, extOf(in), engine.Params{K: p.K + 1})
+			},
+			"extra-job": func() Canonical {
+				mut := &instance.Instance{M: in.M}
+				mut.Jobs = append(append([]instance.Job(nil), in.Jobs...), instance.Job{ID: n, Size: 1})
+				mut.Assign = append(append([]int(nil), in.Assign...), 0)
+				return Canonicalize("greedy", spec.Caps, extOf(mut), p)
+			},
+		}
+		if in.M > 1 {
+			mutations["assign-moved"] = func() Canonical {
+				mut := in.Clone()
+				mut.Assign[0] = (mut.Assign[0] + 1) % mut.M
+				return Canonicalize("greedy", spec.Caps, extOf(mut), p)
+			}
+		}
+		for name, mutate := range mutations {
+			if got := mutate(); got.Key == base.Key {
+				t.Fatalf("mutation %q collided with the base key (instance %+v)", name, in)
+			}
+		}
+	})
+}

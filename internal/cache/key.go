@@ -1,0 +1,221 @@
+// Package cache is the solution cache of the serving layer: a
+// canonical-form instance hasher, a size-bounded LRU of solver results,
+// and a single-flight layer that coalesces concurrent identical
+// requests into one engine call (DESIGN.md §10).
+//
+// Canonical form: two solve requests are equivalent when they name the
+// same solver, agree on every tuning parameter that solver consumes,
+// and their instances differ only by a relabeling of job indices — the
+// same multiset of (size, cost, initial processor) triples on the same
+// processor count. The hasher sorts jobs into a canonical order before
+// encoding, so permuted-but-identical requests collide on the same key,
+// and it records the permutation so a cached solution (stored in
+// canonical job order) can be re-indexed onto any requester's ordering.
+// Instances carrying §5 extension fields (allowed sets, conflicts) are
+// hashed as-given under the identity permutation: the extension data is
+// per-job, so equal-triple jobs are no longer interchangeable.
+//
+// Only parameters the solver's capability metadata advertises enter the
+// key (caps-relevant flags): a greedy key ignores Budget and Eps, a
+// budget key ignores K. Params.Workers never enters the key — the
+// engine contract is that results are identical at every worker count.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/instance"
+)
+
+// Key is a canonical-form cache key: the SHA-256 digest of the
+// canonical encoding. Two requests collide iff their canonical
+// encodings are byte-identical (modulo a hash collision, which the
+// fuzz suite hunts for and the 256-bit digest makes negligible).
+type Key [sha256.Size]byte
+
+// Canonical is the canonicalized identity of one solve request: the
+// cache key plus the job permutation that maps the request's ordering
+// onto canonical order.
+type Canonical struct {
+	// Key is the cache key.
+	Key Key
+	// perm[j] is the canonical slot of request job j; nil means the
+	// identity (already canonical, or an extended instance).
+	perm []int
+}
+
+// keyVersion stamps the encoding layout; bump it whenever the canonical
+// encoding changes so stale keys from older layouts cannot collide.
+const keyVersion = "rebalance-cache-v1\x00"
+
+// Canonicalize computes the canonical identity of a solve request
+// against the named solver's capability metadata.
+func Canonicalize(solver string, caps engine.Caps, ext *instance.Extended, p engine.Params) Canonical {
+	order := canonicalOrder(ext)
+	enc := appendCanonical(nil, solver, caps, ext, p, order)
+	c := Canonical{Key: sha256.Sum256(enc)}
+	if order != nil {
+		c.perm = make([]int, len(order))
+		for slot, j := range order {
+			c.perm[j] = slot
+		}
+	}
+	return c
+}
+
+// canonicalOrder returns the job indices in canonical order — sorted by
+// (size, cost, initial processor), ties broken by index — or nil when
+// the request must keep its own ordering (extension fields present) or
+// is already sorted. Jobs equal in all three attributes are genuinely
+// interchangeable: swapping them changes neither loads nor move counts.
+func canonicalOrder(ext *instance.Extended) []int {
+	if len(ext.Allowed) > 0 || len(ext.Conflicts) > 0 {
+		return nil
+	}
+	in := &ext.Instance
+	less := func(a, b int) bool {
+		ja, jb := in.Jobs[a], in.Jobs[b]
+		if ja.Size != jb.Size {
+			return ja.Size < jb.Size
+		}
+		if ja.Cost != jb.Cost {
+			return ja.Cost < jb.Cost
+		}
+		return in.Assign[a] < in.Assign[b]
+	}
+	sorted := true
+	for j := 1; j < in.N(); j++ {
+		if less(j, j-1) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return nil
+	}
+	order := make([]int, in.N())
+	for j := range order {
+		order[j] = j
+	}
+	sort.SliceStable(order, func(a, b int) bool { return less(order[a], order[b]) })
+	return order
+}
+
+// appendCanonical appends the canonical encoding of the request to dst.
+// order is the canonical job order (nil = identity). The encoding is
+// injective over (solver, m, canonical job triples, caps-masked params,
+// extension fields): every field is length-delimited or fixed-width, so
+// distinct requests cannot encode to the same bytes.
+func appendCanonical(dst []byte, solver string, caps engine.Caps, ext *instance.Extended, p engine.Params, order []int) []byte {
+	in := &ext.Instance
+	dst = append(dst, keyVersion...)
+	dst = append(dst, solver...)
+	dst = append(dst, 0)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(in.M))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(in.N()))
+	for slot := 0; slot < in.N(); slot++ {
+		j := slot
+		if order != nil {
+			j = order[slot]
+		}
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(in.Jobs[j].Size))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(in.Jobs[j].Cost))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(in.Assign[j]))
+	}
+	// Caps-relevant flags only: a mask byte makes "K consumed but zero"
+	// distinct from "K not consumed".
+	var mask byte
+	if caps.K {
+		mask |= 1
+	}
+	if caps.Budget {
+		mask |= 2
+	}
+	if caps.Eps {
+		mask |= 4
+	}
+	dst = append(dst, mask)
+	if caps.K {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(p.K))
+	}
+	if caps.Budget {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(p.Budget))
+	}
+	if caps.Eps {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.Eps))
+	}
+	if len(ext.Allowed) > 0 || len(ext.Conflicts) > 0 {
+		dst = append(dst, 'E')
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(len(ext.Allowed)))
+		for _, set := range ext.Allowed {
+			if set == nil {
+				dst = binary.LittleEndian.AppendUint64(dst, math.MaxUint64)
+				continue
+			}
+			// Allowed sets are semantically unordered; hash a sorted copy.
+			sorted := append([]int(nil), set...)
+			sort.Ints(sorted)
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(len(sorted)))
+			for _, m := range sorted {
+				dst = binary.LittleEndian.AppendUint64(dst, uint64(m))
+			}
+		}
+		// Conflict pairs are unordered both within a pair and across the
+		// list; hash the normalized sorted form.
+		pairs := make([][2]int, len(ext.Conflicts))
+		for i, c := range ext.Conflicts {
+			if c[0] > c[1] {
+				c[0], c[1] = c[1], c[0]
+			}
+			pairs[i] = c
+		}
+		sort.Slice(pairs, func(a, b int) bool {
+			if pairs[a][0] != pairs[b][0] {
+				return pairs[a][0] < pairs[b][0]
+			}
+			return pairs[a][1] < pairs[b][1]
+		})
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(len(pairs)))
+		for _, c := range pairs {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(c[0]))
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(c[1]))
+		}
+	}
+	return dst
+}
+
+// ToCanonical re-indexes a solution computed on the request's job
+// ordering into canonical job order for storage. The scalar metrics
+// (makespan, moves, move cost) are invariant under the relabeling.
+func (c Canonical) ToCanonical(sol instance.Solution) instance.Solution {
+	out := sol
+	out.Assign = make([]int, len(sol.Assign))
+	if c.perm == nil {
+		copy(out.Assign, sol.Assign)
+		return out
+	}
+	for j, p := range sol.Assign {
+		out.Assign[c.perm[j]] = p
+	}
+	return out
+}
+
+// FromCanonical re-indexes a canonical-order solution onto this
+// request's job ordering. For the request that populated the entry the
+// round trip reproduces the solver's output exactly.
+func (c Canonical) FromCanonical(sol instance.Solution) instance.Solution {
+	out := sol
+	out.Assign = make([]int, len(sol.Assign))
+	if c.perm == nil {
+		copy(out.Assign, sol.Assign)
+		return out
+	}
+	for j := range out.Assign {
+		out.Assign[j] = sol.Assign[c.perm[j]]
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/instance"
+)
+
+func extOf(in *instance.Instance) *instance.Extended {
+	var ext instance.Extended
+	ext.Instance = *in
+	return &ext
+}
+
+// shuffled returns the same instance with its jobs relabeled by a
+// random permutation: the identical multiset of (size, cost, assign)
+// triples in a different order.
+func shuffled(in *instance.Instance, rng *rand.Rand) (*instance.Instance, []int) {
+	n := in.N()
+	perm := rng.Perm(n) // out[i] gets original job perm[i]
+	out := &instance.Instance{M: in.M, Jobs: make([]instance.Job, n), Assign: make([]int, n)}
+	for i, j := range perm {
+		out.Jobs[i] = instance.Job{ID: i, Size: in.Jobs[j].Size, Cost: in.Jobs[j].Cost}
+		out.Assign[i] = in.Assign[j]
+	}
+	return out, perm
+}
+
+func TestPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	spec, _ := engine.Lookup("greedy")
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(10)
+		m := 1 + rng.Intn(4)
+		sizes := make([]int64, n)
+		costs := make([]int64, n)
+		assign := make([]int, n)
+		for j := range sizes {
+			sizes[j] = 1 + rng.Int63n(20)
+			costs[j] = rng.Int63n(5)
+			assign[j] = rng.Intn(m)
+		}
+		in := instance.MustNew(m, sizes, costs, assign)
+		p := engine.Params{K: rng.Intn(n + 1)}
+		base := Canonicalize("greedy", spec.Caps, extOf(in), p)
+		for i := 0; i < 3; i++ {
+			sh, _ := shuffled(in, rng)
+			got := Canonicalize("greedy", spec.Caps, extOf(sh), p)
+			if got.Key != base.Key {
+				t.Fatalf("trial %d: permuted instance hashed differently\noriginal: %+v\nshuffled: %+v", trial, in, sh)
+			}
+		}
+	}
+}
+
+func TestKeyDistinguishesRequests(t *testing.T) {
+	in := instance.MustNew(2, []int64{5, 4, 3}, nil, []int{0, 0, 1})
+	greedy, _ := engine.Lookup("greedy")
+	budget, _ := engine.Lookup("budget")
+
+	base := Canonicalize("greedy", greedy.Caps, extOf(in), engine.Params{K: 1})
+	distinct := map[string]Canonical{
+		"different k":      Canonicalize("greedy", greedy.Caps, extOf(in), engine.Params{K: 2}),
+		"different solver": Canonicalize("budget", budget.Caps, extOf(in), engine.Params{Budget: 1}),
+		"different m": Canonicalize("greedy", greedy.Caps,
+			extOf(instance.MustNew(3, []int64{5, 4, 3}, nil, []int{0, 0, 1})), engine.Params{K: 1}),
+		"different size": Canonicalize("greedy", greedy.Caps,
+			extOf(instance.MustNew(2, []int64{5, 4, 2}, nil, []int{0, 0, 1})), engine.Params{K: 1}),
+		"different cost": Canonicalize("greedy", greedy.Caps,
+			extOf(instance.MustNew(2, []int64{5, 4, 3}, []int64{1, 1, 7}, []int{0, 0, 1})), engine.Params{K: 1}),
+		"different assign": Canonicalize("greedy", greedy.Caps,
+			extOf(instance.MustNew(2, []int64{5, 4, 3}, nil, []int{0, 1, 1})), engine.Params{K: 1}),
+	}
+	for name, c := range distinct {
+		if c.Key == base.Key {
+			t.Errorf("%s: collided with the base key", name)
+		}
+	}
+}
+
+// TestCapsMaskParams pins that only capability-relevant parameters
+// enter the key: greedy ignores Budget/Eps, and Workers never counts.
+func TestCapsMaskParams(t *testing.T) {
+	in := instance.MustNew(2, []int64{5, 4, 3}, nil, []int{0, 0, 1})
+	spec, _ := engine.Lookup("greedy")
+	base := Canonicalize("greedy", spec.Caps, extOf(in), engine.Params{K: 1})
+	same := Canonicalize("greedy", spec.Caps, extOf(in),
+		engine.Params{K: 1, Budget: 99, Eps: 0.5, Workers: 8})
+	if same.Key != base.Key {
+		t.Error("parameters outside greedy's capability set changed the key")
+	}
+	ptas, _ := engine.Lookup("ptas")
+	b1 := Canonicalize("ptas", ptas.Caps, extOf(in), engine.Params{Budget: 5, Eps: 0.2, Workers: 1})
+	b2 := Canonicalize("ptas", ptas.Caps, extOf(in), engine.Params{Budget: 5, Eps: 0.2, Workers: 16})
+	if b1.Key != b2.Key {
+		t.Error("Workers entered the key; results are worker-count invariant by contract")
+	}
+	b3 := Canonicalize("ptas", ptas.Caps, extOf(in), engine.Params{Budget: 5, Eps: 0.3})
+	if b3.Key == b1.Key {
+		t.Error("Eps is capability-relevant for ptas but did not change the key")
+	}
+}
+
+// TestZeroParamDistinctFromAbsent guards the mask byte: "K consumed and
+// zero" must hash differently from a hypothetical encoding where K is
+// simply absent (here: greedy K=0 vs lpt, same instance bytes).
+func TestZeroParamDistinctFromAbsent(t *testing.T) {
+	in := instance.MustNew(2, []int64{5, 4, 3}, nil, []int{0, 0, 1})
+	greedy, _ := engine.Lookup("greedy")
+	a := Canonicalize("greedy", greedy.Caps, extOf(in), engine.Params{K: 0})
+	b := Canonicalize("greedy", engine.Caps{}, extOf(in), engine.Params{})
+	if a.Key == b.Key {
+		t.Error("K-consumed-but-zero collided with K-not-consumed")
+	}
+}
+
+func TestExtendedInstanceHashing(t *testing.T) {
+	in := instance.MustNew(2, []int64{5, 5, 3}, nil, []int{0, 0, 1})
+	spec, _ := engine.Lookup("constrained")
+
+	mk := func(allowed [][]int, conflicts [][2]int) Canonical {
+		ext := extOf(in)
+		ext.Allowed = allowed
+		ext.Conflicts = conflicts
+		return Canonicalize("constrained", spec.Caps, ext, engine.Params{K: 1})
+	}
+	plain := Canonicalize("constrained", spec.Caps, extOf(in), engine.Params{K: 1})
+	a := mk([][]int{{0, 1}, nil, {1}}, nil)
+	if a.Key == plain.Key {
+		t.Error("allowed sets did not enter the key")
+	}
+	if !a.identity() {
+		t.Error("extended instance must use the identity permutation")
+	}
+	// Allowed sets are unordered: {1,0} ≡ {0,1}.
+	if b := mk([][]int{{1, 0}, nil, {1}}, nil); b.Key != a.Key {
+		t.Error("allowed-set member order changed the key")
+	}
+	if c := mk([][]int{{0}, nil, {1}}, nil); c.Key == a.Key {
+		t.Error("different allowed sets collided")
+	}
+	// Conflict pairs are unordered within the pair and across the list.
+	c1 := mk(nil, [][2]int{{0, 1}, {1, 2}})
+	c2 := mk(nil, [][2]int{{2, 1}, {1, 0}})
+	if c1.Key != c2.Key {
+		t.Error("conflict pair order changed the key")
+	}
+	if c3 := mk(nil, [][2]int{{0, 2}}); c3.Key == c1.Key {
+		t.Error("different conflict lists collided")
+	}
+}
+
+// identity reports whether the canonical permutation is the identity.
+func (c Canonical) identity() bool { return c.perm == nil }
+
+// TestSolutionRoundTrip checks that ToCanonical/FromCanonical invert
+// each other for the request that produced the permutation, and that a
+// differently-permuted request of the same instance recovers a solution
+// with identical metrics and per-job placement.
+func TestSolutionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	spec, _ := engine.Lookup("greedy")
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		m := 1 + rng.Intn(3)
+		sizes := make([]int64, n)
+		assign := make([]int, n)
+		for j := range sizes {
+			sizes[j] = 1 + rng.Int63n(9)
+			assign[j] = rng.Intn(m)
+		}
+		in := instance.MustNew(m, sizes, nil, assign)
+		can := Canonicalize("greedy", spec.Caps, extOf(in), engine.Params{K: n})
+
+		sol := instance.NewSolution(in, randomAssign(in, rng))
+		got := can.FromCanonical(can.ToCanonical(sol))
+		for j := range sol.Assign {
+			if got.Assign[j] != sol.Assign[j] {
+				t.Fatalf("trial %d: round trip changed job %d: %v -> %v", trial, j, sol.Assign, got.Assign)
+			}
+		}
+
+		// A permuted twin shares the key; its FromCanonical view of the
+		// stored solution must score identically under its own labeling.
+		sh, perm := shuffled(in, rng)
+		can2 := Canonicalize("greedy", spec.Caps, extOf(sh), engine.Params{K: n})
+		if can2.Key != can.Key {
+			t.Fatalf("trial %d: permuted twin hashed differently", trial)
+		}
+		twin := can2.FromCanonical(can.ToCanonical(sol))
+		if ms := sh.Makespan(twin.Assign); ms != in.Makespan(sol.Assign) {
+			t.Fatalf("trial %d: twin makespan %d, want %d (perm %v)", trial, ms, in.Makespan(sol.Assign), perm)
+		}
+	}
+}
+
+func randomAssign(in *instance.Instance, rng *rand.Rand) []int {
+	a := make([]int, in.N())
+	for j := range a {
+		a[j] = rng.Intn(in.M)
+	}
+	return a
+}

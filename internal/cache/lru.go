@@ -1,0 +1,60 @@
+package cache
+
+import (
+	"container/list"
+
+	"repro/internal/instance"
+)
+
+// entry is one cached solver outcome, stored in canonical job order.
+type entry struct {
+	key    Key
+	solver string // for per-solver eviction counters
+	sol    instance.Solution
+	err    error // nil, or a deterministic semantic error (ErrInfeasible)
+}
+
+// lru is a size-bounded least-recently-used map of cache entries. It is
+// not safe for concurrent use; Cache serializes access under its mutex.
+type lru struct {
+	max   int
+	order *list.List // front = most recently used; values are *entry
+	byKey map[Key]*list.Element
+}
+
+func newLRU(max int) *lru {
+	return &lru{max: max, order: list.New(), byKey: make(map[Key]*list.Element)}
+}
+
+// get returns the entry under key and marks it most recently used.
+func (l *lru) get(key Key) (*entry, bool) {
+	el, ok := l.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	l.order.MoveToFront(el)
+	return el.Value.(*entry), true
+}
+
+// add inserts (or refreshes) an entry and returns the entries evicted
+// to stay within the size bound.
+func (l *lru) add(e *entry) []*entry {
+	if el, ok := l.byKey[e.key]; ok {
+		el.Value = e
+		l.order.MoveToFront(el)
+		return nil
+	}
+	l.byKey[e.key] = l.order.PushFront(e)
+	var evicted []*entry
+	for l.order.Len() > l.max {
+		back := l.order.Back()
+		ev := back.Value.(*entry)
+		l.order.Remove(back)
+		delete(l.byKey, ev.key)
+		evicted = append(evicted, ev)
+	}
+	return evicted
+}
+
+// len returns the number of cached entries.
+func (l *lru) len() int { return l.order.Len() }

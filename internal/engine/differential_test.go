@@ -1,0 +1,207 @@
+package engine_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/exact"
+	"repro/internal/instance"
+	"repro/internal/verify"
+)
+
+// Differential harness: every registered solution-kind solver is
+// cross-checked against the internal/exact branch-and-bound oracle on
+// hundreds of random small instances. Each solver's documented
+// guarantee (the Spec.Guarantee column) is asserted as an inequality
+// against the model-appropriate optimum, every returned assignment is
+// re-verified from scratch, and the k/budget constraint is checked.
+// The per-solver switch is exhaustive: registering a new solution-kind
+// solver without adding its bound here fails the test.
+
+// diffCase is one random instance plus the three reference optima the
+// solver guarantees are stated against.
+type diffCase struct {
+	in     *instance.Instance
+	k      int   // move budget handed to K-capable solvers
+	budget int64 // cost budget handed to Budget-capable solvers
+	optK   int64 // exact optimum of the k-move model
+	optB   int64 // exact optimum of the budget model
+	optN   int64 // unconstrained scheduling optimum (k = n)
+}
+
+// diffTrials honors the acceptance criterion: ≥ 200 instances per
+// solver in short mode, more otherwise.
+func diffTrials() int {
+	if testing.Short() {
+		return 200
+	}
+	return 300
+}
+
+var diffCases []diffCase
+
+func diffSuite(t *testing.T) []diffCase {
+	t.Helper()
+	if diffCases != nil {
+		return diffCases
+	}
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(42))
+	n := diffTrials()
+	cases := make([]diffCase, 0, n)
+	for len(cases) < n {
+		jobs := 1 + rng.Intn(9)
+		m := 1 + rng.Intn(4)
+		sizes := make([]int64, jobs)
+		costs := make([]int64, jobs)
+		assign := make([]int, jobs)
+		var totalCost int64
+		for j := range sizes {
+			sizes[j] = 1 + rng.Int63n(20)
+			costs[j] = rng.Int63n(5)
+			totalCost += costs[j]
+			assign[j] = rng.Intn(m)
+		}
+		c := diffCase{
+			in:     instance.MustNew(m, sizes, costs, assign),
+			k:      rng.Intn(jobs + 2), // occasionally k > n
+			budget: rng.Int63n(totalCost + 2),
+		}
+		var err error
+		var sol instance.Solution
+		if sol, err = exact.Solve(ctx, c.in, c.k, exact.Limits{}); err != nil {
+			t.Fatalf("exact oracle (k=%d): %v", c.k, err)
+		}
+		c.optK = sol.Makespan
+		if sol, err = exact.SolveBudget(ctx, c.in, c.budget, exact.Limits{}); err != nil {
+			t.Fatalf("exact-budget oracle (B=%d): %v", c.budget, err)
+		}
+		c.optB = sol.Makespan
+		if sol, err = exact.Solve(ctx, c.in, jobs, exact.Limits{}); err != nil {
+			t.Fatalf("exact oracle (k=n): %v", err)
+		}
+		c.optN = sol.Makespan
+		cases = append(cases, c)
+	}
+	diffCases = cases
+	return cases
+}
+
+// diffEps is the explicit approximation parameter handed to Eps-capable
+// solvers, so the asserted bound does not depend on per-solver defaults.
+const diffEps = 0.5
+
+func TestDifferentialAgainstExact(t *testing.T) {
+	cases := diffSuite(t)
+	for _, spec := range engine.Specs() {
+		if spec.Kind != engine.KindSolution {
+			continue
+		}
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			ctx := context.Background()
+			for i, c := range cases {
+				p := engine.Params{Workers: 1}
+				if spec.Caps.K {
+					p.K = c.k
+				}
+				if spec.Caps.Budget {
+					p.Budget = c.budget
+				}
+				if spec.Caps.Eps {
+					p.Eps = diffEps
+				}
+				if spec.Caps.NeedsExtended {
+					// Unrestricted extended data: every §5 solver then
+					// solves a plain instance the oracle understands.
+					p.Allowed = make([][]int, c.in.N())
+				}
+				sol, err := engine.Solve(ctx, spec.Name, c.in, p)
+				if err != nil {
+					t.Fatalf("case %d (%+v, k=%d, B=%d): %v", i, c.in, c.k, c.budget, err)
+				}
+
+				// Independent re-verification of the claimed metrics.
+				rep, err := verify.Solution(c.in, sol.Assign)
+				if err != nil {
+					t.Fatalf("case %d: invalid assignment: %v", i, err)
+				}
+				if rep.Makespan != sol.Makespan || rep.Moves != sol.Moves || rep.MoveCost != sol.MoveCost {
+					t.Fatalf("case %d: claimed (ms=%d mv=%d cost=%d) != recomputed (ms=%d mv=%d cost=%d)",
+						i, sol.Makespan, sol.Moves, sol.MoveCost, rep.Makespan, rep.Moves, rep.MoveCost)
+				}
+				// Constraint compliance for the model the solver serves.
+				if spec.Caps.K {
+					if _, err := verify.WithinMoves(c.in, sol.Assign, c.k); err != nil {
+						t.Fatalf("case %d: %v", i, err)
+					}
+				}
+				if spec.Caps.Budget {
+					if _, err := verify.WithinBudget(c.in, sol.Assign, c.budget); err != nil {
+						t.Fatalf("case %d: %v", i, err)
+					}
+				}
+
+				// The documented guarantee, as an exact inequality against
+				// the model-appropriate optimum. Exhaustive by design.
+				m := int64(c.in.M)
+				ms := sol.Makespan
+				switch spec.Name {
+				case "greedy": // 2 − 1/m vs OPT(k)
+					if m*ms > (2*m-1)*c.optK {
+						t.Fatalf("case %d: GREEDY %d > (2−1/m)·OPT (OPT=%d, m=%d)", i, ms, c.optK, m)
+					}
+				case "mpartition": // 1.5 vs OPT(k)
+					if 2*ms > 3*c.optK {
+						t.Fatalf("case %d: M-PARTITION %d > 1.5·OPT (OPT=%d)", i, ms, c.optK)
+					}
+				case "budget": // 1.5·(1+ε) vs OPT(B), default ε = 0.1
+					if float64(ms) > 1.5*1.1*float64(c.optB) {
+						t.Fatalf("case %d: PARTITION %d > 1.65·OPT (OPT=%d)", i, ms, c.optB)
+					}
+				case "ptas": // 1+ε vs OPT(B)
+					if limit := int64(float64(c.optB) * (1 + diffEps)); ms > limit {
+						t.Fatalf("case %d: PTAS %d > (1+ε)·OPT = %d (OPT=%d)", i, ms, limit, c.optB)
+					}
+				case "gap": // 2 vs OPT(B)
+					if ms > 2*c.optB {
+						t.Fatalf("case %d: GAP %d > 2·OPT (OPT=%d)", i, ms, c.optB)
+					}
+				case "exact": // the oracle itself
+					if ms != c.optK {
+						t.Fatalf("case %d: exact %d != OPT(k) %d", i, ms, c.optK)
+					}
+				case "exact-budget":
+					if ms != c.optB {
+						t.Fatalf("case %d: exact-budget %d != OPT(B) %d", i, ms, c.optB)
+					}
+				case "constrained": // opt; unrestricted sets ≡ the k-move model
+					if ms != c.optK {
+						t.Fatalf("case %d: constrained %d != OPT(k) %d", i, ms, c.optK)
+					}
+				case "conflict": // opt; no conflicts ≡ unconstrained scheduling
+					if ms != c.optN {
+						t.Fatalf("case %d: conflict %d != OPT(n) %d", i, ms, c.optN)
+					}
+				case "lpt": // 4/3 − 1/(3m) vs OPT(n)
+					if 3*m*ms > (4*m-1)*c.optN {
+						t.Fatalf("case %d: LPT %d > (4/3−1/3m)·OPT (OPT=%d, m=%d)", i, ms, c.optN, m)
+					}
+				case "multifit": // 13/11 vs OPT(n)
+					if 11*ms > 13*c.optN {
+						t.Fatalf("case %d: MULTIFIT %d > 13/11·OPT (OPT=%d)", i, ms, c.optN)
+					}
+				case "hs-ptas": // 1+ε vs OPT(n)
+					if limit := int64(float64(c.optN) * (1 + diffEps)); ms > limit {
+						t.Fatalf("case %d: dual PTAS %d > (1+ε)·OPT = %d (OPT=%d)", i, ms, limit, c.optN)
+					}
+				default:
+					t.Fatalf("solver %q has no differential bound — add its guarantee to this switch", spec.Name)
+				}
+			}
+		})
+	}
+}

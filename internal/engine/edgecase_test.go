@@ -1,0 +1,199 @@
+package engine_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/instance"
+	"repro/internal/verify"
+)
+
+// Edge-case table shared across every registered solution-kind solver:
+// degenerate shapes (k=0, m=1, n<m, all-equal sizes, already-balanced
+// input) that historically hide off-by-one and clamping bugs. Every
+// solver must return a verifiable assignment with honestly-reported
+// metrics on each of them; the exact family must additionally land on
+// the known optimum.
+
+type edgeCase struct {
+	name string
+	in   *instance.Instance
+	opt  int64 // known optimal makespan with all constraints slack
+}
+
+func edgeCases() []edgeCase {
+	return []edgeCase{
+		{
+			name: "m=1",
+			in:   instance.MustNew(1, []int64{5, 3, 2}, nil, []int{0, 0, 0}),
+			opt:  10, // single processor: makespan is the total, always
+		},
+		{
+			name: "n<m",
+			in:   instance.MustNew(4, []int64{7, 3}, nil, []int{0, 0}),
+			opt:  7, // spread out: one job per processor
+		},
+		{
+			name: "n=1",
+			in:   instance.MustNew(3, []int64{9}, nil, []int{1}),
+			opt:  9,
+		},
+		{
+			name: "all-equal-sizes",
+			in:   instance.MustNew(3, []int64{4, 4, 4, 4, 4, 4}, nil, []int{0, 0, 0, 0, 0, 0}),
+			opt:  8, // 6 equal jobs on 3 processors: 2 each
+		},
+		{
+			name: "already-balanced",
+			in:   instance.MustNew(3, []int64{5, 5, 5}, nil, []int{0, 1, 2}),
+			opt:  5,
+		},
+		{
+			name: "two-big-many-small",
+			in:   instance.MustNew(2, []int64{10, 10, 1, 1, 1, 1}, nil, []int{0, 0, 1, 1, 1, 1}),
+			opt:  12,
+		},
+	}
+}
+
+// slackParams gives the solver every capability it consumes with the
+// constraint fully slack (k = n, budget = total cost), so any valid
+// solver must produce a feasible, verifiable answer.
+func slackParams(spec engine.Spec, in *instance.Instance) engine.Params {
+	p := engine.Params{Workers: 1}
+	if spec.Caps.K {
+		p.K = in.N()
+	}
+	if spec.Caps.Budget {
+		for _, j := range in.Jobs {
+			p.Budget += j.Cost
+		}
+	}
+	if spec.Caps.Eps {
+		p.Eps = 0.1
+	}
+	if spec.Caps.NeedsExtended {
+		p.Allowed = make([][]int, in.N())
+	}
+	return p
+}
+
+func TestEdgeCasesAllSolvers(t *testing.T) {
+	ctx := context.Background()
+	for _, ec := range edgeCases() {
+		for _, spec := range engine.Specs() {
+			if spec.Kind != engine.KindSolution {
+				continue
+			}
+			t.Run(ec.name+"/"+spec.Name, func(t *testing.T) {
+				sol, err := engine.Solve(ctx, spec.Name, ec.in, slackParams(spec, ec.in))
+				if err != nil {
+					t.Fatalf("%v", err)
+				}
+				rep, err := verify.Solution(ec.in, sol.Assign)
+				if err != nil {
+					t.Fatalf("invalid assignment: %v", err)
+				}
+				if rep.Makespan != sol.Makespan || rep.Moves != sol.Moves || rep.MoveCost != sol.MoveCost {
+					t.Fatalf("claimed (ms=%d mv=%d cost=%d) != recomputed (ms=%d mv=%d cost=%d)",
+						sol.Makespan, sol.Moves, sol.MoveCost, rep.Makespan, rep.Moves, rep.MoveCost)
+				}
+				if sol.Makespan < ec.opt {
+					t.Fatalf("makespan %d below the optimum %d — metrics are lying", sol.Makespan, ec.opt)
+				}
+				// The exact family must land on the optimum everywhere.
+				switch spec.Name {
+				case "exact", "exact-budget", "constrained", "conflict":
+					if sol.Makespan != ec.opt {
+						t.Fatalf("exact-kind solver returned %d, optimum is %d", sol.Makespan, ec.opt)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestZeroConstraintFreezes: with k=0 (and budget 0 under positive
+// costs) no job may move — every constrained solver must return the
+// initial assignment's makespan with zero moves, not an "improvement"
+// that smuggles in a relocation.
+func TestZeroConstraintFreezes(t *testing.T) {
+	ctx := context.Background()
+	in := instance.MustNew(3, []int64{9, 7, 5, 3, 1}, nil, []int{0, 0, 0, 0, 0})
+	for _, spec := range engine.Specs() {
+		if spec.Kind != engine.KindSolution || !(spec.Caps.K || spec.Caps.Budget) {
+			continue
+		}
+		t.Run(spec.Name, func(t *testing.T) {
+			p := engine.Params{Workers: 1}
+			if spec.Caps.Eps {
+				p.Eps = 0.1
+			}
+			if spec.Caps.NeedsExtended {
+				p.Allowed = make([][]int, in.N())
+			}
+			sol, err := engine.Solve(ctx, spec.Name, in, p)
+			if err != nil {
+				t.Fatalf("%v", err)
+			}
+			rep, err := verify.Solution(in, sol.Assign)
+			if err != nil {
+				t.Fatalf("invalid assignment: %v", err)
+			}
+			if rep.Moves != 0 {
+				t.Fatalf("%d moves under a zero budget", rep.Moves)
+			}
+			if rep.Makespan != in.InitialMakespan() {
+				t.Fatalf("makespan %d != initial %d with no moves allowed", rep.Makespan, in.InitialMakespan())
+			}
+		})
+	}
+}
+
+// TestKLargerThanN: a move budget beyond the job count must behave
+// exactly like k = n (every job free to move), not crash or clamp into
+// a tighter constraint.
+func TestKLargerThanN(t *testing.T) {
+	ctx := context.Background()
+	in := instance.MustNew(2, []int64{8, 6, 4, 2}, nil, []int{0, 0, 0, 0})
+	for _, spec := range engine.Specs() {
+		if spec.Kind != engine.KindSolution || !spec.Caps.K {
+			continue
+		}
+		t.Run(spec.Name, func(t *testing.T) {
+			p := engine.Params{Workers: 1}
+			if spec.Caps.NeedsExtended {
+				p.Allowed = make([][]int, in.N())
+			}
+			atN, atBig := p, p
+			atN.K = in.N()
+			atBig.K = 10 * in.N()
+			solN, err := engine.Solve(ctx, spec.Name, in, atN)
+			if err != nil {
+				t.Fatalf("k=n: %v", err)
+			}
+			solBig, err := engine.Solve(ctx, spec.Name, in, atBig)
+			if err != nil {
+				t.Fatalf("k=10n: %v", err)
+			}
+			if solBig.Makespan != solN.Makespan {
+				t.Fatalf("makespan %d at k=10n != %d at k=n", solBig.Makespan, solN.Makespan)
+			}
+			if _, err := verify.Solution(in, solBig.Assign); err != nil {
+				t.Fatalf("k=10n assignment invalid: %v", err)
+			}
+		})
+	}
+}
+
+// TestZeroSizeJobsRejected: sizes must be strictly positive; the
+// validation layer (not the solvers) owns this edge.
+func TestZeroSizeJobsRejected(t *testing.T) {
+	if _, err := instance.New(2, []int64{5, 0, 3}, nil, []int{0, 1, 1}); err == nil {
+		t.Fatal("zero-size job passed validation")
+	}
+	if _, err := instance.New(2, []int64{5, -2, 3}, nil, []int{0, 1, 1}); err == nil {
+		t.Fatal("negative-size job passed validation")
+	}
+}

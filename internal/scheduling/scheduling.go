@@ -281,7 +281,16 @@ func dualDecide(sizes []int64, m int, t int64, eps float64) ([]int, bool) {
 	nxt := make([]int, s)
 	for p := 0; p < m; p++ {
 		next := make(map[string]entry, len(frontier))
+		// Iterate the frontier in sorted key order: map order is random,
+		// and the first configuration to reach a state wins, so unsorted
+		// iteration makes the reconstructed schedule (and via the binary
+		// search even the final makespan) vary between identical calls.
+		keys := make([]string, 0, len(frontier))
 		for key := range frontier {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
 			for i := 0; i < s; i++ {
 				cur[i] = int(key[i])
 			}

@@ -118,6 +118,22 @@ func (c *Client) Solve(ctx context.Context, req server.SolveRequest) (*server.So
 	return &resp, nil
 }
 
+// Batch round-trips a batch of solve requests through POST /v1/batch.
+// The returned items are in request order; each carries the status,
+// result, or error that the same request would have produced as a
+// single Solve. An error is returned only when the batch as a whole
+// failed (malformed, oversized, or the daemon is draining).
+func (c *Client) Batch(ctx context.Context, reqs []server.SolveRequest) ([]server.BatchItem, error) {
+	var resp server.BatchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/batch", server.BatchRequest{Requests: reqs}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Items) != len(reqs) {
+		return nil, fmt.Errorf("client: batch returned %d items for %d requests", len(resp.Items), len(reqs))
+	}
+	return resp.Items, nil
+}
+
 // Solvers fetches the daemon's solver catalog.
 func (c *Client) Solvers(ctx context.Context) ([]server.SolverInfo, error) {
 	var infos []server.SolverInfo

@@ -75,6 +75,47 @@ func TestClientRoundTrip(t *testing.T) {
 	}
 }
 
+// TestClientBatch drives the typed batch method against a real Server:
+// per-item statuses and results must match individual Solve calls.
+func TestClientBatch(t *testing.T) {
+	s := server.New(server.Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	c := New(ts.URL, nil)
+	ctx := context.Background()
+
+	in := instance.MustNew(2, []int64{5, 4, 3, 2}, nil, []int{0, 0, 0, 0})
+	good := server.SolveRequest{Solver: "greedy", K: 2}
+	good.Instance.Instance = *in
+	bad := server.SolveRequest{Solver: "nope"}
+	bad.Instance.Instance = *in
+
+	items, err := c.Batch(ctx, []server.SolveRequest{good, bad, good})
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	single, err := c.Solve(ctx, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 2} {
+		item := items[i]
+		if item.Status != http.StatusOK || item.Result == nil {
+			t.Fatalf("item %d: status %d, error %q", i, item.Status, item.Error)
+		}
+		if item.Result.Makespan != single.Makespan || item.Result.Moves != single.Moves {
+			t.Errorf("item %d: (makespan=%d moves=%d) != single solve (makespan=%d moves=%d)",
+				i, item.Result.Makespan, item.Result.Moves, single.Makespan, single.Moves)
+		}
+	}
+	if items[1].Status != http.StatusNotFound || items[1].Error == "" {
+		t.Errorf("unknown-solver item: status %d error %q, want 404 with message", items[1].Status, items[1].Error)
+	}
+}
+
 // TestAPIErrorParsing pins the error decoding against a stub endpoint:
 // message, status and Retry-After all land in the typed error.
 func TestAPIErrorParsing(t *testing.T) {

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fuzzHandler builds one shared server for the whole fuzz run: tight
+// timeouts and a small body cap keep each iteration fast, and a live
+// cache means repeated corpus entries also exercise the hit and
+// coalesce paths.
+var (
+	fuzzOnce sync.Once
+	fuzzMux  http.Handler
+)
+
+func fuzzServer() http.Handler {
+	fuzzOnce.Do(func() {
+		s := New(Config{
+			Workers:        2,
+			QueueDepth:     8,
+			DefaultTimeout: 100 * time.Millisecond,
+			MaxTimeout:     200 * time.Millisecond,
+			MaxBodyBytes:   1 << 15,
+		})
+		fuzzMux = s.Handler()
+	})
+	return fuzzMux
+}
+
+// fuzzStatuses is the closed set of statuses the solve endpoint may
+// produce: anything else means a request escaped the typed error
+// mapping.
+var fuzzStatuses = map[int]bool{
+	http.StatusOK:                  true,
+	http.StatusBadRequest:          true, // malformed JSON, invalid instance, bad flags
+	http.StatusNotFound:            true, // unknown solver
+	http.StatusUnprocessableEntity: true, // infeasible
+	http.StatusTooManyRequests:     true, // queue full
+	http.StatusServiceUnavailable:  true, // draining / abandoned
+	http.StatusGatewayTimeout:      true, // deadline
+	http.StatusInternalServerError: true, // unclassified solver error
+}
+
+// FuzzServerSolve throws arbitrary bytes at POST /v1/solve: the
+// handler must never panic, must always answer with a status from the
+// typed set, and must always produce a JSON body (a SolveResponse on
+// 200, an ErrorResponse otherwise).
+func FuzzServerSolve(f *testing.F) {
+	f.Add([]byte(`{"solver":"greedy","k":2,"instance":{"m":2,"jobs":[{"size":5},{"size":4},{"size":3}],"assign":[0,0,0]}}`))
+	f.Add([]byte(`{"solver":"exact-budget","budget":3,"instance":{"m":2,"jobs":[{"size":5,"cost":1},{"size":4,"cost":2}],"assign":[0,0]}}`))
+	f.Add([]byte(`{"solver":"conflict","instance":{"m":2,"jobs":[{"size":5},{"size":4}],"assign":[0,0],"allowed":[[0],[0,1]],"conflicts":[[0,1]]}}`))
+	f.Add([]byte(`{"solver":"frontier","ks":[0,1,2],"instance":{"m":2,"jobs":[{"size":5},{"size":4}],"assign":[0,0]}}`))
+	f.Add([]byte(`{"solver":"nope","instance":{"m":1,"jobs":[{"size":1}],"assign":[0]}}`))
+	f.Add([]byte(`{"solver":"greedy","k":-7,"instance":{"m":0,"jobs":[],"assign":[]}}`))
+	f.Add([]byte(`{"solver":"greedy","instance":{"m":2,"jobs":[{"size":5}`)) // truncated
+	f.Add([]byte(`{"solver":"ptas","eps":1e308,"timeout_ms":99999999,"instance":{"m":2,"jobs":[{"size":9223372036854775807}],"assign":[0]}}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"solver":"greedy","k":1,"instance":{"m":3,"jobs":[{"size":1},{"size":1}],"assign":[0,9]}}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		h := fuzzServer()
+		req := httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // a panic here fails the fuzz run
+
+		if !fuzzStatuses[rec.Code] {
+			t.Fatalf("status %d outside the typed set (body %q)", rec.Code, body)
+		}
+		var payload json.RawMessage
+		if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+			t.Fatalf("status %d with non-JSON body %q (request %q)", rec.Code, rec.Body.Bytes(), body)
+		}
+		if rec.Code == http.StatusOK {
+			var resp SolveResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 body does not decode as SolveResponse: %v (%q)", err, rec.Body.Bytes())
+			}
+		} else {
+			var eresp ErrorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &eresp); err != nil || eresp.Error == "" {
+				t.Fatalf("status %d without a typed error body: %v (%q)", rec.Code, err, rec.Body.Bytes())
+			}
+		}
+	})
+}

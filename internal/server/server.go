@@ -4,9 +4,17 @@
 //
 //   - POST /v1/solve   — run any registered solver (or sweep) on an
 //     instance shipped in the request body.
+//   - POST /v1/batch   — fan a slice of solve requests through the
+//     worker pool; per-item results and statuses.
 //   - GET  /v1/solvers — the solver catalog, generated from the registry.
 //   - GET  /healthz    — liveness (200 while the process runs).
 //   - GET  /readyz     — readiness (503 once draining begins).
+//
+// Caching: solution-kind solves pass through internal/cache behind the
+// admission queue — a canonical-form LRU plus single-flight coalescing,
+// so repeated and concurrent-identical requests cost one engine call
+// (DESIGN.md §10). Responses carry a "cache" field (hit/miss/coalesced)
+// and the cache.* counters land in the obs sink.
 //
 // Admission control: requests enter a bounded queue; when it is full the
 // server answers 429 with a Retry-After header instead of letting work
@@ -39,6 +47,7 @@ import (
 	"time"
 
 	rebalance "repro"
+	"repro/internal/cache"
 	"repro/internal/engine"
 	"repro/internal/instance"
 	"repro/internal/obs"
@@ -47,10 +56,12 @@ import (
 
 // Defaults applied by New to zero Config fields.
 const (
-	DefaultQueueDepth  = 64
-	DefaultTimeout     = 30 * time.Second
-	DefaultMaxTimeout  = 5 * time.Minute
-	DefaultMaxBodySize = 64 << 20
+	DefaultQueueDepth   = 64
+	DefaultTimeout      = 30 * time.Second
+	DefaultMaxTimeout   = 5 * time.Minute
+	DefaultMaxBodySize  = 64 << 20
+	DefaultCacheEntries = cache.DefaultMaxEntries
+	DefaultMaxBatch     = 256
 )
 
 // Config tunes a Server. The zero value is usable: New fills every
@@ -77,6 +88,12 @@ type Config struct {
 	// MaxBodyBytes bounds the request body. ≤ 0 means the package
 	// default.
 	MaxBodyBytes int64
+	// CacheEntries bounds the solution cache's LRU. 0 means
+	// DefaultCacheEntries; negative disables caching entirely.
+	CacheEntries int
+	// MaxBatch bounds the number of requests in one /v1/batch call.
+	// ≤ 0 means DefaultMaxBatch.
+	MaxBatch int
 	// Obs receives the serving metrics (request counts, latency
 	// histograms, queue depth, rejections) and is threaded into every
 	// solve; nil disables instrumentation.
@@ -92,12 +109,13 @@ type task struct {
 }
 
 type taskResult struct {
-	sol     instance.Solution
-	points  []SweepPoint
-	sweep   bool
-	err     error
-	queueNS int64
-	solveNS int64
+	sol      instance.Solution
+	points   []SweepPoint
+	sweep    bool
+	cacheOut cache.Outcome
+	err      error
+	queueNS  int64
+	solveNS  int64
 }
 
 // Server dispatches HTTP solve requests through the engine registry.
@@ -107,6 +125,8 @@ type taskResult struct {
 type Server struct {
 	cfg        Config
 	queue      chan *task
+	cache      *cache.Cache // nil when caching is disabled
+	poolSize   int          // resolved worker count
 	rootCtx    context.Context // cancelled to kill stragglers and stop workers
 	rootCancel context.CancelFunc
 	draining   atomic.Bool
@@ -134,6 +154,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodySize
 	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
@@ -142,7 +165,14 @@ func New(cfg Config) *Server {
 		rootCancel: cancel,
 		workers:    make(chan struct{}),
 	}
+	if cfg.CacheEntries >= 0 {
+		// Flights run under rootCtx so a drain timeout cancels them.
+		s.cache = cache.New(cache.Config{
+			MaxEntries: cfg.CacheEntries, BaseCtx: ctx, Obs: cfg.Obs,
+		})
+	}
 	n := par.Workers(cfg.Workers, 0)
+	s.poolSize = n
 	go func() {
 		defer close(s.workers)
 		// One par task per pool worker: par supplies the sizing rules and
@@ -205,7 +235,8 @@ func (s *Server) runTask(t *task) {
 
 // dispatch runs the named solver (or sweep) under the task's context. A
 // solver panic is converted into an error so one bad request cannot take
-// the pool down.
+// the pool down. Solution-kind solves route through the solution cache
+// when one is configured.
 func (s *Server) dispatch(t *task) (res taskResult) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -235,14 +266,19 @@ func (s *Server) dispatch(t *task) (res taskResult) {
 		}
 		return res
 	}
-	res.sol, res.err = engine.Solve(t.ctx, t.req.Solver, in, engine.Params{
+	p := engine.Params{
 		K:       t.req.K,
 		Budget:  t.req.Budget,
 		Eps:     t.req.Eps,
 		Workers: s.cfg.SolverWorkers,
 		Obs:     s.cfg.Obs,
 		Allowed: t.req.Instance.Allowed, Conflicts: t.req.Instance.Conflicts,
-	})
+	}
+	if s.cache != nil {
+		res.sol, res.cacheOut, res.err = s.cache.Solve(t.ctx, t.req.Solver, &t.req.Instance, p)
+		return res
+	}
+	res.sol, res.err = engine.Solve(t.ctx, t.req.Solver, in, p)
 	return res
 }
 
@@ -251,6 +287,7 @@ func (s *Server) dispatch(t *task) (res taskResult) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -330,6 +367,115 @@ func statusFor(err error) int {
 	}
 }
 
+// validateSolveRequest vets a decoded request against the registry,
+// mirroring the CLI's flag validation. A nonzero status means reject
+// with the returned message.
+func (s *Server) validateSolveRequest(req *SolveRequest) (status int, msg string) {
+	if err := req.Instance.Validate(); err != nil {
+		s.cfg.Obs.Count("server.bad_requests", 1)
+		return http.StatusBadRequest, fmt.Sprintf("invalid instance: %v", err)
+	}
+	spec, ok := engine.Lookup(req.Solver)
+	if !ok {
+		s.cfg.Obs.Count("server.unknown_solver", 1)
+		return http.StatusNotFound, fmt.Sprintf("unknown solver %q (known: %s)",
+			req.Solver, knownSolvers())
+	}
+	// Reject parameters the solver does not consume: a nonzero field
+	// counts as explicitly set.
+	set := map[string]bool{"k": req.K != 0, "budget": req.Budget != 0, "eps": req.Eps != 0}
+	if err := engine.ValidateFlags(req.Solver, set); err != nil {
+		s.cfg.Obs.Count("server.bad_requests", 1)
+		return http.StatusBadRequest, err.Error()
+	}
+	if len(req.Ks) > 0 && spec.Kind != engine.KindSweep {
+		s.cfg.Obs.Count("server.bad_requests", 1)
+		return http.StatusBadRequest, fmt.Sprintf("solver %q is not a sweep; ks applies only to sweep-kind solvers", req.Solver)
+	}
+	return 0, ""
+}
+
+// solveCtx derives the solve context for one request: the request's
+// timeout (clamped to the configured maximum) layered on parent. The
+// context dies with the first of: the deadline, the parent (client
+// connection), or a drain timeout (rootCtx). The returned cancel also
+// releases the rootCtx hook.
+func (s *Server) solveCtx(parent context.Context, req *SolveRequest) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(parent, timeout)
+	stop := context.AfterFunc(s.rootCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// admissionError is a request that failed before producing a solver
+// result: rejected at the queue or abandoned on deadline/disconnect.
+type admissionError struct {
+	status     int
+	retryAfter bool // set the Retry-After header (429)
+	msg        string
+}
+
+// solveOne admits one validated request into the worker queue and waits
+// for its result or the context. Shared by /v1/solve and /v1/batch.
+func (s *Server) solveOne(ctx context.Context, req *SolveRequest) (taskResult, *admissionError) {
+	t := &task{ctx: ctx, req: req, enqueued: time.Now(), done: make(chan taskResult, 1)}
+	s.inflight.Add(1)
+	select {
+	case s.queue <- t:
+		s.gauge("server.queue_depth", int64(len(s.queue)))
+	default:
+		s.inflight.Done()
+		s.cfg.Obs.Count("server.rejected_full", 1)
+		return taskResult{}, &admissionError{
+			status: http.StatusTooManyRequests, retryAfter: true,
+			msg: fmt.Sprintf("admission queue full (%d deep); retry later", s.cfg.QueueDepth),
+		}
+	}
+	select {
+	case res := <-t.done:
+		return res, nil
+	case <-ctx.Done():
+		// The worker (if it reached the task) sees the same cancelled
+		// context and stops promptly; its buffered send is discarded.
+		err := ctx.Err()
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.cfg.Obs.Count("server.deadline_expired", 1)
+		}
+		return taskResult{}, &admissionError{
+			status: statusFor(err),
+			msg:    fmt.Sprintf("solve abandoned: %v", err),
+		}
+	}
+}
+
+// buildResponse shapes a worker result into the wire response.
+func buildResponse(req *SolveRequest, res taskResult) SolveResponse {
+	in := &req.Instance.Instance
+	resp := SolveResponse{
+		Solver:          req.Solver,
+		InitialMakespan: in.InitialMakespan(),
+		LowerBound:      in.LowerBound(),
+		Cache:           res.cacheOut.String(),
+		QueueNS:         res.queueNS,
+		SolveNS:         res.solveNS,
+	}
+	if res.sweep {
+		resp.Points = res.points
+	} else {
+		resp.Assign = res.sol.Assign
+		resp.Makespan = res.sol.Makespan
+		resp.Moves = res.sol.Moves
+		resp.MoveCost = res.sol.MoveCost
+	}
+	return resp
+}
+
 // handleSolve is POST /v1/solve: decode and validate, admit (or answer
 // 429/503), then wait for the worker's result or the request deadline.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -344,91 +490,97 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decode request: %v", err)
 		return
 	}
-	if err := req.Instance.Validate(); err != nil {
-		s.cfg.Obs.Count("server.bad_requests", 1)
-		writeError(w, http.StatusBadRequest, "invalid instance: %v", err)
+	if status, msg := s.validateSolveRequest(&req); status != 0 {
+		writeError(w, status, "%s", msg)
 		return
 	}
-	spec, ok := engine.Lookup(req.Solver)
-	if !ok {
-		s.cfg.Obs.Count("server.unknown_solver", 1)
-		writeError(w, http.StatusNotFound, "unknown solver %q (known: %s)",
-			req.Solver, knownSolvers())
-		return
-	}
-	// Reject parameters the solver does not consume, mirroring the CLI's
-	// flag validation: a nonzero field counts as explicitly set.
-	set := map[string]bool{"k": req.K != 0, "budget": req.Budget != 0, "eps": req.Eps != 0}
-	if err := engine.ValidateFlags(req.Solver, set); err != nil {
-		s.cfg.Obs.Count("server.bad_requests", 1)
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	if len(req.Ks) > 0 && spec.Kind != engine.KindSweep {
-		s.cfg.Obs.Count("server.bad_requests", 1)
-		writeError(w, http.StatusBadRequest, "solver %q is not a sweep; ks applies only to sweep-kind solvers", req.Solver)
-		return
-	}
-
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-	}
-	if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
-	}
-	// The solve context dies with the first of: the deadline, the client
-	// connection (r.Context()), or a drain timeout (rootCtx).
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := s.solveCtx(r.Context(), &req)
 	defer cancel()
-	stop := context.AfterFunc(s.rootCtx, cancel)
-	defer stop()
-
-	t := &task{ctx: ctx, req: &req, enqueued: time.Now(), done: make(chan taskResult, 1)}
-	s.inflight.Add(1)
-	select {
-	case s.queue <- t:
-		s.gauge("server.queue_depth", int64(len(s.queue)))
-	default:
-		s.inflight.Done()
-		s.cfg.Obs.Count("server.rejected_full", 1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "admission queue full (%d deep); retry later", s.cfg.QueueDepth)
+	res, aerr := s.solveOne(ctx, &req)
+	if aerr != nil {
+		if aerr.retryAfter {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, aerr.status, "%s", aerr.msg)
 		return
 	}
-
-	select {
-	case res := <-t.done:
-		if res.err != nil {
-			writeError(w, statusFor(res.err), "%v", res.err)
-			return
-		}
-		in := &req.Instance.Instance
-		resp := SolveResponse{
-			Solver:          req.Solver,
-			InitialMakespan: in.InitialMakespan(),
-			LowerBound:      in.LowerBound(),
-			QueueNS:         res.queueNS,
-			SolveNS:         res.solveNS,
-		}
-		if res.sweep {
-			resp.Points = res.points
-		} else {
-			resp.Assign = res.sol.Assign
-			resp.Makespan = res.sol.Makespan
-			resp.Moves = res.sol.Moves
-			resp.MoveCost = res.sol.MoveCost
-		}
-		writeJSON(w, http.StatusOK, resp)
-	case <-ctx.Done():
-		// The worker (if it reached the task) sees the same cancelled
-		// context and stops promptly; its buffered send is discarded.
-		err := ctx.Err()
-		if errors.Is(err, context.DeadlineExceeded) {
-			s.cfg.Obs.Count("server.deadline_expired", 1)
-		}
-		writeError(w, statusFor(err), "solve abandoned: %v", err)
+	if res.err != nil {
+		writeError(w, statusFor(res.err), "%v", res.err)
+		return
 	}
+	writeJSON(w, http.StatusOK, buildResponse(&req, res))
+}
+
+// handleBatch is POST /v1/batch: decode a slice of solve requests, fan
+// them through the worker pool, and answer per-item statuses. The batch
+// as a whole is 200 as long as it was well-formed; each item carries its
+// own status, result, or error, exactly as the sequential single solves
+// would have produced.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var breq BatchRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&breq); err != nil {
+		s.cfg.Obs.Count("server.bad_requests", 1)
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if len(breq.Requests) == 0 {
+		s.cfg.Obs.Count("server.bad_requests", 1)
+		writeError(w, http.StatusBadRequest, "batch contains no requests")
+		return
+	}
+	if len(breq.Requests) > s.cfg.MaxBatch {
+		s.cfg.Obs.Count("server.bad_requests", 1)
+		writeError(w, http.StatusBadRequest, "batch of %d requests exceeds the limit of %d", len(breq.Requests), s.cfg.MaxBatch)
+		return
+	}
+	s.cfg.Obs.Count("server.batches", 1)
+	s.cfg.Obs.Count("server.batch_items", int64(len(breq.Requests)))
+
+	// Fan the items through the pool. The fan-out is bounded by both the
+	// pool size and the queue depth so a single batch cannot flood the
+	// admission queue and 429 its own items; identical items in one batch
+	// coalesce in the cache like any other concurrent duplicates.
+	items := make([]BatchItem, len(breq.Requests))
+	fan := s.poolSize
+	if fan > s.cfg.QueueDepth {
+		fan = s.cfg.QueueDepth
+	}
+	_ = par.Do(r.Context(), len(breq.Requests), fan, func(i int) error {
+		items[i] = s.batchItem(r.Context(), &breq.Requests[i])
+		return nil
+	})
+	// Items skipped because the client went away (par stops claiming new
+	// indices once r.Context() fires) still need a terminal status.
+	for i := range items {
+		if items[i].Status == 0 {
+			items[i] = BatchItem{Status: http.StatusServiceUnavailable, Error: "batch abandoned: " + context.Canceled.Error()}
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Items: items})
+}
+
+// batchItem runs one batch element through the same validate → admit →
+// wait path as a single solve and folds the outcome into a BatchItem.
+func (s *Server) batchItem(parent context.Context, req *SolveRequest) BatchItem {
+	if status, msg := s.validateSolveRequest(req); status != 0 {
+		return BatchItem{Status: status, Error: msg}
+	}
+	ctx, cancel := s.solveCtx(parent, req)
+	defer cancel()
+	res, aerr := s.solveOne(ctx, req)
+	if aerr != nil {
+		return BatchItem{Status: aerr.status, Error: aerr.msg}
+	}
+	if res.err != nil {
+		return BatchItem{Status: statusFor(res.err), Error: res.err.Error()}
+	}
+	resp := buildResponse(req, res)
+	return BatchItem{Status: http.StatusOK, Result: &resp}
 }
 
 func knownSolvers() string { return strings.Join(engine.Names(), ", ") }

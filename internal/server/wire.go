@@ -59,10 +59,35 @@ type SolveResponse struct {
 	// makespan before rebalancing and max(ceil(total/m), max job size).
 	InitialMakespan int64 `json:"initial_makespan"`
 	LowerBound      int64 `json:"lower_bound"`
+	// Cache reports how the solution cache served this solve: "hit",
+	// "miss", or "coalesced". Empty when the request bypassed the cache
+	// (sweeps, or caching disabled).
+	Cache string `json:"cache,omitempty"`
 	// QueueNS and SolveNS split the request's server-side latency into
 	// admission-queue wait and solver compute, in nanoseconds.
 	QueueNS int64 `json:"queue_ns"`
 	SolveNS int64 `json:"solve_ns"`
+}
+
+// BatchRequest is the body of POST /v1/batch: a slice of solve
+// requests fanned through the worker pool.
+type BatchRequest struct {
+	Requests []SolveRequest `json:"requests"`
+}
+
+// BatchItem is the outcome of one batch element — the HTTP status,
+// result, and error that the same request would have produced as a
+// single POST /v1/solve.
+type BatchItem struct {
+	Status int            `json:"status"`
+	Result *SolveResponse `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+// BatchResponse is the success body of POST /v1/batch; Items is in
+// request order.
+type BatchResponse struct {
+	Items []BatchItem `json:"items"`
 }
 
 // ErrorResponse is the body of every non-2xx API response.
