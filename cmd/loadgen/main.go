@@ -8,10 +8,13 @@
 //	loadgen -addr localhost:8080 -alg mpartition -k 10 -n 500 -c 16
 //	loadgen -addr localhost:8080 -alg ptas -budget 500 -n 100 -c 4 -timeout 2s
 //
-// It pre-generates distinct instances with internal/workload (same
-// knobs as genwork: -jobs, -m, -max, -sizes, -place, -costs, -seed) —
-// one per request by default, or a cycling working set of -instances —
-// issued across -n requests by -c concurrent senders. -dup sets the
+// It generates instances with internal/workload (same knobs as
+// genwork: -jobs, -m, -max, -sizes, -place, -costs, -seed) — a distinct
+// instance per request by default, or a cycling working set of
+// -instances — issued across -n requests by -c concurrent senders.
+// Generation is lazy and deterministic (instance i is seeded by
+// seed+i), so memory stays flat no matter how large -n is while
+// repeated indices still produce byte-identical instances. -dup sets the
 // fraction of requests that re-send the first instance (a hot key),
 // exercising the daemon's solution cache; the report includes the
 // observed hit rate from the responses' "cache" field. 429 (queue full) and 504 (deadline) responses are
@@ -94,23 +97,32 @@ func main() {
 	if !known {
 		log.Fatalf("unknown solver %q", *alg)
 	}
-	reqs := make([]server.SolveRequest, *instances)
-	for i := range reqs {
-		cfg.Seed = *seed + uint64(i)
-		reqs[i] = server.SolveRequest{
-			Solver:    *alg,
-			TimeoutMS: int64(*timeout / time.Millisecond),
-		}
-		if spec.Caps.K {
-			reqs[i].K = *k
-		}
-		if spec.Caps.Budget {
-			reqs[i].Budget = *budget
-		}
-		if spec.Caps.Eps {
-			reqs[i].Eps = *eps
-		}
-		reqs[i].Instance.Instance = *workload.Generate(cfg)
+	tmpl := server.SolveRequest{
+		Solver:    *alg,
+		TimeoutMS: int64(*timeout / time.Millisecond),
+	}
+	if spec.Caps.K {
+		tmpl.K = *k
+	}
+	if spec.Caps.Budget {
+		tmpl.Budget = *budget
+	}
+	if spec.Caps.Eps {
+		tmpl.Eps = *eps
+	}
+	// Instances are generated lazily, one per request, rather than
+	// pre-materialized: with the distinct-per-request default a large -n
+	// would otherwise hold every instance in memory at once. Seeding by
+	// index keeps generation deterministic, so two requests with the
+	// same index (the -dup hot key, or a cycling -instances working set)
+	// still send byte-identical instances and collide in the daemon's
+	// cache. Generation happens before the latency clock starts.
+	genReq := func(idx int) server.SolveRequest {
+		wcfg := cfg
+		wcfg.Seed = *seed + uint64(idx)
+		req := tmpl
+		req.Instance.Instance = *workload.Generate(wcfg)
+		return req
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -134,14 +146,15 @@ func main() {
 	}
 	start := time.Now()
 	_ = par.Do(ctx, *n, *c, func(i int) error {
-		req := reqs[i%len(reqs)]
+		idx := i % *instances
 		// Deterministic duplicate schedule: request i is a hot-key repeat
 		// when the running total floor(i·dup) ticks up at i, which spreads
 		// repeats evenly and realizes the -dup fraction at any -n without
 		// an RNG. Request 0 always seeds the cache with the hot key.
 		if i > 0 && int64(float64(i)**dup) > int64(float64(i-1)**dup) {
-			req = reqs[0]
+			idx = 0
 		}
+		req := genReq(idx)
 		t0 := time.Now()
 		resp, err := cl.Solve(ctx, req)
 		lat.Observe(time.Since(t0).Nanoseconds())

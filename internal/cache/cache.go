@@ -3,8 +3,10 @@ package cache
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/instance"
@@ -59,15 +61,41 @@ type Config struct {
 }
 
 // flight is one in-progress solve that concurrent identical requests
-// coalesce onto. refs counts the parties still interested (the
-// initiator plus attached waiters); when it reaches zero the flight's
-// context is cancelled so an abandoned solve stops promptly.
+// coalesce onto. The solve runs on its own goroutine (runFlight) so no
+// single party's lifetime — including the initiator's — bounds it. refs
+// counts the parties still interested (the initiator plus attached
+// waiters); when it reaches zero the flight's context is cancelled so
+// an abandoned solve stops promptly.
 type flight struct {
 	done   chan struct{}     // closed when sol/err are final
 	sol    instance.Solution // canonical job order
 	err    error
 	refs   atomic.Int64
 	cancel context.CancelFunc
+
+	// The kill timer enforces the latest deadline over every attached
+	// party, so the flight outlives each individual waiter: a party
+	// whose deadline fires detaches without dooming the rest.
+	mu       sync.Mutex
+	deadline time.Time   // latest attached deadline; zero once deadline-free
+	timer    *time.Timer // fires cancel at deadline; nil when deadline-free
+}
+
+// attach registers one more interested party and extends the flight's
+// deadline to cover ctx's. It fails when refs already hit zero — the
+// flight is cancelled and merely awaiting teardown — so a new request
+// never boards a dead flight.
+func (f *flight) attach(ctx context.Context) bool {
+	for {
+		n := f.refs.Load()
+		if n == 0 {
+			return false
+		}
+		if f.refs.CompareAndSwap(n, n+1) {
+			f.extend(ctx)
+			return true
+		}
+	}
 }
 
 // detach drops one party's interest; the last detach cancels the
@@ -76,6 +104,50 @@ func (f *flight) detach() {
 	if f.refs.Add(-1) == 0 {
 		f.cancel()
 	}
+}
+
+// arm installs the kill timer for the initiator's deadline. A
+// deadline-free initiator leaves the flight with no deadline at all;
+// refs-based cancellation is then the only early exit.
+func (f *flight) arm(ctx context.Context) {
+	if d, ok := ctx.Deadline(); ok {
+		f.deadline = d
+		f.timer = time.AfterFunc(time.Until(d), f.cancel)
+	}
+}
+
+// extend pushes the kill timer out so the flight survives at least as
+// long as ctx's deadline; a deadline-free party disarms it entirely.
+func (f *flight) extend(ctx context.Context) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.timer == nil {
+		return // already deadline-free
+	}
+	if d, ok := ctx.Deadline(); !ok {
+		f.timer.Stop()
+		f.timer = nil
+		f.deadline = time.Time{}
+	} else if d.After(f.deadline) {
+		f.deadline = d
+		f.timer.Reset(time.Until(d))
+	}
+}
+
+// disarm stops the kill timer before the flight finalizes.
+func (f *flight) disarm() {
+	f.mu.Lock()
+	if f.timer != nil {
+		f.timer.Stop()
+		f.timer = nil
+	}
+	f.mu.Unlock()
+}
+
+// isContextErr reports whether err is a (possibly wrapped) context
+// cancellation or deadline error.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Cache is the solution cache: canonical-form keyed LRU + single-flight
@@ -120,9 +192,14 @@ func (c *Cache) Len() int {
 //
 // Cancellation semantics: a waiter whose ctx fires detaches and returns
 // ctx.Err() without killing the in-flight solve — remaining waiters
-// still get the result. The flight itself runs under BaseCtx plus the
-// initiator's deadline; it is cancelled early only when every attached
-// party has detached. Only successes and ErrInfeasible (a deterministic
+// still get the result. The flight runs on its own goroutine under
+// BaseCtx with a deadline equal to the LATEST deadline over every
+// attached party (no deadline at all once a deadline-free party
+// attaches), so it dies early only when every party has detached or
+// BaseCtx is cancelled — never because the earliest deadline fired
+// while later ones were still waiting. A solver panic is converted into
+// an error delivered to every attached party instead of leaving the
+// flight open. Only successes and ErrInfeasible (a deterministic
 // property of the instance) are cached; contextual errors never poison
 // the cache.
 func (c *Cache) Solve(ctx context.Context, solver string, ext *instance.Extended, p engine.Params) (instance.Solution, Outcome, error) {
@@ -135,83 +212,116 @@ func (c *Cache) Solve(ctx context.Context, solver string, ext *instance.Extended
 	}
 	can := Canonicalize(solver, spec.Caps, ext, p)
 
-	c.mu.Lock()
-	if e, ok := c.entries.get(can.Key); ok {
-		c.mu.Unlock()
-		c.count("cache.hits", solver)
-		if e.err != nil {
-			return instance.Solution{}, Hit, e.err
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries.get(can.Key); ok {
+			c.mu.Unlock()
+			c.count("cache.hits", solver)
+			if e.err != nil {
+				return instance.Solution{}, Hit, e.err
+			}
+			return can.FromCanonical(e.sol), Hit, nil
 		}
-		return can.FromCanonical(e.sol), Hit, nil
-	}
-	if f, ok := c.flights[can.Key]; ok {
-		f.refs.Add(1)
+		if f, ok := c.flights[can.Key]; ok && f.attach(ctx) {
+			c.mu.Unlock()
+			c.count("cache.coalesced", solver)
+			select {
+			case <-f.done:
+				f.detach() // balance the attach; the flight is already final
+				if f.err == nil {
+					return can.FromCanonical(f.sol), Coalesced, nil
+				}
+				// The flight died of a context error that was not ours
+				// (e.g. it lost all its other parties between our cache
+				// check and attach): retry as a fresh flight rather than
+				// surfacing a stale cancellation.
+				if isContextErr(f.err) && ctx.Err() == nil && c.base.Err() == nil {
+					continue
+				}
+				return instance.Solution{}, Coalesced, f.err
+			case <-ctx.Done():
+				f.detach()
+				return instance.Solution{}, Coalesced, ctx.Err()
+			}
+		}
+
+		// This call initiates the flight. It runs on its own goroutine
+		// under the cache's base context, NOT under the initiator's ctx:
+		// if the initiator disconnects while waiters are attached, the
+		// solve must keep running for them. A dead flight awaiting
+		// teardown (attach failed above) is simply replaced; its
+		// finalizer's guarded delete leaves the successor alone.
+		fctx, cancel := context.WithCancel(c.base)
+		f := &flight{done: make(chan struct{}), cancel: cancel}
+		f.refs.Store(1)
+		f.arm(ctx)
+		c.flights[can.Key] = f
 		c.mu.Unlock()
-		c.count("cache.coalesced", solver)
+		c.count("cache.misses", solver)
+
+		go c.runFlight(fctx, spec, solver, ext, p, can, f)
+
 		select {
 		case <-f.done:
-			f.detach() // balance the attach; the flight is already final
-			if f.err != nil {
-				return instance.Solution{}, Coalesced, f.err
+			f.detach()
+			err := f.err
+			// The flight context reports Canceled when every party
+			// detached; if this initiator's own ctx is what fired,
+			// surface its error (e.g. DeadlineExceeded) instead.
+			if err != nil && ctx.Err() != nil && isContextErr(err) {
+				err = ctx.Err()
 			}
-			return can.FromCanonical(f.sol), Coalesced, nil
+			if err != nil {
+				return instance.Solution{}, Miss, err
+			}
+			return can.FromCanonical(f.sol), Miss, nil
 		case <-ctx.Done():
 			f.detach()
-			return instance.Solution{}, Coalesced, ctx.Err()
+			return instance.Solution{}, Miss, ctx.Err()
 		}
 	}
+}
 
-	// This call is the flight. It runs under the cache's base context
-	// with the initiator's deadline layered on, NOT under the
-	// initiator's ctx directly: if the initiator disconnects while
-	// waiters are attached, the solve must keep running for them.
-	fctx := c.base
-	var cancel context.CancelFunc
-	if d, ok := ctx.Deadline(); ok {
-		fctx, cancel = context.WithDeadline(c.base, d)
-	} else {
-		fctx, cancel = context.WithCancel(c.base)
-	}
-	f := &flight{done: make(chan struct{}), cancel: cancel}
-	f.refs.Store(1)
-	c.flights[can.Key] = f
-	c.mu.Unlock()
-	c.count("cache.misses", solver)
-
-	// If the initiator's own ctx dies mid-solve, detach it like any
-	// other waiter; the flight survives while others remain attached.
-	stopDetach := context.AfterFunc(ctx, f.detach)
-
-	sol, err := spec.Solve(fctx, &ext.Instance, p)
-
-	c.mu.Lock()
-	delete(c.flights, can.Key)
-	if err == nil || errors.Is(err, instance.ErrInfeasible) {
-		e := &entry{key: can.Key, solver: solver, err: err}
-		if err == nil {
-			e.sol = can.ToCanonical(sol)
+// runFlight executes the flight's engine call and finalizes the flight
+// exactly once: remove it from the flights map, populate the LRU when
+// the outcome is cacheable, publish sol/err, and close done. The
+// finalizer runs in a defer so a solver panic cannot skip it — an open
+// flight whose done channel never closes would wedge every future
+// request for the key. The panic is converted into the error each
+// attached party receives (the server maps it to 500, same as its own
+// panic safety net).
+func (c *Cache) runFlight(fctx context.Context, spec engine.Spec, solver string, ext *instance.Extended, p engine.Params, can Canonical, f *flight) {
+	var (
+		sol instance.Solution
+		err error
+	)
+	defer func() {
+		if r := recover(); r != nil {
+			sol, err = instance.Solution{}, fmt.Errorf("cache: solver %q panicked: %v", solver, r)
 		}
-		for _, ev := range c.entries.add(e) {
-			c.count("cache.evictions", ev.solver)
+		f.disarm()
+		c.mu.Lock()
+		// Guarded delete: a successor flight may already own the key if
+		// this one was abandoned (refs 0) and replaced before finalizing.
+		if c.flights[can.Key] == f {
+			delete(c.flights, can.Key)
 		}
-		c.gaugeSize()
-	}
-	c.mu.Unlock()
-	f.sol, f.err = can.ToCanonical(sol), err
-	close(f.done)
-	if stopDetach() {
-		f.detach()
-	}
-	cancel() // release the flight context's resources
-
-	// The flight context reports Canceled when every party detached; if
-	// this initiator's own ctx is what fired, surface its error (e.g.
-	// DeadlineExceeded) instead.
-	if err != nil && ctx.Err() != nil &&
-		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-		err = ctx.Err()
-	}
-	return sol, Miss, err
+		if err == nil || errors.Is(err, instance.ErrInfeasible) {
+			e := &entry{key: can.Key, solver: solver, err: err}
+			if err == nil {
+				e.sol = can.ToCanonical(sol)
+			}
+			for _, ev := range c.entries.add(e) {
+				c.count("cache.evictions", ev.solver)
+			}
+			c.gaugeSize()
+		}
+		c.mu.Unlock()
+		f.sol, f.err = can.ToCanonical(sol), err
+		close(f.done)
+		f.cancel() // release the flight context's resources
+	}()
+	sol, err = spec.Solve(fctx, &ext.Instance, p)
 }
 
 // count bumps the aggregate and per-solver counters for one event.

@@ -274,6 +274,225 @@ func TestWaiterCancelDoesNotPoisonFlight(t *testing.T) {
 	}
 }
 
+// TestPanicDoesNotPoisonFlight: a solver panic mid-flight must finalize
+// the flight — owner and coalesced waiters both get an error instead of
+// hanging on a done channel that never closes, the key is removed from
+// the flights map so the next identical request starts fresh, and the
+// panic is never cached.
+func TestPanicDoesNotPoisonFlight(t *testing.T) {
+	registerTestSolvers()
+	var calls atomic.Int64
+	started := make(chan struct{}, 8)
+	boom := make(chan struct{})
+	engine.Register(engine.Spec{
+		Name: "cachetest-panic", Summary: "panics on first call, then succeeds", Guarantee: "-",
+		Run: func(_ context.Context, in *instance.Instance, _ engine.Params) (instance.Solution, error) {
+			if calls.Add(1) == 1 {
+				started <- struct{}{}
+				<-boom
+				panic("solver bug")
+			}
+			return instance.NewSolution(in, in.Assign), nil
+		},
+	})
+	sink := obs.New()
+	c := New(Config{Obs: sink})
+	ext := testExt()
+	p := engine.Params{Workers: 1}
+
+	ownerDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Solve(context.Background(), "cachetest-panic", ext, p)
+		ownerDone <- err
+	}()
+	<-started
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, out, err := c.Solve(context.Background(), "cachetest-panic", ext, p)
+		if err == nil {
+			err = errors.New("waiter got a result from a panicked flight")
+		} else if out != Coalesced {
+			err = errors.New("waiter was not coalesced")
+		}
+		waiterDone <- err
+	}()
+	for sink.Reg.Counter("cache.coalesced").Value() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(boom)
+	for _, ch := range []chan error{ownerDone, waiterDone} {
+		select {
+		case err := <-ch:
+			if err == nil || !strings.Contains(err.Error(), "panicked") {
+				t.Fatalf("party returned %v, want a solver-panicked error", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("a party hung on the panicked flight")
+		}
+	}
+	// The flight is gone and the error was not cached: the next identical
+	// request must re-run the engine (which now succeeds) as a fresh miss.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, out, err := c.Solve(context.Background(), "cachetest-panic", ext, p); err != nil || out != Miss {
+			t.Errorf("post-panic solve: outcome %v, err %v; want fresh Miss", out, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("request after a panicked flight hung: flight leaked in the map")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("engine ran %d times, want 2 (panicked flight + fresh miss)", got)
+	}
+}
+
+// TestWaiterOutlivesInitiatorDeadline pins the flight-deadline
+// contract: the flight covers the LATEST deadline over attached
+// parties, so the initiator's earlier deadline expiring returns 504 to
+// the initiator only — an attached waiter with more time still gets the
+// real result from the same single engine invocation.
+func TestWaiterOutlivesInitiatorDeadline(t *testing.T) {
+	registerTestSolvers()
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	var calls atomic.Int64
+	engine.Register(engine.Spec{
+		Name: "cachetest-outlive", Summary: "parks until released", Guarantee: "-",
+		Run: func(ctx context.Context, in *instance.Instance, _ engine.Params) (instance.Solution, error) {
+			calls.Add(1)
+			started <- struct{}{}
+			select {
+			case <-release:
+				return instance.NewSolution(in, in.Assign), nil
+			case <-ctx.Done():
+				return instance.Solution{}, ctx.Err()
+			}
+		},
+	})
+	sink := obs.New()
+	c := New(Config{Obs: sink})
+	ext := testExt()
+	p := engine.Params{Workers: 1}
+
+	// The deadline must outlast the waiter's attach below (spin-waited,
+	// normally single-digit ms) but expire while the solver is parked.
+	ownerCtx, cancelOwner := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancelOwner()
+	ownerDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Solve(ownerCtx, "cachetest-outlive", ext, p)
+		ownerDone <- err
+	}()
+	<-started
+
+	type res struct {
+		sol instance.Solution
+		out Outcome
+		err error
+	}
+	waiterDone := make(chan res, 1)
+	go func() {
+		sol, out, err := c.Solve(context.Background(), "cachetest-outlive", ext, p)
+		waiterDone <- res{sol, out, err}
+	}()
+	attachBy := time.After(2 * time.Second)
+	for sink.Reg.Counter("cache.coalesced").Value() < 1 {
+		select {
+		case <-attachBy:
+			t.Fatal("waiter never coalesced onto the flight")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// The initiator's deadline fires while the waiter is attached: the
+	// initiator gets DeadlineExceeded, the flight keeps running.
+	if err := <-ownerDone; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("initiator returned %v, want DeadlineExceeded", err)
+	}
+	select {
+	case r := <-waiterDone:
+		t.Fatalf("flight died with the initiator's deadline: outcome %v, err %v", r.out, r.err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case r := <-waiterDone:
+		if r.err != nil || r.out != Coalesced {
+			t.Fatalf("waiter: outcome %v, err %v; want Coalesced success", r.out, r.err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never completed after release")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("engine ran %d times, want 1 (waiter shares the surviving flight)", got)
+	}
+	// The survivor's result was cached despite the initiator's timeout.
+	if _, out, err := c.Solve(context.Background(), "cachetest-outlive", ext, p); err != nil || out != Hit {
+		t.Errorf("post-flight solve: outcome %v, err %v; want Hit", out, err)
+	}
+}
+
+// TestAttachToDeadFlightStartsFresh pins the refs-0 race fix: a flight
+// whose parties all detached stays in the map until its goroutine
+// finalizes, and a request arriving in that window must NOT board it
+// (it would inherit context.Canceled despite a live ctx) — it replaces
+// the dead flight and solves fresh.
+func TestAttachToDeadFlightStartsFresh(t *testing.T) {
+	registerTestSolvers()
+	var calls atomic.Int64
+	started := make(chan struct{}, 8)
+	holdFinalize := make(chan struct{})
+	engine.Register(engine.Spec{
+		Name: "cachetest-dead", Summary: "first call wedges its teardown", Guarantee: "-",
+		Run: func(ctx context.Context, in *instance.Instance, _ engine.Params) (instance.Solution, error) {
+			if calls.Add(1) == 1 {
+				started <- struct{}{}
+				<-ctx.Done()
+				// Keep the cancelled flight in c.flights: its finalizer
+				// cannot run until this returns.
+				<-holdFinalize
+				return instance.Solution{}, ctx.Err()
+			}
+			return instance.NewSolution(in, in.Assign), nil
+		},
+	})
+	c := New(Config{})
+	ext := testExt()
+	p := engine.Params{Workers: 1}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ownerDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Solve(ctx, "cachetest-dead", ext, p)
+		ownerDone <- err
+	}()
+	<-started
+	cancel()
+	if err := <-ownerDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning owner returned %v, want context.Canceled", err)
+	}
+	// The dead flight is still registered (its solver is wedged). A new
+	// request with a live ctx must bypass it and solve fresh.
+	sol, out, err := c.Solve(context.Background(), "cachetest-dead", ext, p)
+	if err != nil || out != Miss {
+		t.Fatalf("request over a dead flight: outcome %v, err %v; want fresh Miss", out, err)
+	}
+	if len(sol.Assign) == 0 {
+		t.Fatal("fresh solve returned an empty solution")
+	}
+	close(holdFinalize)
+	// The dead flight's guarded delete must not have clobbered the fresh
+	// result that is now in the LRU.
+	if _, out, err := c.Solve(context.Background(), "cachetest-dead", ext, p); err != nil || out != Hit {
+		t.Fatalf("post-teardown solve: outcome %v, err %v; want Hit", out, err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("engine ran %d times, want 2 (dead flight + fresh miss)", got)
+	}
+}
+
 // TestAllPartiesGoneCancelsFlight: when the only interested caller's
 // ctx fires, the flight context is cancelled so the solve stops, and
 // the error is not cached.
