@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race race-fast vet bench bench-json serve loadtest fuzz-short ci check clean
+.PHONY: build test short race race-fast vet bench bench-json serve loadtest lint-metrics metrics-smoke fuzz-short ci check clean
 
 build:
 	$(GO) build ./...
@@ -41,8 +41,33 @@ LOADGEN_FLAGS ?= -addr localhost:8080 -alg mpartition -k 10 -n 200 -c 8 -dup 0.3
 serve:
 	$(GO) run ./cmd/rebalanced $(SERVE_FLAGS)
 
+# loadtest reports throughput, latency percentiles, cache hit rate, and
+# the per-phase (queue/cache/solve) breakdown from the responses'
+# timing fields.
 loadtest:
 	$(GO) run ./cmd/loadgen $(LOADGEN_FLAGS)
+
+# lint-metrics cross-checks every metric name the code can emit against
+# docs/metrics.md (fails on drift in either direction).
+lint-metrics:
+	$(GO) test -run TestMetricsDocMatchesSource -count=1 .
+
+# metrics-smoke boots the daemon on a scratch port, issues one solve,
+# scrapes /metrics, and verifies the Prometheus exposition parses and
+# covers the serving and runtime families (plus /version and
+# /debug/traces), then shuts the daemon down.
+SMOKE_ADDR ?= localhost:18080
+metrics-smoke:
+	@tmp=$$(mktemp -d); \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/ ./cmd/rebalanced ./cmd/metricsmoke || exit 1; \
+	$$tmp/rebalanced -addr $(SMOKE_ADDR) -drain 2s & \
+	pid=$$!; \
+	$$tmp/metricsmoke -addr $(SMOKE_ADDR); \
+	status=$$?; \
+	kill $$pid 2>/dev/null; \
+	wait $$pid 2>/dev/null; \
+	exit $$status
 
 # fuzz-short gives each native fuzz target a ~10s budget on top of its
 # committed seed corpus: long enough to shake out encoding and
@@ -64,6 +89,7 @@ fuzz-short:
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
+	$(MAKE) lint-metrics
 	$(GO) test ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-short

@@ -17,7 +17,9 @@
 // repeated indices still produce byte-identical instances. -dup sets the
 // fraction of requests that re-send the first instance (a hot key),
 // exercising the daemon's solution cache; the report includes the
-// observed hit rate from the responses' "cache" field. 429 (queue full) and 504 (deadline) responses are
+// observed hit rate from the responses' "cache" field and a per-phase
+// latency breakdown (queue / cache / solve percentiles) from their
+// "timing" field. 429 (queue full) and 504 (deadline) responses are
 // counted, not retried, so the report shows how the daemon's admission
 // control behaved under the offered load. Ctrl-C stops the run early
 // and prints the report for the requests already issued.
@@ -136,6 +138,11 @@ func main() {
 	// Latency accounting rides the same histogram the daemon's own
 	// metrics use; its p50/p90/p99 are nearest-rank.
 	lat := &obs.Histogram{}
+	// Per-phase breakdown from the responses' timing field: where the
+	// server spent each request (admission wait, cache layer, engine).
+	queueLat := &obs.Histogram{}
+	cacheLat := &obs.Histogram{}
+	solveLat := &obs.Histogram{}
 	var ok, rejected, deadline, failed atomic.Int64
 	var hits, misses, coalesced atomic.Int64
 	if *dup < 0 {
@@ -162,6 +169,9 @@ func main() {
 		switch {
 		case err == nil:
 			ok.Add(1)
+			queueLat.Observe(resp.Timing.QueueNS)
+			cacheLat.Observe(resp.Timing.CacheNS)
+			solveLat.Observe(resp.Timing.SolveNS)
 			switch resp.Cache {
 			case "hit":
 				hits.Add(1)
@@ -197,6 +207,18 @@ func main() {
 			time.Duration(lat.Quantile(0.90)).Round(time.Microsecond),
 			time.Duration(lat.Quantile(0.99)).Round(time.Microsecond),
 			time.Duration(lat.Max()).Round(time.Microsecond))
+	}
+	if queueLat.Count() > 0 {
+		phase := func(name string, h *obs.Histogram) {
+			fmt.Printf("  %-9s p50=%v p90=%v p99=%v\n", name+":",
+				time.Duration(h.Quantile(0.50)).Round(time.Microsecond),
+				time.Duration(h.Quantile(0.90)).Round(time.Microsecond),
+				time.Duration(h.Quantile(0.99)).Round(time.Microsecond))
+		}
+		fmt.Printf("phases (server-side, from response timing):\n")
+		phase("queue", queueLat)
+		phase("cache", cacheLat)
+		phase("solve", solveLat)
 	}
 	if h, ms, co := hits.Load(), misses.Load(), coalesced.Load(); h+ms+co > 0 {
 		fmt.Printf("cache:      %d hit, %d miss, %d coalesced (hit rate %.1f%%)\n",

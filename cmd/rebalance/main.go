@@ -262,9 +262,10 @@ func runRemote(ctx context.Context, addr, alg string, spec engine.Spec, ext *ins
 		log.Fatalf("remote makespan %d disagrees with local recomputation %d", resp.Makespan, sol.Makespan)
 	}
 	fmt.Printf("instance:   %s\n", in)
-	fmt.Printf("algorithm:  %s (remote %s, queue %v, solve %v)\n", alg, addr,
-		time.Duration(resp.QueueNS).Round(time.Microsecond),
-		time.Duration(resp.SolveNS).Round(time.Microsecond))
+	fmt.Printf("algorithm:  %s (remote %s, request %s, queue %v, solve %v)\n", alg, addr,
+		resp.RequestID,
+		time.Duration(resp.Timing.QueueNS).Round(time.Microsecond),
+		time.Duration(resp.Timing.SolveNS).Round(time.Microsecond))
 	fmt.Printf("makespan:   %d -> %d (lower bound %d)\n",
 		in.InitialMakespan(), rep.Makespan, in.LowerBound())
 	fmt.Printf("moves:      %d (cost %d)\n", rep.Moves, rep.MoveCost)

@@ -16,6 +16,16 @@
 //	GET  /v1/solvers solver catalog (names, flags, bounds)
 //	GET  /healthz    liveness
 //	GET  /readyz     readiness (503 while draining)
+//	GET  /metrics    Prometheus text exposition (+ runtime gauges)
+//	GET  /debug/traces  ring of sampled/slow request traces
+//	GET  /version    build-info stamp
+//
+// Tracing: every request is assigned (or adopts) an X-Request-ID and
+// records a span tree — queue wait, cache, engine solve. -trace-sample
+// of them (plus everything over -slow-threshold) land in a -trace-ring
+// buffer served at /debug/traces; -trace appends the same spans as
+// JSONL to a file. Requests over -slow-threshold also produce one
+// structured log line with the per-phase breakdown.
 //
 // Caching: solution-kind solves are memoized in a canonical-form LRU
 // with single-flight coalescing (-cache entries; -cache -1 disables).
@@ -33,6 +43,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -65,6 +76,10 @@ func main() {
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown grace before in-flight solves are cancelled")
 	debugAddr := flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address")
 	metrics := flag.Bool("metrics", false, "print the end-of-run metrics summary to stderr at exit")
+	traceSample := flag.Float64("trace-sample", 0.01, "fraction of request traces kept in /debug/traces (0 keeps only slow ones, 1 keeps all)")
+	slowThreshold := flag.Duration("slow-threshold", 500*time.Millisecond, "log a structured slow-request line and always keep the trace at this latency (0 disables)")
+	traceRing := flag.Int("trace-ring", obs.DefaultTraceRing, "recent kept traces retained for /debug/traces")
+	traceFile := flag.String("trace", "", "append kept traces as JSONL span events to this file")
 	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
 
@@ -75,6 +90,9 @@ func main() {
 
 	sink := obs.New()
 	obs.PublishExpvar("rebalance", sink)
+	obs.PublishVersion("rebalance_version", rebalance.Version())
+	rc := obs.StartRuntimeCollector(sink, obs.DefaultRuntimeInterval)
+	defer rc.Stop()
 	if *debugAddr != "" {
 		go func() {
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
@@ -82,6 +100,38 @@ func main() {
 			}
 		}()
 	}
+
+	spanCfg := obs.SpanConfig{
+		SampleRate:    *traceSample,
+		SlowThreshold: *slowThreshold,
+		RingSize:      *traceRing,
+		Obs:           sink,
+	}
+	var flushTrace func()
+	if *traceFile != "" {
+		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("trace file: %v", err)
+		}
+		w := bufio.NewWriter(f)
+		jt := obs.NewJSONL(w)
+		jt.Clock = time.Now
+		spanCfg.Tracer = jt
+		// Flushed after the drain completes, so every span of every
+		// in-flight request reaches the file before exit.
+		flushTrace = func() {
+			if err := jt.Err(); err != nil {
+				log.Printf("trace: %v", err)
+			}
+			if err := w.Flush(); err != nil {
+				log.Printf("trace flush: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Printf("trace close: %v", err)
+			}
+		}
+	}
+	tracer := obs.NewSpanTracer(spanCfg)
 
 	srv := server.New(server.Config{
 		Workers:        *pool,
@@ -92,6 +142,8 @@ func main() {
 		CacheEntries:   *cacheEntries,
 		MaxBatch:       *maxBatch,
 		Obs:            sink,
+		Trace:          tracer,
+		SlowThreshold:  *slowThreshold,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -132,6 +184,10 @@ func main() {
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("serve: %v", err)
+	}
+	rc.Stop()
+	if flushTrace != nil {
+		flushTrace()
 	}
 	if *metrics {
 		snap := sink.Snapshot()

@@ -47,6 +47,19 @@ func (o Outcome) String() string {
 	return ""
 }
 
+// Stats describes how one Solve was served, for the server's per-phase
+// timing fields.
+type Stats struct {
+	// Outcome classifies the cache's role in the solve.
+	Outcome Outcome
+	// EngineNS is the engine compute time behind this result in
+	// nanoseconds: the flight's measured solve time for misses and
+	// coalesced waits (the shared flight's compute, which may overlap
+	// other requests), the direct engine call for bypasses, and 0 for
+	// hits.
+	EngineNS int64
+}
+
 // Config tunes a Cache.
 type Config struct {
 	// MaxEntries bounds the LRU; ≤ 0 means DefaultMaxEntries.
@@ -67,11 +80,12 @@ type Config struct {
 // waiters); when it reaches zero the flight's context is cancelled so
 // an abandoned solve stops promptly.
 type flight struct {
-	done   chan struct{}     // closed when sol/err are final
-	sol    instance.Solution // canonical job order
-	err    error
-	refs   atomic.Int64
-	cancel context.CancelFunc
+	done     chan struct{}     // closed when sol/err are final
+	sol      instance.Solution // canonical job order
+	err      error
+	engineNS int64 // measured spec.Solve time; final once done closes
+	refs     atomic.Int64
+	cancel   context.CancelFunc
 
 	// The kill timer enforces the latest deadline over every attached
 	// party, so the flight outlives each individual waiter: a party
@@ -203,12 +217,21 @@ func (c *Cache) Len() int {
 // property of the instance) are cached; contextual errors never poison
 // the cache.
 func (c *Cache) Solve(ctx context.Context, solver string, ext *instance.Extended, p engine.Params) (instance.Solution, Outcome, error) {
+	sol, st, err := c.SolveTimed(ctx, solver, ext, p)
+	return sol, st.Outcome, err
+}
+
+// SolveTimed is Solve returning the full Stats — the outcome plus the
+// engine compute time behind the result — for callers (the server) that
+// split per-phase latency on the wire.
+func (c *Cache) SolveTimed(ctx context.Context, solver string, ext *instance.Extended, p engine.Params) (instance.Solution, Stats, error) {
 	spec, ok := engine.Lookup(solver)
 	if !ok || spec.Kind != engine.KindSolution {
 		// Unknown names keep the engine's typed error; sweep-kind
 		// entries are not cacheable through this surface.
+		t0 := time.Now()
 		sol, err := engine.Solve(ctx, solver, &ext.Instance, p)
-		return sol, Bypass, err
+		return sol, Stats{Outcome: Bypass, EngineNS: time.Since(t0).Nanoseconds()}, err
 	}
 	can := Canonicalize(solver, spec.Caps, ext, p)
 
@@ -218,9 +241,9 @@ func (c *Cache) Solve(ctx context.Context, solver string, ext *instance.Extended
 			c.mu.Unlock()
 			c.count("cache.hits", solver)
 			if e.err != nil {
-				return instance.Solution{}, Hit, e.err
+				return instance.Solution{}, Stats{Outcome: Hit}, e.err
 			}
-			return can.FromCanonical(e.sol), Hit, nil
+			return can.FromCanonical(e.sol), Stats{Outcome: Hit}, nil
 		}
 		if f, ok := c.flights[can.Key]; ok && f.attach(ctx) {
 			c.mu.Unlock()
@@ -229,7 +252,7 @@ func (c *Cache) Solve(ctx context.Context, solver string, ext *instance.Extended
 			case <-f.done:
 				f.detach() // balance the attach; the flight is already final
 				if f.err == nil {
-					return can.FromCanonical(f.sol), Coalesced, nil
+					return can.FromCanonical(f.sol), Stats{Outcome: Coalesced, EngineNS: f.engineNS}, nil
 				}
 				// The flight died of a context error that was not ours
 				// (e.g. it lost all its other parties between our cache
@@ -238,20 +261,23 @@ func (c *Cache) Solve(ctx context.Context, solver string, ext *instance.Extended
 				if isContextErr(f.err) && ctx.Err() == nil && c.base.Err() == nil {
 					continue
 				}
-				return instance.Solution{}, Coalesced, f.err
+				return instance.Solution{}, Stats{Outcome: Coalesced, EngineNS: f.engineNS}, f.err
 			case <-ctx.Done():
 				f.detach()
-				return instance.Solution{}, Coalesced, ctx.Err()
+				return instance.Solution{}, Stats{Outcome: Coalesced}, ctx.Err()
 			}
 		}
 
 		// This call initiates the flight. It runs on its own goroutine
 		// under the cache's base context, NOT under the initiator's ctx:
 		// if the initiator disconnects while waiters are attached, the
-		// solve must keep running for them. A dead flight awaiting
+		// solve must keep running for them. The request's span linkage is
+		// grafted onto the flight context so a traced miss still records
+		// its engine solve as a child span. A dead flight awaiting
 		// teardown (attach failed above) is simply replaced; its
 		// finalizer's guarded delete leaves the successor alone.
 		fctx, cancel := context.WithCancel(c.base)
+		fctx = obs.AdoptSpan(fctx, ctx)
 		f := &flight{done: make(chan struct{}), cancel: cancel}
 		f.refs.Store(1)
 		f.arm(ctx)
@@ -272,12 +298,12 @@ func (c *Cache) Solve(ctx context.Context, solver string, ext *instance.Extended
 				err = ctx.Err()
 			}
 			if err != nil {
-				return instance.Solution{}, Miss, err
+				return instance.Solution{}, Stats{Outcome: Miss, EngineNS: f.engineNS}, err
 			}
-			return can.FromCanonical(f.sol), Miss, nil
+			return can.FromCanonical(f.sol), Stats{Outcome: Miss, EngineNS: f.engineNS}, nil
 		case <-ctx.Done():
 			f.detach()
-			return instance.Solution{}, Miss, ctx.Err()
+			return instance.Solution{}, Stats{Outcome: Miss}, ctx.Err()
 		}
 	}
 }
@@ -321,7 +347,9 @@ func (c *Cache) runFlight(fctx context.Context, spec engine.Spec, solver string,
 		close(f.done)
 		f.cancel() // release the flight context's resources
 	}()
+	t0 := time.Now()
 	sol, err = spec.Solve(fctx, &ext.Instance, p)
+	f.engineNS = time.Since(t0).Nanoseconds()
 }
 
 // count bumps the aggregate and per-solver counters for one event.

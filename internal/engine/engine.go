@@ -145,7 +145,10 @@ type Spec struct {
 	Run SolveFunc
 }
 
-// Solve implements Solver on the spec itself.
+// Solve implements Solver on the spec itself. When ctx carries a trace
+// span (the serving pipeline's request tracing, DESIGN.md §11), the
+// solver runs inside a "solve" child span tagged with its name; with no
+// span in ctx this is a single context lookup and no allocation.
 func (s Spec) Solve(ctx context.Context, in *instance.Instance, p Params) (instance.Solution, error) {
 	if s.Kind != KindSolution || s.Run == nil {
 		return instance.Solution{}, fmt.Errorf("%w: %q is a sweep, not a single-solution solver", ErrUnsupported, s.Name)
@@ -153,7 +156,19 @@ func (s Spec) Solve(ctx context.Context, in *instance.Instance, p Params) (insta
 	if err := ctx.Err(); err != nil {
 		return instance.Solution{}, err
 	}
-	return s.Run(ctx, in, p)
+	ctx, sp := obs.StartSpan(ctx, "solve")
+	if sp == nil {
+		return s.Run(ctx, in, p)
+	}
+	sp.SetAttr(obs.String("solver", s.Name), obs.Int("n", int64(in.N())), obs.Int("m", int64(in.M)))
+	sol, err := s.Run(ctx, in, p)
+	if err != nil {
+		sp.SetAttr(obs.String("error", err.Error()))
+	} else {
+		sp.SetAttr(obs.Int("makespan", sol.Makespan), obs.Int("moves", int64(sol.Moves)))
+	}
+	sp.End()
+	return sol, err
 }
 
 var (

@@ -211,17 +211,26 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// HistogramSnapshot is the frozen summary of one histogram.
+// HistogramSnapshot is the frozen summary of one histogram. Count is
+// the true observation count and Retained the reservoir's sample count;
+// they diverge once the histogram downsampled (Retained < Count), at
+// which point the quantiles are estimates over the retained uniform
+// subsample while Count/Sum/Min/Max stay exact.
 type HistogramSnapshot struct {
-	Count int64   `json:"count"`
-	Sum   int64   `json:"sum"`
-	Min   int64   `json:"min"`
-	Max   int64   `json:"max"`
-	Mean  float64 `json:"mean"`
-	P50   int64   `json:"p50"`
-	P90   int64   `json:"p90"`
-	P99   int64   `json:"p99"`
+	Count    int64   `json:"count"`
+	Retained int64   `json:"retained"`
+	Sum      int64   `json:"sum"`
+	Min      int64   `json:"min"`
+	Max      int64   `json:"max"`
+	Mean     float64 `json:"mean"`
+	P50      int64   `json:"p50"`
+	P90      int64   `json:"p90"`
+	P99      int64   `json:"p99"`
 }
+
+// Downsampled reports whether the reservoir dropped samples, making the
+// quantiles subsample estimates rather than exact nearest-rank values.
+func (h HistogramSnapshot) Downsampled() bool { return h.Retained < h.Count }
 
 // Snapshot is a frozen, JSON-serializable view of a registry, with an
 // optional build-info stamp. Map keys marshal in sorted order, so the
@@ -256,7 +265,8 @@ func (r *Registry) Snapshot() Snapshot {
 			h.mu.Lock()
 			sorted := h.sortedLocked()
 			hs := HistogramSnapshot{
-				Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+				Count: h.count, Retained: int64(len(h.samples)),
+				Sum: h.sum, Min: h.min, Max: h.max,
 				P50: quantileOf(sorted, 0.50),
 				P90: quantileOf(sorted, 0.90),
 				P99: quantileOf(sorted, 0.99),
@@ -299,8 +309,14 @@ func (s Snapshot) WriteSummary(w io.Writer) error {
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
-		if _, err := fmt.Fprintf(w, "%-28s count=%d sum=%d min=%d max=%d mean=%.2f p50=%d p90=%d p99=%d\n",
-			name, h.Count, h.Sum, h.Min, h.Max, h.Mean, h.P50, h.P90, h.P99); err != nil {
+		// When the reservoir downsampled, say so: the quantiles are then
+		// estimates over Retained of Count samples, not exact ranks.
+		approx := ""
+		if h.Downsampled() {
+			approx = fmt.Sprintf(" (quantiles over %d/%d retained)", h.Retained, h.Count)
+		}
+		if _, err := fmt.Fprintf(w, "%-28s count=%d sum=%d min=%d max=%d mean=%.2f p50=%d p90=%d p99=%d%s\n",
+			name, h.Count, h.Sum, h.Min, h.Max, h.Mean, h.P50, h.P90, h.P99, approx); err != nil {
 			return err
 		}
 	}

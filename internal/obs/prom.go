@@ -1,0 +1,219 @@
+package obs
+
+// Prometheus text-format exposition of a registry snapshot, plus a
+// small validating parser used by tests and the metrics-smoke tool.
+//
+// Naming: the registry's dotted names are mangled by replacing every
+// character outside [a-zA-Z0-9_:] with '_' (`server.queue_ns` →
+// `server_queue_ns`); a leading digit gains a '_' prefix. Histograms
+// are rendered as summaries — {quantile="0.5|0.9|0.99"} samples over
+// the retained reservoir plus exact `_sum` and `_count` (the true
+// observation count, not the retained-sample count). See DESIGN.md §11.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// promName mangles a dotted metric name into the Prometheus name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		valid := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !valid {
+			if r >= '0' && r <= '9' { // leading digit
+				b.WriteByte('_')
+				b.WriteRune(r)
+				continue
+			}
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4): every counter, gauge and
+// histogram, sorted by name, each preceded by its # TYPE line.
+// Histograms appear as summaries with p50/p90/p99 quantiles.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range sortedKeys(s.Counters) {
+		n := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		n := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		n := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s summary\n", n)
+		fmt.Fprintf(bw, "%s{quantile=\"0.5\"} %d\n", n, h.P50)
+		fmt.Fprintf(bw, "%s{quantile=\"0.9\"} %d\n", n, h.P90)
+		fmt.Fprintf(bw, "%s{quantile=\"0.99\"} %d\n", n, h.P99)
+		fmt.Fprintf(bw, "%s_sum %d\n", n, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", n, h.Count)
+	}
+	return bw.Flush()
+}
+
+// ValidateExposition parses r as Prometheus text exposition and returns
+// the number of samples, or an error naming the first offending line.
+// It checks the line grammar (comments, `# TYPE name counter|gauge|
+// summary|histogram|untyped`, `name[{labels}] value [timestamp]`), name
+// validity, and that every sample belongs to a declared family when
+// TYPE lines are present.
+func ValidateExposition(r io.Reader) (samples int, err error) {
+	types := map[string]string{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return samples, fmt.Errorf("line %d: malformed TYPE comment %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !validPromName(name) {
+					return samples, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					return samples, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := types[name]; dup {
+					return samples, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				types[name] = typ
+			}
+			continue // HELP and free comments pass
+		}
+		name, rest, perr := splitSample(line)
+		if perr != nil {
+			return samples, fmt.Errorf("line %d: %v", lineNo, perr)
+		}
+		if !validPromName(name) {
+			return samples, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		value := strings.Fields(rest)
+		if len(value) == 0 || len(value) > 2 {
+			return samples, fmt.Errorf("line %d: want `name value [timestamp]`, got %q", lineNo, line)
+		}
+		if _, perr := strconv.ParseFloat(value[0], 64); perr != nil &&
+			value[0] != "NaN" && value[0] != "+Inf" && value[0] != "-Inf" {
+			return samples, fmt.Errorf("line %d: bad sample value %q", lineNo, value[0])
+		}
+		if len(types) > 0 {
+			if _, ok := familyOf(types, name); !ok {
+				return samples, fmt.Errorf("line %d: sample %q has no TYPE declaration", lineNo, name)
+			}
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	return samples, nil
+}
+
+// splitSample splits one sample line into the metric name (label block
+// stripped and validated for balance) and the remainder.
+func splitSample(line string) (name, rest string, err error) {
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			return "", "", fmt.Errorf("unbalanced label braces in %q", line)
+		}
+		labels := line[i+1 : j]
+		if labels != "" {
+			for _, pair := range splitLabels(labels) {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok || !validPromName(k) || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					return "", "", fmt.Errorf("malformed label %q", pair)
+				}
+			}
+		}
+		return line[:i], line[j+1:], nil
+	}
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return "", "", fmt.Errorf("no value in sample line %q", line)
+	}
+	return line[:i], line[i:], nil
+}
+
+// splitLabels splits a label block on commas outside quoted values.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	last := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[last:i])
+				last = i + 1
+			}
+		}
+	}
+	if last < len(s) {
+		out = append(out, s[last:])
+	}
+	return out
+}
+
+// familyOf resolves a sample name to its declared family, accepting the
+// summary/histogram suffixes _sum, _count and _bucket.
+func familyOf(types map[string]string, name string) (string, bool) {
+	if _, ok := types[name]; ok {
+		return name, true
+	}
+	for _, suf := range []string{"_sum", "_count", "_bucket"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if _, ok := types[base]; ok {
+				return base, true
+			}
+		}
+	}
+	return "", false
+}
+
+func validPromName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r == '_' || r == ':',
+			r >= 'a' && r <= 'z',
+			r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}

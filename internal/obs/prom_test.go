@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition byte-for-byte for a
+// fixed registry: every counter, gauge and histogram appears, sorted,
+// with dotted names mangled and histograms rendered as summaries.
+func TestWritePrometheusGolden(t *testing.T) {
+	s := New()
+	s.Reg.Counter("server.requests").Add(42)
+	s.Reg.Counter("server.requests.greedy").Add(7)
+	s.Reg.Gauge("cache.size").Set(3)
+	h := s.Reg.Histogram("server.queue_ns")
+	for _, v := range []int64{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := s.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE server_requests counter
+server_requests 42
+# TYPE server_requests_greedy counter
+server_requests_greedy 7
+# TYPE cache_size gauge
+cache_size 3
+# TYPE server_queue_ns summary
+server_queue_ns{quantile="0.5"} 500
+server_queue_ns{quantile="0.9"} 900
+server_queue_ns{quantile="0.99"} 1000
+server_queue_ns_sum 5500
+server_queue_ns_count 10
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusValidates: the writer's own output must pass the
+// validating parser, covering every metric kind at once.
+func TestWritePrometheusValidates(t *testing.T) {
+	s := New()
+	s.Reg.Counter("a.b").Inc()
+	s.Reg.Gauge("c.d").Set(-5)
+	s.Reg.Histogram("e.f").Observe(9)
+	s.Reg.Histogram("2lead.9digit").Observe(1) // leading digit must be escaped
+	var b strings.Builder
+	if err := s.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("own exposition rejected: %v\n%s", err, b.String())
+	}
+	// counter + gauge + 2 summaries × (3 quantiles + sum + count)
+	if want := 1 + 1 + 2*5; n != want {
+		t.Errorf("sample count = %d, want %d", n, want)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"server.queue_ns":           "server_queue_ns",
+		"server.latency_ns.hs-ptas": "server_latency_ns_hs_ptas",
+		"9lives":                    "_9lives",
+		"ok_name:with_colon":        "ok_name:with_colon",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+		if !validPromName(promName(in)) {
+			t.Errorf("promName(%q) = %q is not a valid prom name", in, promName(in))
+		}
+	}
+}
+
+// TestValidateExpositionRejects checks the parser catches the common
+// breakages the smoke target exists for.
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad value":       "x 12.5.6\n",
+		"bad name":        "my.dotted.name 5\n",
+		"no value":        "lonely_name\n",
+		"bad TYPE":        "# TYPE x flummox\nx 1\n",
+		"undeclared":      "# TYPE a counter\na 1\nb 2\n",
+		"unbalanced":      "x}{quantile=\"0.5\" 1\n",
+		"malformed label": "x{quantile=0.5} 1\n",
+	}
+	for name, doc := range cases {
+		if _, err := ValidateExposition(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: %q accepted, want error", name, doc)
+		}
+	}
+	ok := "# HELP x helps\n# TYPE x summary\nx{quantile=\"0.5\"} 1\nx_sum 2\nx_count 1\n\nuntyped_alone 3 1700000000\n"
+	if _, err := ValidateExposition(strings.NewReader(ok)); err == nil {
+		// untyped_alone has no TYPE while others do — that must fail.
+		t.Errorf("sample without TYPE accepted in typed exposition")
+	}
+	okDoc := "y 5\nz{l=\"v\"} NaN\n" // exposition with no TYPE lines at all is fine
+	if n, err := ValidateExposition(strings.NewReader(okDoc)); err != nil || n != 2 {
+		t.Errorf("plain exposition rejected: n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,94 @@
+package obs
+
+// Runtime telemetry: a collector that samples Go runtime statistics
+// (heap, GC, goroutines) into registry gauges on a ticker, so /metrics
+// and expvar expose process health next to the serving metrics. Metric
+// names are listed in docs/metrics.md.
+
+import (
+	"runtime"
+	"time"
+)
+
+// DefaultRuntimeInterval is the sampling period applied when
+// StartRuntimeCollector is given a non-positive interval.
+const DefaultRuntimeInterval = 10 * time.Second
+
+// RuntimeCollector samples runtime stats until stopped. Create with
+// StartRuntimeCollector; Stop is idempotent and safe on nil.
+type RuntimeCollector struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartRuntimeCollector samples memstats and the goroutine count into
+// s's gauges: once synchronously (so a scrape immediately after startup
+// sees values) and then every interval. New GC pauses observed between
+// samples land in the runtime.gc_pause_ns histogram. Returns nil when
+// s is nil.
+func StartRuntimeCollector(s *Sink, interval time.Duration) *RuntimeCollector {
+	if s == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = DefaultRuntimeInterval
+	}
+	c := &RuntimeCollector{stop: make(chan struct{}), done: make(chan struct{})}
+	var lastGC uint32
+	lastGC = sampleRuntime(s, lastGC)
+	go func() {
+		defer close(c.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				lastGC = sampleRuntime(s, lastGC)
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+	return c
+}
+
+// Stop halts sampling and waits for the collector goroutine to exit.
+// Safe on nil and safe to call twice.
+func (c *RuntimeCollector) Stop() {
+	if c == nil {
+		return
+	}
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	<-c.done
+}
+
+// sampleRuntime takes one sample; it returns the NumGC watermark so the
+// next sample only observes new GC pauses.
+func sampleRuntime(s *Sink, lastGC uint32) uint32 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg := s.Reg
+	reg.Gauge("runtime.goroutines").Set(int64(runtime.NumGoroutine()))
+	reg.Gauge("runtime.heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	reg.Gauge("runtime.heap_sys_bytes").Set(int64(ms.HeapSys))
+	reg.Gauge("runtime.heap_objects").Set(int64(ms.HeapObjects))
+	reg.Gauge("runtime.gc_count").Set(int64(ms.NumGC))
+	reg.Gauge("runtime.gc_pause_total_ns").Set(int64(ms.PauseTotalNs))
+	// PauseNs is a circular buffer indexed by GC cycle; walk only the
+	// cycles completed since the previous sample (capped at the buffer).
+	newGCs := ms.NumGC - lastGC
+	if newGCs > uint32(len(ms.PauseNs)) {
+		newGCs = uint32(len(ms.PauseNs))
+	}
+	if newGCs > 0 {
+		h := reg.Histogram("runtime.gc_pause_ns")
+		for i := ms.NumGC - newGCs + 1; i <= ms.NumGC; i++ {
+			h.Observe(int64(ms.PauseNs[(i+255)%256]))
+		}
+	}
+	return ms.NumGC
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestRuntimeCollector: the synchronous first sample must populate the
+// gauges before Start returns, GC pauses land in the histogram, and
+// Stop is idempotent and nil-safe.
+func TestRuntimeCollector(t *testing.T) {
+	s := New()
+	c := StartRuntimeCollector(s, time.Hour) // only the startup sample
+	defer c.Stop()
+	snap := s.Snapshot()
+	for _, g := range []string{
+		"runtime.goroutines", "runtime.heap_alloc_bytes", "runtime.heap_sys_bytes",
+		"runtime.heap_objects", "runtime.gc_count", "runtime.gc_pause_total_ns",
+	} {
+		if _, ok := snap.Gauges[g]; !ok {
+			t.Errorf("gauge %s missing after startup sample", g)
+		}
+	}
+	if snap.Gauges["runtime.goroutines"] < 1 {
+		t.Errorf("runtime.goroutines = %d, want >= 1", snap.Gauges["runtime.goroutines"])
+	}
+	c.Stop()
+	c.Stop() // idempotent
+
+	var nilC *RuntimeCollector
+	nilC.Stop() // nil-safe
+	if StartRuntimeCollector(nil, time.Second) != nil {
+		t.Error("StartRuntimeCollector(nil) must return nil")
+	}
+}
+
+// TestRuntimeCollectorObservesGC forces GC cycles between ticks and
+// checks new pauses reach the histogram.
+func TestRuntimeCollectorObservesGC(t *testing.T) {
+	s := New()
+	c := StartRuntimeCollector(s, time.Millisecond)
+	defer c.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if s.Snapshot().Histograms["runtime.gc_pause_ns"].Count > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Error("no GC pauses observed within 2s of forced GC cycles")
+}

@@ -123,3 +123,15 @@ func PublishExpvar(name string, s *Sink) {
 	}
 	expvar.Publish(name, expvar.Func(func() any { return s.Snapshot() }))
 }
+
+// PublishVersion exposes a build-info stamp as a string expvar (visible
+// at /debug/vars). Like PublishExpvar, republishing the same name is a
+// no-op instead of the package expvar panic.
+func PublishVersion(name, version string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	v := new(expvar.String)
+	v.Set(version)
+	expvar.Publish(name, v)
+}

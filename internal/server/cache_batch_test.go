@@ -50,7 +50,7 @@ func stripVolatile(t *testing.T, body []byte) []byte {
 	if err := json.Unmarshal(body, &resp); err != nil {
 		t.Fatalf("decode response %s: %v", body, err)
 	}
-	resp.QueueNS, resp.SolveNS, resp.Cache = 0, 0, ""
+	resp.Timing, resp.Cache, resp.RequestID = Timing{}, "", ""
 	out, err := json.Marshal(resp)
 	if err != nil {
 		t.Fatal(err)

@@ -9,6 +9,16 @@
 //   - GET  /v1/solvers — the solver catalog, generated from the registry.
 //   - GET  /healthz    — liveness (200 while the process runs).
 //   - GET  /readyz     — readiness (503 once draining begins).
+//   - GET  /metrics    — the obs registry in Prometheus text format.
+//   - GET  /debug/traces — ring of recent sampled/slow request traces.
+//   - GET  /version    — the build-info stamp as JSON.
+//
+// Tracing: every solve carries a request ID (the client's X-Request-ID
+// or a minted one), returned in the response header and body. With a
+// SpanTracer configured, each request records a span tree — request →
+// queue wait, cache lookup/coalesce, engine solve — sampled by rate
+// plus always-on-slow into /debug/traces; responses carry a per-phase
+// `timing` decomposition either way. See DESIGN.md §11.
 //
 // Caching: solution-kind solves pass through internal/cache behind the
 // admission queue — a canonical-form LRU plus single-flight coalescing,
@@ -40,6 +50,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -96,8 +107,22 @@ type Config struct {
 	MaxBatch int
 	// Obs receives the serving metrics (request counts, latency
 	// histograms, queue depth, rejections) and is threaded into every
-	// solve; nil disables instrumentation.
+	// solve; nil disables instrumentation. GET /metrics exposes it in
+	// Prometheus text format.
 	Obs *obs.Sink
+	// Trace enables request-scoped span tracing: every request runs
+	// under a root span with queue/cache/solve children, and sampled or
+	// slow traces land in the tracer's ring, served at
+	// GET /debug/traces. Nil disables tracing; the disabled path
+	// allocates nothing.
+	Trace *obs.SpanTracer
+	// SlowThreshold logs a structured slow-request line (and bumps
+	// server.slow_requests) for any request whose server-side latency
+	// reaches it. 0 disables slow-request logging.
+	SlowThreshold time.Duration
+	// Log receives the structured serving logs (slow requests); nil
+	// means slog.Default().
+	Log *slog.Logger
 }
 
 // task is one admitted solve request travelling from handler to worker.
@@ -105,6 +130,7 @@ type task struct {
 	ctx      context.Context
 	req      *SolveRequest
 	enqueued time.Time
+	qspan    *obs.Span       // queue-wait span; ended by the worker at dequeue
 	done     chan taskResult // buffered(1): the worker's send never blocks
 }
 
@@ -114,8 +140,14 @@ type taskResult struct {
 	sweep    bool
 	cacheOut cache.Outcome
 	err      error
-	queueNS  int64
-	solveNS  int64
+	queueNS  int64 // admission-queue wait
+	cacheNS  int64 // cache-layer time excluding engine compute
+	solveNS  int64 // engine compute
+}
+
+// timing shapes a result's phase decomposition for the wire.
+func (r taskResult) timing() Timing {
+	return Timing{QueueNS: r.queueNS, CacheNS: r.cacheNS, SolveNS: r.solveNS}
 }
 
 // Server dispatches HTTP solve requests through the engine registry.
@@ -131,6 +163,7 @@ type Server struct {
 	rootCancel context.CancelFunc
 	draining   atomic.Bool
 	inflight   sync.WaitGroup // queued + running tasks
+	inflightN  atomic.Int64   // same population, as a number for the gauge
 	workers    chan struct{}  // closed when the pool has exited
 }
 
@@ -211,8 +244,10 @@ func (s *Server) workerLoop() {
 // runTask executes one admitted task and delivers its result.
 func (s *Server) runTask(t *task) {
 	defer s.inflight.Done()
+	defer func() { s.gauge("server.inflight", s.inflightN.Add(-1)) }()
 	s.gauge("server.queue_depth", int64(len(s.queue)))
 	queueNS := time.Since(t.enqueued).Nanoseconds()
+	t.qspan.End()
 	s.cfg.Obs.Observe("server.queue_ns", queueNS)
 	if err := t.ctx.Err(); err != nil {
 		// Expired while queued: don't burn a worker on a dead request.
@@ -223,10 +258,19 @@ func (s *Server) runTask(t *task) {
 	start := time.Now()
 	res := s.dispatch(t)
 	res.queueNS = queueNS
-	res.solveNS = time.Since(start).Nanoseconds()
+	totalNS := time.Since(start).Nanoseconds()
+	// dispatch measured the engine compute (solveNS); the remainder of
+	// the dispatch time belongs to the cache layer when one was in play.
+	if res.cacheOut != cache.Bypass {
+		if res.cacheNS = totalNS - res.solveNS; res.cacheNS < 0 {
+			res.cacheNS = 0
+		}
+		s.cfg.Obs.Observe("server.cache_ns", res.cacheNS)
+	}
 	s.cfg.Obs.Count("server.requests", 1)
 	s.cfg.Obs.Count("server.requests."+t.req.Solver, 1)
-	s.cfg.Obs.Observe("server.latency_ns."+t.req.Solver, res.solveNS)
+	s.cfg.Obs.Observe("server.latency_ns."+t.req.Solver, totalNS)
+	s.cfg.Obs.Observe("server.solve_ns", res.solveNS)
 	if res.err != nil {
 		s.cfg.Obs.Count("server.errors", 1)
 	}
@@ -255,9 +299,18 @@ func (s *Server) dispatch(t *task) (res taskResult) {
 		if len(ks) == 0 {
 			ks = rebalance.DefaultFrontierKs(in.N())
 		}
-		points, err := rebalance.FrontierCtx(t.ctx, in, ks, rebalance.FrontierOptions{
+		// Sweeps don't route through engine.Spec.Solve, so the solve
+		// span is opened here.
+		sctx, sp := obs.StartSpan(t.ctx, "solve")
+		if sp != nil {
+			sp.SetAttr(obs.String("solver", t.req.Solver))
+		}
+		t0 := time.Now()
+		points, err := rebalance.FrontierCtx(sctx, in, ks, rebalance.FrontierOptions{
 			Workers: s.cfg.SolverWorkers, Obs: s.cfg.Obs,
 		})
+		res.solveNS = time.Since(t0).Nanoseconds()
+		sp.End()
 		res.sweep = true
 		res.err = err
 		res.points = make([]SweepPoint, len(points))
@@ -275,10 +328,22 @@ func (s *Server) dispatch(t *task) (res taskResult) {
 		Allowed: t.req.Instance.Allowed, Conflicts: t.req.Instance.Conflicts,
 	}
 	if s.cache != nil {
-		res.sol, res.cacheOut, res.err = s.cache.Solve(t.ctx, t.req.Solver, &t.req.Instance, p)
+		// The cache span covers lookup, canonicalization and coalesce
+		// wait; the engine solve becomes its child via the span linkage
+		// grafted onto the flight context (internal/cache).
+		cctx, csp := obs.StartSpan(t.ctx, "cache")
+		var st cache.Stats
+		res.sol, st, res.err = s.cache.SolveTimed(cctx, t.req.Solver, &t.req.Instance, p)
+		res.cacheOut, res.solveNS = st.Outcome, st.EngineNS
+		if csp != nil {
+			csp.SetAttr(obs.String("outcome", st.Outcome.String()))
+		}
+		csp.End()
 		return res
 	}
+	t0 := time.Now()
 	res.sol, res.err = engine.Solve(t.ctx, t.req.Solver, in, p)
+	res.solveNS = time.Since(t0).Nanoseconds()
 	return res
 }
 
@@ -291,6 +356,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /version", s.handleVersion)
 	return mux
 }
 
@@ -424,13 +492,22 @@ type admissionError struct {
 // solveOne admits one validated request into the worker queue and waits
 // for its result or the context. Shared by /v1/solve and /v1/batch.
 func (s *Server) solveOne(ctx context.Context, req *SolveRequest) (taskResult, *admissionError) {
-	t := &task{ctx: ctx, req: req, enqueued: time.Now(), done: make(chan taskResult, 1)}
+	// The queue span opens at enqueue and is ended by the worker at
+	// dequeue, so its duration is the admission wait. It is a child of
+	// the request's root span, not a parent of the solve spans.
+	_, qspan := obs.StartSpan(ctx, "queue")
+	t := &task{ctx: ctx, req: req, enqueued: time.Now(), qspan: qspan, done: make(chan taskResult, 1)}
 	s.inflight.Add(1)
 	select {
 	case s.queue <- t:
+		s.gauge("server.inflight", s.inflightN.Add(1))
 		s.gauge("server.queue_depth", int64(len(s.queue)))
 	default:
 		s.inflight.Done()
+		if qspan != nil {
+			qspan.SetAttr(obs.Bool("rejected", true))
+		}
+		qspan.End()
 		s.cfg.Obs.Count("server.rejected_full", 1)
 		return taskResult{}, &admissionError{
 			status: http.StatusTooManyRequests, retryAfter: true,
@@ -455,15 +532,15 @@ func (s *Server) solveOne(ctx context.Context, req *SolveRequest) (taskResult, *
 }
 
 // buildResponse shapes a worker result into the wire response.
-func buildResponse(req *SolveRequest, res taskResult) SolveResponse {
+func buildResponse(req *SolveRequest, res taskResult, rid string) SolveResponse {
 	in := &req.Instance.Instance
 	resp := SolveResponse{
 		Solver:          req.Solver,
+		RequestID:       rid,
 		InitialMakespan: in.InitialMakespan(),
 		LowerBound:      in.LowerBound(),
 		Cache:           res.cacheOut.String(),
-		QueueNS:         res.queueNS,
-		SolveNS:         res.solveNS,
+		Timing:          res.timing(),
 	}
 	if res.sweep {
 		resp.Points = res.points
@@ -476,9 +553,12 @@ func buildResponse(req *SolveRequest, res taskResult) SolveResponse {
 	return resp
 }
 
-// handleSolve is POST /v1/solve: decode and validate, admit (or answer
-// 429/503), then wait for the worker's result or the request deadline.
+// handleSolve is POST /v1/solve: decode and validate, mint or adopt the
+// request ID, admit (or answer 429/503), then wait for the worker's
+// result or the request deadline.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(r)
+	w.Header().Set("X-Request-ID", rid)
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
@@ -494,10 +574,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%s", msg)
 		return
 	}
-	ctx, cancel := s.solveCtx(r.Context(), &req)
+	start := time.Now()
+	tctx, root := s.cfg.Trace.StartRequest(r.Context(), "request", rid)
+	if root != nil {
+		root.SetAttr(obs.String("solver", req.Solver))
+	}
+	defer root.End()
+	ctx, cancel := s.solveCtx(tctx, &req)
 	defer cancel()
 	res, aerr := s.solveOne(ctx, &req)
 	if aerr != nil {
+		s.noteSlow(rid, req.Solver, res, time.Since(start), aerr.status)
 		if aerr.retryAfter {
 			w.Header().Set("Retry-After", "1")
 		}
@@ -505,10 +592,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if res.err != nil {
+		s.noteSlow(rid, req.Solver, res, time.Since(start), statusFor(res.err))
 		writeError(w, statusFor(res.err), "%v", res.err)
 		return
 	}
-	writeJSON(w, http.StatusOK, buildResponse(&req, res))
+	s.noteSlow(rid, req.Solver, res, time.Since(start), http.StatusOK)
+	writeJSON(w, http.StatusOK, buildResponse(&req, res, rid))
 }
 
 // handleBatch is POST /v1/batch: decode a slice of solve requests, fan
@@ -517,6 +606,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // own status, result, or error, exactly as the sequential single solves
 // would have produced.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(r)
+	w.Header().Set("X-Request-ID", rid)
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
@@ -551,7 +642,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		fan = s.cfg.QueueDepth
 	}
 	_ = par.Do(r.Context(), len(breq.Requests), fan, func(i int) error {
-		items[i] = s.batchItem(r.Context(), &breq.Requests[i])
+		// Item IDs derive from the batch's: item i of request R is R-i,
+		// so one batch's traces group under a shared prefix.
+		items[i] = s.batchItem(r.Context(), &breq.Requests[i], fmt.Sprintf("%s-%d", rid, i))
 		return nil
 	})
 	// Items skipped because the client went away (par stops claiming new
@@ -564,22 +657,32 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, BatchResponse{Items: items})
 }
 
-// batchItem runs one batch element through the same validate → admit →
-// wait path as a single solve and folds the outcome into a BatchItem.
-func (s *Server) batchItem(parent context.Context, req *SolveRequest) BatchItem {
+// batchItem runs one batch element through the same validate → trace →
+// admit → wait path as a single solve and folds the outcome into a
+// BatchItem; rid is the item's request/trace ID.
+func (s *Server) batchItem(parent context.Context, req *SolveRequest, rid string) BatchItem {
 	if status, msg := s.validateSolveRequest(req); status != 0 {
 		return BatchItem{Status: status, Error: msg}
 	}
-	ctx, cancel := s.solveCtx(parent, req)
+	start := time.Now()
+	tctx, root := s.cfg.Trace.StartRequest(parent, "request", rid)
+	if root != nil {
+		root.SetAttr(obs.String("solver", req.Solver), obs.Bool("batch", true))
+	}
+	defer root.End()
+	ctx, cancel := s.solveCtx(tctx, req)
 	defer cancel()
 	res, aerr := s.solveOne(ctx, req)
 	if aerr != nil {
+		s.noteSlow(rid, req.Solver, res, time.Since(start), aerr.status)
 		return BatchItem{Status: aerr.status, Error: aerr.msg}
 	}
 	if res.err != nil {
+		s.noteSlow(rid, req.Solver, res, time.Since(start), statusFor(res.err))
 		return BatchItem{Status: statusFor(res.err), Error: res.err.Error()}
 	}
-	resp := buildResponse(req, res)
+	s.noteSlow(rid, req.Solver, res, time.Since(start), http.StatusOK)
+	resp := buildResponse(req, res, rid)
 	return BatchItem{Status: http.StatusOK, Result: &resp}
 }
 

@@ -9,6 +9,7 @@ package server
 import (
 	"repro/internal/engine"
 	"repro/internal/instance"
+	"repro/internal/obs"
 )
 
 // SolveRequest is the body of POST /v1/solve.
@@ -43,10 +44,25 @@ type SweepPoint struct {
 	Moves    int   `json:"moves"`
 }
 
+// Timing splits one request's server-side latency into phases, all in
+// nanoseconds: admission-queue wait, solution-cache time (lookup,
+// canonicalization and coalesce wait, excluding engine compute; zero
+// when the request bypassed the cache), and engine compute (the flight's
+// measured solve for cache misses and coalesced waits, zero for hits).
+type Timing struct {
+	QueueNS int64 `json:"queue_ns"`
+	CacheNS int64 `json:"cache_ns"`
+	SolveNS int64 `json:"solve_ns"`
+}
+
 // SolveResponse is the success body of POST /v1/solve.
 type SolveResponse struct {
 	// Solver echoes the request's solver name.
 	Solver string `json:"solver"`
+	// RequestID identifies this request: the client's X-Request-ID when
+	// one was sent, a server-minted ID otherwise. It doubles as the
+	// trace ID in /debug/traces and the slow-request log.
+	RequestID string `json:"request_id"`
 	// Assign, Makespan, Moves and MoveCost describe the solution of a
 	// solution-kind solver (absent for sweeps).
 	Assign   []int `json:"assign,omitempty"`
@@ -63,10 +79,8 @@ type SolveResponse struct {
 	// "miss", or "coalesced". Empty when the request bypassed the cache
 	// (sweeps, or caching disabled).
 	Cache string `json:"cache,omitempty"`
-	// QueueNS and SolveNS split the request's server-side latency into
-	// admission-queue wait and solver compute, in nanoseconds.
-	QueueNS int64 `json:"queue_ns"`
-	SolveNS int64 `json:"solve_ns"`
+	// Timing is the per-phase server-side latency decomposition.
+	Timing Timing `json:"timing"`
 }
 
 // BatchRequest is the body of POST /v1/batch: a slice of solve
@@ -133,4 +147,16 @@ func Catalog() []SolverInfo {
 type ReadyResponse struct {
 	Status     string `json:"status"` // "ok" or "draining"
 	QueueDepth int    `json:"queue_depth"`
+}
+
+// VersionResponse is the body of GET /version: the same build-info
+// stamp the CLIs print under -version.
+type VersionResponse struct {
+	Version string `json:"version"`
+}
+
+// TracesResponse is the body of GET /debug/traces: the span tracer's
+// kept traces, newest first.
+type TracesResponse struct {
+	Traces []obs.Trace `json:"traces"`
 }

@@ -1,0 +1,109 @@
+package rebalance
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// metricCallRe matches a metric-name string literal passed as the first
+// argument of a sink/registry emission call (Count, Observe, Counter,
+// Gauge, Histogram, or the lowercase package-local helpers). Requiring
+// a dot in the literal filters out unrelated calls to identically named
+// functions.
+var metricCallRe = regexp.MustCompile(
+	`\b(?:Count|Observe|Counter|Gauge|Histogram|count|gauge)\(\s*"([a-z0-9_]+\.[a-z0-9_.]*)"`)
+
+// cacheCountRe matches the cache's two-argument count helper, which
+// emits both the base name and a per-solver suffixed variant.
+var cacheCountRe = regexp.MustCompile(`\bc\.count\(\s*"([a-z0-9_.]+)"\s*,`)
+
+// docNameRe extracts the backticked metric name leading each table row
+// of docs/metrics.md.
+var docNameRe = regexp.MustCompile("(?m)^\\| `([a-z0-9_.<>]+)` \\|")
+
+// TestMetricsDocMatchesSource pins docs/metrics.md to the source: every
+// metric name the non-test code can emit must be documented, and every
+// documented name must still be emitted somewhere. A literal ending in
+// "." (a dynamic per-solver prefix like "server.latency_ns.") maps to
+// the documented form `server.latency_ns.<solver>`.
+func TestMetricsDocMatchesSource(t *testing.T) {
+	emitted := map[string]string{} // name -> first file emitting it
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "examples" || name == "docs") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range metricCallRe.FindAllStringSubmatch(string(src), -1) {
+			name := m[1]
+			if strings.HasSuffix(name, ".") {
+				name += "<solver>"
+			}
+			if _, ok := emitted[name]; !ok {
+				emitted[name] = path
+			}
+		}
+		for _, m := range cacheCountRe.FindAllStringSubmatch(string(src), -1) {
+			if name := m[1] + ".<solver>"; emitted[name] == "" {
+				emitted[name] = path
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) == 0 {
+		t.Fatal("extracted no metric names from the source; the lint regex is broken")
+	}
+
+	doc, err := os.ReadFile(filepath.Join("docs", "metrics.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := map[string]bool{}
+	for _, m := range docNameRe.FindAllStringSubmatch(string(doc), -1) {
+		documented[m[1]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("extracted no metric names from docs/metrics.md; the table format changed")
+	}
+
+	var missing, stale []string
+	for name, file := range emitted {
+		if !documented[name] {
+			missing = append(missing, name+" (emitted in "+file+")")
+		}
+	}
+	for name := range documented {
+		if _, ok := emitted[name]; !ok {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	if len(missing) > 0 {
+		t.Errorf("metric names emitted but missing from docs/metrics.md:\n  %s",
+			strings.Join(missing, "\n  "))
+	}
+	if len(stale) > 0 {
+		t.Errorf("metric names documented in docs/metrics.md but no longer emitted:\n  %s",
+			strings.Join(stale, "\n  "))
+	}
+}
