@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race race-fast vet bench bench-json serve loadtest lint-metrics metrics-smoke fuzz-short ci check clean
+.PHONY: build test short race race-fast vet bench bench-json bench-diff bench-profile serve loadtest lint-metrics metrics-smoke fuzz-short ci check clean
 
 build:
 	$(GO) build ./...
@@ -27,11 +27,51 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-# bench-json runs the benchmark suite and records the parsed results —
-# plus the goos/goarch/gomaxprocs header that makes the parallel numbers
-# interpretable — in BENCH.json.
+# bench-json runs the benchmark suite — the experiment benchmarks in the
+# module root plus the serving-path benchmarks — and records the parsed
+# results, with the goos/goarch/gomaxprocs/numcpu header that makes the
+# numbers interpretable, in BENCH.json. Every pass uses the same
+# $(BENCHTIME) as bench-diff so baseline and gate samples are drawn
+# under identical conditions (iteration count affects per-op time via
+# cache warmth), and the gated set gets four extra passes so the
+# baseline's per-name median (what bench-diff compares against) is
+# taken over five repeats.
 bench-json:
-	$(GO) test -bench=. -benchmem -run=^$$ . | $(GO) run ./cmd/benchjson -json BENCH.json
+	( $(GO) test -bench=. -benchmem -benchtime $(BENCHTIME) -run=^$$ . ./internal/server ; \
+	  $(GO) test -bench='$(BENCH_GATE_RE)' -benchmem -benchtime $(BENCHTIME) -count 4 -run=^$$ . ./internal/server ) \
+	| $(GO) run ./cmd/benchjson -json BENCH.json
+
+# bench-diff is the performance regression gate: it re-runs the curated
+# benchmark set (solver kernels plus the serving path) and compares
+# against the committed BENCH.json. Fails on >$(BENCH_TOLERANCE)
+# ns/op drift (same-environment baselines only; serving-path benchmarks
+# are alloc-only — see benchjson.DefaultGate) or ANY allocs/op
+# increase. Each benchmark runs $(BENCH_COUNT) times and the comparison
+# takes the fresh run's per-name minimum against the baseline's median
+# ("can the code still reach its typical recorded speed?"), with
+# BenchmarkCalibration (fixed pure-CPU work) riding along so benchdiff
+# can scale the limits by the ambient machine-speed drift. BENCHTIME is
+# time-based (not -benchtime Nx) so every sample averages over a full
+# second of work — fixed low iteration counts make per-sample noise
+# swamp the tolerance. The tolerance here is sized to this
+# container's measured noise floor (per-benchmark spread of 25–75%
+# between back-to-back repeats even after calibration); on quiet
+# dedicated hardware run with BENCH_TOLERANCE=0.10, the tool default.
+BENCHTIME ?= 1s
+BENCH_COUNT ?= 5
+BENCH_TOLERANCE ?= 0.20
+BENCH_GATE_RE = ^(BenchmarkCalibration|BenchmarkE2PartitionRatio|BenchmarkE3Scaling|BenchmarkE4PTAS|BenchmarkE11Ablation|BenchmarkServerSolveHit|BenchmarkServerSolveMiss|BenchmarkServerBatch)$$
+bench-diff:
+	$(GO) test -bench='$(BENCH_GATE_RE)' -benchmem -benchtime $(BENCHTIME) -count $(BENCH_COUNT) -run=^$$ . ./internal/server | $(GO) run ./cmd/benchdiff -baseline BENCH.json -tolerance $(BENCH_TOLERANCE)
+
+# bench-profile captures CPU and allocation profiles for the serving mix
+# benchmark (the loadgen-shaped 70/30 hit/miss traffic); inspect with
+# `go tool pprof cpu.prof` / `go tool pprof -alloc_space mem.prof`.
+PROFILE_BENCHTIME ?= 5000x
+bench-profile:
+	$(GO) test -bench '^BenchmarkServerLoadMix$$' -benchmem -benchtime $(PROFILE_BENCHTIME) -run=^$$ \
+		-cpuprofile cpu.prof -memprofile mem.prof -o server.bench.test ./internal/server
+	@echo "profiles written: cpu.prof mem.prof (binary: server.bench.test)"
 
 # serve runs the solve daemon on :8080 with debug endpoints on :8081;
 # loadtest points the load generator at it (override with make
@@ -92,9 +132,11 @@ ci:
 	$(MAKE) lint-metrics
 	$(GO) test ./...
 	$(GO) test -race ./...
+	$(MAKE) bench-diff
 	$(MAKE) fuzz-short
 
 check: vet test race
 
 clean:
 	$(GO) clean ./...
+	rm -f cpu.prof mem.prof server.bench.test

@@ -26,6 +26,35 @@ import (
 	"repro/internal/workload"
 )
 
+var benchSink uint64
+
+// BenchmarkCalibration is a fixed pure-CPU workload (a splitmix64
+// scramble, independent of everything this repository optimizes) used
+// by cmd/benchdiff to normalize wall-clock comparisons for
+// machine-speed drift: on a time-shared machine an entire run can sit
+// in a window 10–50% slower than the one the baseline was recorded in,
+// and the ratio of this benchmark between the two snapshots measures
+// that ambient drift independently of the code under test. Changing
+// this function invalidates the normalization of every committed
+// baseline — regenerate BENCH.json in the same change.
+func BenchmarkCalibration(b *testing.B) {
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		x := uint64(i)
+		for j := 0; j < 1<<14; j++ {
+			x += 0x9e3779b97f4a7c15
+			z := x
+			z ^= z >> 30
+			z *= 0xbf58476d1ce4e5b9
+			z ^= z >> 27
+			z *= 0x94d049bb133111eb
+			z ^= z >> 31
+			acc += z
+		}
+	}
+	benchSink = acc
+}
+
 // E1 — Theorem 1 tightness: adversarial GREEDY on the paper's instance.
 func BenchmarkE1GreedyTightness(b *testing.B) {
 	for _, m := range []int{8, 32} {

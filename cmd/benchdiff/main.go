@@ -1,0 +1,88 @@
+// Command benchdiff is the benchmark regression gate: it reads a fresh
+// `go test -bench -benchmem` text stream from stdin (echoing it through
+// so it can sit at the end of a pipeline), parses the result lines, and
+// compares the curated gate set against the committed BENCH.json
+// baseline. The build fails on any gated benchmark that regressed more
+// than the ns/op tolerance, increased its allocs/op at all, or is
+// missing from either side.
+//
+// Usage:
+//
+//	go test -bench=... -benchmem -run='^$' ./... | benchdiff -baseline BENCH.json
+//
+// Wall-clock comparisons require the baseline to come from the same
+// environment (goos/goarch/GOMAXPROCS/CPU count); against a foreign
+// baseline only allocs/op — deterministic, machine-independent — is
+// enforced.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/benchjson"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	baseline := flag.String("baseline", "BENCH.json", "committed baseline snapshot to compare against")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional ns/op regression (0.10 = +10%)")
+	gateList := flag.String("gate", "", "comma-separated benchmark names to gate, name=alloc for alloc-only (default: the curated set)")
+	flag.Parse()
+
+	gate := benchjson.DefaultGate
+	if *gateList != "" {
+		gate = nil
+		for _, name := range strings.Split(*gateList, ",") {
+			g := benchjson.Gate{Name: name}
+			if n, ok := strings.CutSuffix(name, "=alloc"); ok {
+				g = benchjson.Gate{Name: n, AllocOnly: true}
+			}
+			gate = append(gate, g)
+		}
+	}
+
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		log.Fatalf("read baseline: %v", err)
+	}
+	var base benchjson.Snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Fatalf("parse baseline %s: %v", *baseline, err)
+	}
+
+	cur := benchjson.Snapshot{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if rec, ok := benchjson.ParseLine(line); ok {
+			cur.Benchmarks = append(cur.Benchmarks, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("read stdin: %v", err)
+	}
+	if len(cur.Benchmarks) == 0 {
+		log.Fatal("no benchmark result lines on stdin (did the bench run fail?)")
+	}
+
+	rep := benchjson.Diff(base, cur, gate, *tolerance)
+	fmt.Print(rep.Format())
+	if rep.Failed() {
+		os.Exit(1)
+	}
+}

@@ -135,6 +135,15 @@ func main() {
 		log.Fatalf("daemon not ready at %s: %v", *addr, err)
 	}
 
+	// Bracket the run with /metrics scrapes: the daemon refreshes its
+	// runtime gauges on scrape, so the deltas below are the server-side
+	// allocation and GC cost of exactly this load. Absent gauges (daemon
+	// running without a sink) just suppress the report.
+	before, err := cl.Scalars(ctx)
+	if err != nil {
+		log.Printf("metrics scrape failed (runtime report disabled): %v", err)
+	}
+
 	// Latency accounting rides the same histogram the daemon's own
 	// metrics use; its p50/p90/p99 are nearest-rank.
 	lat := &obs.Histogram{}
@@ -227,4 +236,38 @@ func main() {
 	if r := rejected.Load(); r > 0 {
 		fmt.Printf("note:       %d rejections mean the offered load exceeded pool+queue capacity\n", r)
 	}
+	if before != nil {
+		if after, err := cl.Scalars(ctx); err != nil {
+			log.Printf("final metrics scrape failed: %v", err)
+		} else {
+			printRuntimeDelta(before, after, elapsed)
+		}
+	}
+}
+
+// printRuntimeDelta reports the server-side allocation and GC cost of
+// the run from the daemon's runtime gauges (docs/metrics.md): heap
+// objects allocated per second of wall clock and the stop-the-world
+// pause total accumulated while the load ran.
+func printRuntimeDelta(before, after map[string]int64, elapsed time.Duration) {
+	mallocs, ok1 := delta(before, after, "runtime_mallocs")
+	pause, ok2 := delta(before, after, "runtime_gc_pause_total_ns")
+	cycles, ok3 := delta(before, after, "runtime_gc_count")
+	if !ok1 && !ok2 {
+		return // daemon runs without runtime telemetry
+	}
+	fmt.Printf("server runtime (from /metrics deltas):\n")
+	if ok1 {
+		fmt.Printf("  allocs:    %d (%.0f/s)\n", mallocs, float64(mallocs)/elapsed.Seconds())
+	}
+	if ok2 && ok3 {
+		fmt.Printf("  gc:        %d cycles, %v total pause\n",
+			cycles, time.Duration(pause).Round(time.Microsecond))
+	}
+}
+
+func delta(before, after map[string]int64, name string) (int64, bool) {
+	b, okB := before[name]
+	a, okA := after[name]
+	return a - b, okA && okB
 }

@@ -144,6 +144,7 @@ func main() {
 		Obs:            sink,
 		Trace:          tracer,
 		SlowThreshold:  *slowThreshold,
+		PreScrape:      rc.Sample,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

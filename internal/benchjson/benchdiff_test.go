@@ -1,0 +1,179 @@
+package benchjson
+
+import (
+	"strings"
+	"testing"
+)
+
+func snap(benches ...Record) Snapshot {
+	return Snapshot{GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 4, NumCPU: 8, Benchmarks: benches}
+}
+
+func rec(name string, ns float64, allocs int64) Record {
+	return Record{Name: name, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func gateOf(names ...string) []Gate {
+	g := make([]Gate, len(names))
+	for i, n := range names {
+		g[i] = Gate{Name: n}
+	}
+	return g
+}
+
+func TestDiffAllocOnlyGateSkipsTime(t *testing.T) {
+	gate := []Gate{{Name: "BenchmarkA", AllocOnly: true}}
+	base := snap(rec("BenchmarkA", 100, 5))
+	if rep := Diff(base, snap(rec("BenchmarkA", 9999, 5)), gate, 0.10); rep.Failed() {
+		t.Fatalf("alloc-only gate must ignore wall clock: %+v", rep)
+	}
+	rep := Diff(base, snap(rec("BenchmarkA", 50, 6)), gate, 0.10)
+	if !rep.Failed() || rep.Regressions[0].Metric != "allocs/op" {
+		t.Fatalf("alloc-only gate must still enforce allocs/op: %+v", rep)
+	}
+}
+
+func TestDiffPassesWithinTolerance(t *testing.T) {
+	base := snap(rec("BenchmarkA", 100, 5))
+	cur := snap(rec("BenchmarkA", 109, 5))
+	rep := Diff(base, cur, gateOf("BenchmarkA"), 0.10)
+	if rep.Failed() {
+		t.Fatalf("within-tolerance run failed: %+v", rep)
+	}
+	if !rep.TimeCompared {
+		t.Fatal("identical environments must compare wall clock")
+	}
+}
+
+func TestDiffFailsOnTimeRegression(t *testing.T) {
+	base := snap(rec("BenchmarkA", 100, 5))
+	cur := snap(rec("BenchmarkA", 111, 5))
+	rep := Diff(base, cur, gateOf("BenchmarkA"), 0.10)
+	if !rep.Failed() || len(rep.Regressions) != 1 || rep.Regressions[0].Metric != "ns/op" {
+		t.Fatalf("expected one ns/op regression, got %+v", rep)
+	}
+}
+
+func TestDiffFailsOnAnyAllocIncrease(t *testing.T) {
+	base := snap(rec("BenchmarkA", 100, 5))
+	cur := snap(rec("BenchmarkA", 50, 6)) // faster but one more alloc
+	rep := Diff(base, cur, gateOf("BenchmarkA"), 0.10)
+	if !rep.Failed() || len(rep.Regressions) != 1 || rep.Regressions[0].Metric != "allocs/op" {
+		t.Fatalf("expected one allocs/op regression, got %+v", rep)
+	}
+}
+
+func TestDiffAllocDecreaseIsFine(t *testing.T) {
+	base := snap(rec("BenchmarkA", 100, 5))
+	cur := snap(rec("BenchmarkA", 100, 0))
+	if rep := Diff(base, cur, gateOf("BenchmarkA"), 0.10); rep.Failed() {
+		t.Fatalf("alloc decrease must pass: %+v", rep)
+	}
+}
+
+func TestDiffForeignEnvironmentSkipsTime(t *testing.T) {
+	base := snap(rec("BenchmarkA", 100, 5))
+	cur := snap(rec("BenchmarkA", 9999, 5))
+	cur.NumCPU = 2
+	rep := Diff(base, cur, gateOf("BenchmarkA"), 0.10)
+	if rep.TimeCompared || rep.Failed() {
+		t.Fatalf("foreign env must skip ns/op: %+v", rep)
+	}
+	cur.Benchmarks = []Record{rec("BenchmarkA", 9999, 6)}
+	if rep := Diff(base, cur, gateOf("BenchmarkA"), 0.10); !rep.Failed() {
+		t.Fatal("allocs/op must still be enforced across environments")
+	}
+}
+
+func TestDiffZeroNumCPUIsForeign(t *testing.T) {
+	base := snap(rec("BenchmarkA", 100, 5))
+	base.NumCPU = 0 // baselines recorded before the field existed
+	cur := snap(rec("BenchmarkA", 100, 5))
+	cur.NumCPU = 0
+	if rep := Diff(base, cur, gateOf("BenchmarkA"), 0.10); rep.TimeCompared {
+		t.Fatal("unknown CPU count must not compare wall clock")
+	}
+}
+
+func TestDiffMissingNamesFail(t *testing.T) {
+	base := snap(rec("BenchmarkA", 100, 5))
+	cur := snap(rec("BenchmarkB", 100, 5))
+	rep := Diff(base, cur, gateOf("BenchmarkA", "BenchmarkB", "BenchmarkC"), 0.10)
+	if !rep.Failed() {
+		t.Fatal("missing gated benchmarks must fail")
+	}
+	if len(rep.MissingBaseline) != 2 || len(rep.MissingCurrent) != 2 {
+		t.Fatalf("missing sets wrong: baseline=%v current=%v", rep.MissingBaseline, rep.MissingCurrent)
+	}
+	out := rep.Format()
+	if !strings.Contains(out, "missing from baseline") || !strings.Contains(out, "missing from this run") {
+		t.Fatalf("format omits missing names:\n%s", out)
+	}
+}
+
+func TestDiffRepeatAggregation(t *testing.T) {
+	// Baseline ns/op is the median across repeats (120); the fresh side
+	// is the minimum. One noisy fresh repeat must not fail the gate, and
+	// one lucky baseline repeat (80) must not set the bar.
+	base := snap(rec("BenchmarkA", 160, 5), rec("BenchmarkA", 120, 5), rec("BenchmarkA", 80, 5))
+	cur := snap(rec("BenchmarkA", 9999, 5), rec("BenchmarkA", 125, 5))
+	if rep := Diff(base, cur, gateOf("BenchmarkA"), 0.10); rep.Failed() {
+		t.Fatalf("fresh min within baseline median limit must pass: %+v", rep)
+	}
+	cur = snap(rec("BenchmarkA", 140, 5), rec("BenchmarkA", 135, 5))
+	if rep := Diff(base, cur, gateOf("BenchmarkA"), 0.10); !rep.Failed() {
+		t.Fatal("a regression present in every repeat must still fail")
+	}
+	// Allocs are deterministic: the minimum on both sides, so a
+	// one-repeat alloc increase still fails.
+	cur = snap(rec("BenchmarkA", 120, 6), rec("BenchmarkA", 120, 6))
+	if rep := Diff(base, cur, gateOf("BenchmarkA"), 0.10); !rep.Failed() {
+		t.Fatal("alloc increase across all repeats must fail")
+	}
+}
+
+func TestFormatPass(t *testing.T) {
+	rep := Diff(snap(rec("BenchmarkA", 100, 5)), snap(rec("BenchmarkA", 100, 5)), gateOf("BenchmarkA"), 0.10)
+	if out := rep.Format(); !strings.Contains(out, "PASS") {
+		t.Fatalf("passing report must say PASS:\n%s", out)
+	}
+}
+
+func TestDiffCalibrationScalesTimeLimit(t *testing.T) {
+	base := snap(rec("BenchmarkA", 100, 5), rec(CalibrationName, 1000, 0))
+	// Machine 1.3x slower: +25% raw drift is within the scaled limit.
+	cur := snap(rec("BenchmarkA", 125, 5), rec(CalibrationName, 1300, 0))
+	rep := Diff(base, cur, gateOf("BenchmarkA"), 0.10)
+	if rep.Failed() {
+		t.Fatalf("drift within calibration-scaled limit must pass: %+v", rep)
+	}
+	if rep.Scale < 1.29 || rep.Scale > 1.31 {
+		t.Fatalf("scale = %v, want ~1.3", rep.Scale)
+	}
+	if out := rep.Format(); !strings.Contains(out, "1.30x slower") {
+		t.Fatalf("format omits the applied scale:\n%s", out)
+	}
+	// A real regression exceeds even the scaled limit.
+	cur = snap(rec("BenchmarkA", 150, 5), rec(CalibrationName, 1000, 0))
+	if rep := Diff(base, cur, gateOf("BenchmarkA"), 0.10); !rep.Failed() {
+		t.Fatal("regression beyond the scaled limit must fail")
+	}
+}
+
+func TestDiffCalibrationClampedAtOne(t *testing.T) {
+	base := snap(rec("BenchmarkA", 100, 5), rec(CalibrationName, 1000, 0))
+	// Machine 2x faster now; the gate must not tighten below baseline.
+	cur := snap(rec("BenchmarkA", 105, 5), rec(CalibrationName, 500, 0))
+	rep := Diff(base, cur, gateOf("BenchmarkA"), 0.10)
+	if rep.Failed() || rep.Scale != 1 {
+		t.Fatalf("faster window must clamp scale to 1: %+v", rep)
+	}
+}
+
+func TestDiffNoCalibrationMeansNoScaling(t *testing.T) {
+	base := snap(rec("BenchmarkA", 100, 5))
+	cur := snap(rec("BenchmarkA", 125, 5), rec(CalibrationName, 9999, 0))
+	if rep := Diff(base, cur, gateOf("BenchmarkA"), 0.10); !rep.Failed() {
+		t.Fatal("missing baseline calibration must fall back to unscaled limits")
+	}
+}

@@ -1,0 +1,115 @@
+package cache
+
+// Allocation and equivalence guards for the pooled canonicalization
+// scratch: CanonScratch must produce byte-identical keys and identical
+// permutations to the allocating Canonicalize, and with warmed buffers
+// it must not touch the heap.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/instance"
+)
+
+func TestCanonScratchMatchesCanonicalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	spec, _ := engine.Lookup("greedy")
+	var sc CanonScratch
+	for trial := 0; trial < 80; trial++ {
+		n := rng.Intn(12)
+		m := 1 + rng.Intn(4)
+		sizes := make([]int64, n)
+		costs := make([]int64, n)
+		assign := make([]int, n)
+		for j := range sizes {
+			sizes[j] = 1 + rng.Int63n(20)
+			costs[j] = rng.Int63n(5)
+			assign[j] = rng.Intn(m)
+		}
+		var ext instance.Extended
+		if n > 0 {
+			ext.Instance = *instance.MustNew(m, sizes, costs, assign)
+		} else {
+			ext.Instance = instance.Instance{M: m}
+		}
+		p := engine.Params{K: rng.Intn(n + 2)}
+		want := Canonicalize("greedy", spec.Caps, &ext, p)
+		got := sc.Canonicalize("greedy", spec.Caps, &ext, p)
+		if got.Key != want.Key {
+			t.Fatalf("trial %d: scratch key differs from Canonicalize", trial)
+		}
+		if (got.perm == nil) != (want.perm == nil) || len(got.perm) != len(want.perm) {
+			t.Fatalf("trial %d: perm shape differs: %v vs %v", trial, got.perm, want.perm)
+		}
+		for i := range want.perm {
+			if got.perm[i] != want.perm[i] {
+				t.Fatalf("trial %d: perm differs: %v vs %v", trial, got.perm, want.perm)
+			}
+		}
+	}
+}
+
+func TestCanonScratchZeroAllocs(t *testing.T) {
+	spec, _ := engine.Lookup("greedy")
+	var ext instance.Extended
+	ext.Instance = *instance.MustNew(3,
+		[]int64{9, 7, 5, 4, 3, 2}, []int64{1, 0, 2, 0, 1, 0},
+		[]int{2, 0, 0, 1, 1, 0})
+	p := engine.Params{K: 2}
+	var sc CanonScratch
+	sc.Canonicalize("greedy", spec.Caps, &ext, p) // warm the buffers
+	if n := testing.AllocsPerRun(100, func() {
+		sc.Canonicalize("greedy", spec.Caps, &ext, p)
+	}); n != 0 {
+		t.Fatalf("CanonScratch.Canonicalize allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestFromCanonicalIntoMatchesFromCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	spec, _ := engine.Lookup("greedy")
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		m := 1 + rng.Intn(4)
+		sizes := make([]int64, n)
+		assign := make([]int, n)
+		for j := range sizes {
+			sizes[j] = 1 + rng.Int63n(20)
+			assign[j] = rng.Intn(m)
+		}
+		var ext instance.Extended
+		ext.Instance = *instance.MustNew(m, sizes, nil, assign)
+		can := Canonicalize("greedy", spec.Caps, &ext, engine.Params{K: 1})
+		sol := instance.Solution{Assign: make([]int, n), Makespan: 7, Moves: 1, MoveCost: 2}
+		for j := range sol.Assign {
+			sol.Assign[j] = rng.Intn(m)
+		}
+		want := can.FromCanonical(sol)
+		dst := make([]int, rng.Intn(2*n)) // any capacity must work
+		got := can.FromCanonicalInto(dst, sol)
+		if got.Makespan != want.Makespan || got.Moves != want.Moves || got.MoveCost != want.MoveCost {
+			t.Fatalf("trial %d: metrics differ", trial)
+		}
+		for j := range want.Assign {
+			if got.Assign[j] != want.Assign[j] {
+				t.Fatalf("trial %d: assign[%d] = %d, want %d", trial, j, got.Assign[j], want.Assign[j])
+			}
+		}
+	}
+}
+
+func TestFromCanonicalIntoZeroAllocs(t *testing.T) {
+	spec, _ := engine.Lookup("greedy")
+	var ext instance.Extended
+	ext.Instance = *instance.MustNew(2, []int64{5, 4, 3}, nil, []int{1, 0, 0})
+	can := Canonicalize("greedy", spec.Caps, &ext, engine.Params{K: 1})
+	sol := instance.Solution{Assign: []int{0, 1, 0}, Makespan: 5}
+	dst := make([]int, 3)
+	if n := testing.AllocsPerRun(100, func() {
+		can.FromCanonicalInto(dst, sol)
+	}); n != 0 {
+		t.Fatalf("FromCanonicalInto allocates %.1f/op, want 0", n)
+	}
+}

@@ -87,6 +87,14 @@ type flight struct {
 	refs     atomic.Int64
 	cancel   context.CancelFunc
 
+	// deadlineFired records that the kill timer — not a detach or a base
+	// shutdown — is what cancelled the flight. The flight context only
+	// ever reports Canceled (it is built with WithCancel), so without
+	// this bit a deadline expiry whose timer beats the initiator's own
+	// context timer would surface as a generic cancellation: the
+	// finalizer rewrites Canceled to DeadlineExceeded when it is set.
+	deadlineFired atomic.Bool
+
 	// The kill timer enforces the latest deadline over every attached
 	// party, so the flight outlives each individual waiter: a party
 	// whose deadline fires detaches without dooming the rest.
@@ -126,8 +134,17 @@ func (f *flight) detach() {
 func (f *flight) arm(ctx context.Context) {
 	if d, ok := ctx.Deadline(); ok {
 		f.deadline = d
-		f.timer = time.AfterFunc(time.Until(d), f.cancel)
+		f.timer = time.AfterFunc(time.Until(d), f.expire)
 	}
+}
+
+// expire is the kill-timer callback: mark the cancellation as a
+// deadline expiry before delivering it, so the finalizer can report
+// DeadlineExceeded deterministically even when this timer wins the race
+// against the initiating context's own deadline timer.
+func (f *flight) expire() {
+	f.deadlineFired.Store(true)
+	f.cancel()
 }
 
 // extend pushes the kill timer out so the flight survives at least as
@@ -164,11 +181,23 @@ func isContextErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// solverCounters holds the pre-resolved per-solver cache.* counters so
+// the hot paths never build "cache.hits."+solver strings per request.
+type solverCounters struct {
+	hits, misses, coalesced, evictions *obs.Counter
+}
+
 // Cache is the solution cache: canonical-form keyed LRU + single-flight
 // request coalescing over the engine registry. Safe for concurrent use.
 type Cache struct {
 	base context.Context
 	sink *obs.Sink
+
+	// Aggregate and per-solver counters, resolved once at construction
+	// from the engine registry. Solvers registered later (tests) fall
+	// back to the allocating concat path in count. All nil when sink is.
+	hits, misses, coalesced, evictions *obs.Counter
+	solvers                            map[string]*solverCounters
 
 	mu      sync.Mutex
 	entries *lru
@@ -183,12 +212,29 @@ func New(cfg Config) *Cache {
 	if cfg.BaseCtx == nil {
 		cfg.BaseCtx = context.Background()
 	}
-	return &Cache{
+	c := &Cache{
 		base:    cfg.BaseCtx,
 		sink:    cfg.Obs,
 		entries: newLRU(cfg.MaxEntries),
 		flights: make(map[Key]*flight),
 	}
+	if c.sink != nil {
+		reg := c.sink.Reg
+		c.hits = reg.Counter("cache.hits")
+		c.misses = reg.Counter("cache.misses")
+		c.coalesced = reg.Counter("cache.coalesced")
+		c.evictions = reg.Counter("cache.evictions")
+		c.solvers = make(map[string]*solverCounters)
+		for _, name := range engine.Names() {
+			c.solvers[name] = &solverCounters{
+				hits:      reg.Counter("cache.hits." + name),
+				misses:    reg.Counter("cache.misses." + name),
+				coalesced: reg.Counter("cache.coalesced." + name),
+				evictions: reg.Counter("cache.evictions." + name),
+			}
+		}
+	}
+	return c
 }
 
 // Len returns the number of cached entries.
@@ -196,6 +242,29 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.entries.len()
+}
+
+// TryGet is the zero-allocation pure-hit probe for callers that have
+// already canonicalized the request (the server's fast path). On a hit
+// it bumps the hit counters and re-indexes the stored assignment into
+// dst (reused when its capacity suffices, grown otherwise); the returned
+// solution's Assign is that buffer, so the caller may keep it for the
+// next request. A cached infeasibility is a hit with its error. On a
+// miss nothing is counted — the caller is expected to fall back to
+// SolveTimed, which performs its own hit/miss accounting after
+// re-checking the LRU.
+func (c *Cache) TryGet(can Canonical, solver string, dst []int) (instance.Solution, bool, error) {
+	c.mu.Lock()
+	e, ok := c.entries.get(can.Key)
+	c.mu.Unlock()
+	if !ok {
+		return instance.Solution{}, false, nil
+	}
+	c.count("cache.hits", solver)
+	if e.err != nil {
+		return instance.Solution{}, true, e.err
+	}
+	return can.FromCanonicalInto(dst, e.sol), true, nil
 }
 
 // Solve runs the named solver through the cache: a canonical-form hit
@@ -326,6 +395,12 @@ func (c *Cache) runFlight(fctx context.Context, spec engine.Spec, solver string,
 			sol, err = instance.Solution{}, fmt.Errorf("cache: solver %q panicked: %v", solver, r)
 		}
 		f.disarm()
+		// When the kill timer is what ended the flight, every party's
+		// outcome is a deadline expiry regardless of which timer (the
+		// flight's or the initiator's context's) fired first.
+		if err != nil && errors.Is(err, context.Canceled) && f.deadlineFired.Load() {
+			err = context.DeadlineExceeded
+		}
 		c.mu.Lock()
 		// Guarded delete: a successor flight may already own the key if
 		// this one was abandoned (refs 0) and replaced before finalizing.
@@ -352,10 +427,33 @@ func (c *Cache) runFlight(fctx context.Context, spec engine.Spec, solver string,
 	f.engineNS = time.Since(t0).Nanoseconds()
 }
 
-// count bumps the aggregate and per-solver counters for one event.
+// count bumps the aggregate and per-solver counters for one event. The
+// four cache.* names used at call sites hit pre-resolved counters; an
+// unexpected name or an unregistered solver takes the concat fallback.
 func (c *Cache) count(name, solver string) {
 	if c.sink == nil {
 		return
+	}
+	sc := c.solvers[solver]
+	if sc != nil {
+		switch name {
+		case "cache.hits":
+			c.hits.Inc()
+			sc.hits.Inc()
+			return
+		case "cache.misses":
+			c.misses.Inc()
+			sc.misses.Inc()
+			return
+		case "cache.coalesced":
+			c.coalesced.Inc()
+			sc.coalesced.Inc()
+			return
+		case "cache.evictions":
+			c.evictions.Inc()
+			sc.evictions.Inc()
+			return
+		}
 	}
 	c.sink.Count(name, 1)
 	c.sink.Count(name+"."+solver, 1)

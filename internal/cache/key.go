@@ -77,33 +77,54 @@ func canonicalOrder(ext *instance.Extended) []int {
 		return nil
 	}
 	in := &ext.Instance
-	less := func(a, b int) bool {
-		ja, jb := in.Jobs[a], in.Jobs[b]
-		if ja.Size != jb.Size {
-			return ja.Size < jb.Size
-		}
-		if ja.Cost != jb.Cost {
-			return ja.Cost < jb.Cost
-		}
-		return in.Assign[a] < in.Assign[b]
-	}
-	sorted := true
-	for j := 1; j < in.N(); j++ {
-		if less(j, j-1) {
-			sorted = false
-			break
-		}
-	}
-	if sorted {
+	if jobsCanonicallySorted(in) {
 		return nil
 	}
 	order := make([]int, in.N())
 	for j := range order {
 		order[j] = j
 	}
-	sort.SliceStable(order, func(a, b int) bool { return less(order[a], order[b]) })
+	s := jobOrderSorter{order: order, in: in}
+	sort.Stable(&s)
 	return order
 }
+
+// jobLess is the canonical job order: (size, cost, initial processor),
+// stable on full ties.
+func jobLess(in *instance.Instance, a, b int) bool {
+	ja, jb := in.Jobs[a], in.Jobs[b]
+	if ja.Size != jb.Size {
+		return ja.Size < jb.Size
+	}
+	if ja.Cost != jb.Cost {
+		return ja.Cost < jb.Cost
+	}
+	return in.Assign[a] < in.Assign[b]
+}
+
+// jobsCanonicallySorted reports whether the request's own job order is
+// already canonical, in which case no permutation is needed.
+func jobsCanonicallySorted(in *instance.Instance) bool {
+	for j := 1; j < in.N(); j++ {
+		if jobLess(in, j, j-1) {
+			return false
+		}
+	}
+	return true
+}
+
+// jobOrderSorter stably sorts a job-index permutation into canonical
+// order. It is a concrete sort.Interface so callers holding it in
+// heap-resident scratch can sort without the closure and reflection
+// allocations of sort.SliceStable.
+type jobOrderSorter struct {
+	order []int
+	in    *instance.Instance
+}
+
+func (s *jobOrderSorter) Len() int           { return len(s.order) }
+func (s *jobOrderSorter) Less(a, b int) bool { return jobLess(s.in, s.order[a], s.order[b]) }
+func (s *jobOrderSorter) Swap(a, b int)      { s.order[a], s.order[b] = s.order[b], s.order[a] }
 
 // appendCanonical appends the canonical encoding of the request to dst.
 // order is the canonical job order (nil = identity). The encoding is
@@ -208,8 +229,17 @@ func (c Canonical) ToCanonical(sol instance.Solution) instance.Solution {
 // request's job ordering. For the request that populated the entry the
 // round trip reproduces the solver's output exactly.
 func (c Canonical) FromCanonical(sol instance.Solution) instance.Solution {
+	return c.FromCanonicalInto(make([]int, len(sol.Assign)), sol)
+}
+
+// FromCanonicalInto is FromCanonical writing the re-indexed assignment
+// into dst, reusing its capacity when it suffices. The returned
+// solution's Assign is the (possibly grown) buffer: callers that loop
+// should keep it for the next call; callers that publish the solution
+// must not reuse it afterwards.
+func (c Canonical) FromCanonicalInto(dst []int, sol instance.Solution) instance.Solution {
 	out := sol
-	out.Assign = make([]int, len(sol.Assign))
+	out.Assign = instance.GrowSlice(dst, len(sol.Assign))
 	if c.perm == nil {
 		copy(out.Assign, sol.Assign)
 		return out

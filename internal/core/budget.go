@@ -359,3 +359,33 @@ func PartitionBudgetCtx(ctx context.Context, in *instance.Instance, budget int64
 	}
 	return finish(best.Solution, best.Target)
 }
+
+// minLoadHeap orders processor indices by increasing load with index
+// tie-break, for deterministic greedy placement in the §3.2 variant
+// (the flat kernels use instance.HeapInit/HeapFixRoot instead).
+type minLoadHeap struct {
+	items []int
+	loads []int64
+}
+
+func (h *minLoadHeap) Len() int { return len(h.items) }
+
+func (h *minLoadHeap) Less(a, b int) bool {
+	la, lb := h.loads[h.items[a]], h.loads[h.items[b]]
+	if la != lb {
+		return la < lb
+	}
+	return h.items[a] < h.items[b]
+}
+
+func (h *minLoadHeap) Swap(a, b int) { h.items[a], h.items[b] = h.items[b], h.items[a] }
+
+func (h *minLoadHeap) Push(x any) { h.items = append(h.items, x.(int)) }
+
+func (h *minLoadHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}

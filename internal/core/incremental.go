@@ -19,96 +19,121 @@ import (
 // totals total_i − prefix_i[q] where b_i steps (B_l in the paper), and
 // the doubled remaining small loads 2·(total_i − prefix_i[q]) where a_i
 // steps (A_l in the paper) — O(n) values overall.
+//
+// State lives in flat int32 arrays sized once at construction; the
+// per-threshold work (refresh + moves) allocates nothing — the binary
+// searches are hand-rolled so no closure escapes, and the k̂ selection
+// sorts a reused order buffer with a concrete sorter.
 type incrementalScan struct {
-	s      *solver
-	prefix [][]int64 // per processor, prefix sums of the size-sorted jobs
-	total  []int64   // per processor, total load
+	s *solver
 
 	// Per-processor state at the current threshold.
-	largeCnt []int
-	a, b, c  []int
+	largeCnt []int32
+	a, b, c  []int32
 
 	sumB       int64
 	largeTotal int // L_T
 	largeProcs int // processors holding ≥1 large job
+
+	order  []int32 // k̂ selection scratch
+	sorter procCSorter
+	events []scanEvent
+}
+
+// scanEvent is one (threshold, processor) refresh trigger.
+type scanEvent struct {
+	v    int64
+	proc int32
 }
 
 func newIncrementalScan(s *solver) *incrementalScan {
 	m := s.in.M
-	ic := &incrementalScan{
+	return &incrementalScan{
 		s:        s,
-		prefix:   make([][]int64, m),
-		total:    make([]int64, m),
-		largeCnt: make([]int, m),
-		a:        make([]int, m),
-		b:        make([]int, m),
-		c:        make([]int, m),
+		largeCnt: make([]int32, m),
+		a:        make([]int32, m),
+		b:        make([]int32, m),
+		c:        make([]int32, m),
+		order:    make([]int32, m),
 	}
-	for p := 0; p < m; p++ {
-		list := s.byProc[p]
-		pf := make([]int64, len(list)+1)
-		for i, j := range list {
-			pf[i+1] = pf[i] + s.in.Jobs[j].Size
-		}
-		ic.prefix[p] = pf
-		ic.total[p] = pf[len(list)]
-	}
-	return ic
 }
 
 // refresh recomputes processor p's state for threshold v in O(log n_p)
-// via binary searches over the prefix sums.
+// via binary searches over the row prefix sums.
 func (ic *incrementalScan) refresh(p int, v int64) {
-	list := ic.s.byProc[p]
-	pf := ic.prefix[p]
-	jobs := ic.s.in.Jobs
+	s := ic.s
+	row := s.csr.Row(p)
+	sizes := s.flat.Sizes
+	n := len(row)
 
-	// Large jobs are the prefix with 2·size > v.
-	t := sort.Search(len(list), func(i int) bool { return 2*jobs[list[i]].Size <= v })
+	// Large jobs are the prefix with 2·size > v: find the first index
+	// whose doubled size is ≤ v (sizes decrease along the row).
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if 2*sizes[row[mid]] <= v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	t := lo
 
 	// b_p: smallest q with total − prefix[q] ≤ v (strip largest first;
 	// the retained large job is the largest, matching prefix order).
-	// Note b counts removals from the post-Step-1 configuration, whose
-	// load is total − (extra large jobs); the extras are jobs
-	// list[0..t-2] when t ≥ 1... — the paper's b_i applies after Step 1,
-	// so strip the extra-large prefix sum first.
+	// b counts removals from the post-Step-1 configuration, whose load
+	// is total − (extra large jobs); the extras are jobs row[0..t-2]
+	// when t ≥ 1 — the paper's b_i applies after Step 1, so strip the
+	// extra-large prefix sum first.
 	var extra int64
-	if t >= 1 {
-		extra = pf[t-1] // sizes of all large jobs except the smallest
-	}
-	adjTotal := ic.total[p] - extra
-	// Removal order after Step 1: the kept large (index t−1), then the
-	// smalls (indices ≥ t). Removing q jobs removes prefix[t−1+q] −
-	// prefix[t−1] of load when t ≥ 1, or prefix[q] when t = 0.
 	base := 0
 	if t >= 1 {
+		extra = s.rowPrefixSum(p, t-1) // sizes of all large jobs except the smallest
 		base = t - 1
 	}
-	nAfter := len(list) - base
-	b := sort.Search(nAfter, func(q int) bool {
-		return adjTotal-(pf[base+q]-pf[base]) <= v
-	})
+	total := s.rowTotal(p)
+	adjTotal := total - extra
+	baseSum := s.rowPrefixSum(p, base)
+	// Removal order after Step 1: the kept large (index t−1), then the
+	// smalls (indices ≥ t). Removing q jobs removes prefix[base+q] −
+	// prefix[base] of load.
+	lo, hi = 0, n-base
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if adjTotal-(s.rowPrefixSum(p, base+mid)-baseSum) <= v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	b := lo
 
 	// a_p: smallest r with 2·(smallTotal − topSmallSum_r) ≤ v, i.e.
 	// smallest q ≥ t with 2·(total − prefix[q]) ≤ v, minus t.
-	aq := t + sort.Search(len(list)-t, func(q int) bool {
-		return 2*(ic.total[p]-pf[t+q]) <= v
-	})
-	a := aq - t
+	lo, hi = 0, n-t
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if 2*(total-s.rowPrefixSum(p, t+mid)) <= v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	a := lo
 
 	// Apply the diffs to the aggregates.
-	oldLarge := ic.largeCnt[p]
+	oldLarge := int(ic.largeCnt[p])
 	ic.largeTotal += t - oldLarge
 	if oldLarge > 0 && t == 0 {
 		ic.largeProcs--
 	} else if oldLarge == 0 && t > 0 {
 		ic.largeProcs++
 	}
-	ic.sumB += int64(b - ic.b[p])
-	ic.largeCnt[p] = t
-	ic.a[p] = a
-	ic.b[p] = b
-	ic.c[p] = a - b
+	ic.sumB += int64(b - int(ic.b[p]))
+	ic.largeCnt[p] = int32(t)
+	ic.a[p] = int32(a)
+	ic.b[p] = int32(b)
+	ic.c[p] = int32(a - b)
 }
 
 // moves evaluates k̂ at the current threshold: L_E plus the a_i of the
@@ -119,21 +144,12 @@ func (ic *incrementalScan) moves() (int64, bool) {
 	if ic.largeTotal > m {
 		return 0, false
 	}
-	order := make([]int, m)
+	order := ic.order
 	for p := range order {
-		order[p] = p
+		order[p] = int32(p)
 	}
-	sort.Slice(order, func(x, y int) bool {
-		px, py := order[x], order[y]
-		if ic.c[px] != ic.c[py] {
-			return ic.c[px] < ic.c[py]
-		}
-		hx, hy := ic.largeCnt[px] > 0, ic.largeCnt[py] > 0
-		if hx != hy {
-			return hx
-		}
-		return px < py
-	})
+	ic.sorter = procCSorter{order: order, c: ic.c, largeCnt: ic.largeCnt}
+	sort.Sort(&ic.sorter)
 	k := ic.sumB + int64(ic.largeTotal-ic.largeProcs) // Σb + L_E
 	for i := 0; i < ic.largeTotal; i++ {
 		k += int64(ic.c[order[i]])
@@ -141,98 +157,98 @@ func (ic *incrementalScan) moves() (int64, bool) {
 	return k, true
 }
 
-// scan walks the thresholds and returns the first PARTITION result
-// using at most k moves, or ok=false if none exists (cannot happen for
-// k ≥ 0, since the initial makespan needs zero moves). The walk polls
-// ctx every 256 threshold groups and aborts with ctx.Err() when it
-// fires.
-func (ic *incrementalScan) scan(ctx context.Context, k int) (Result, bool, error) {
+// scan walks the thresholds and returns the first accepted target whose
+// PARTITION run uses at most k moves, or ok=false if none exists
+// (cannot happen for k ≥ 0, since the initial makespan needs zero
+// moves). The accepted run is the solver's last probe, so the caller
+// can snapshot its assignment directly. The walk polls ctx every 256
+// threshold groups and aborts with ctx.Err() when it fires.
+func (ic *incrementalScan) scan(ctx context.Context, k int) (int64, bool, error) {
 	if err := ctx.Err(); err != nil {
-		return Result{}, false, err
+		return 0, false, err
 	}
-	in := ic.s.in
+	s := ic.s
+	in := s.in
 	lo, hi := in.LowerBound(), in.InitialMakespan()
 
 	// Collect events: (threshold, processor). Each processor contributes
 	// its 2·p_j flips, its remaining-total steps, and its doubled
 	// remaining-small steps.
-	type event struct {
-		v    int64
-		proc int
-	}
-	var events []event
+	events := ic.events[:0]
+	sizes := s.flat.Sizes
 	for p := 0; p < in.M; p++ {
-		list := ic.s.byProc[p]
-		pf := ic.prefix[p]
-		for i, j := range list {
-			add := func(v int64) {
-				if v > lo && v <= hi {
-					events = append(events, event{v, p})
-				}
+		row := s.csr.Row(p)
+		total := s.rowTotal(p)
+		add := func(v int64) {
+			if v > lo && v <= hi {
+				events = append(events, scanEvent{v, int32(p)})
 			}
-			add(2 * in.Jobs[j].Size)
-			add(ic.total[p] - pf[i+1])
-			add(2 * (ic.total[p] - pf[i+1]))
+		}
+		for i, j := range row {
+			add(2 * sizes[j])
+			rem := total - s.rowPrefixSum(p, i+1)
+			add(rem)
+			add(2 * rem)
 			// Also the no-removal boundaries.
 			if i == 0 {
-				add(ic.total[p])
-				add(2 * ic.total[p])
+				add(total)
+				add(2 * total)
 			}
 		}
 	}
+	ic.events = events
 	sort.Slice(events, func(x, y int) bool { return events[x].v < events[y].v })
 
 	// Initialize every processor at the lower bound.
 	for p := 0; p < in.M; p++ {
 		ic.refresh(p, lo)
 	}
-	try := func(v int64) (Result, bool) {
-		if v < in.MaxSize() || v*int64(in.M) < in.TotalSize() {
-			return Result{}, false
+	try := func(v int64) bool {
+		if v < s.flat.Max || v*int64(in.M) < s.flat.Total {
+			return false
 		}
 		khat, ok := ic.moves()
-		if ic.s.sink != nil {
-			ic.s.sink.Count("core.scan_thresholds", 1)
-			if ic.s.sink.Tracing() {
-				ic.s.sink.Emit("threshold", obs.Fields{"target": v, "khat": khat, "feasible": ok && khat <= int64(k)})
+		if s.sink != nil {
+			s.sink.Count("core.scan_thresholds", 1)
+			if s.sink.Tracing() {
+				s.sink.Emit("threshold", obs.Fields{"target": v, "khat": khat, "feasible": ok && khat <= int64(k)})
 			}
 		}
 		if !ok || khat > int64(k) {
-			return Result{}, false
+			return false
 		}
-		r := ic.s.run(v)
-		if !r.Feasible || r.Removals > k {
+		if !s.runLight(v) || s.lastRemovals > k {
 			// k̂ and the full run agree by construction; treat any
 			// divergence as infeasible rather than returning an
 			// over-budget solution.
-			return Result{}, false
+			return false
 		}
-		return r, true
+		return true
 	}
-	if r, ok := try(lo); ok {
-		return r, true, nil
+	if try(lo) {
+		return lo, true, nil
 	}
 	var groups int
 	for i := 0; i < len(events); {
 		if groups++; groups&255 == 0 {
 			if err := ctx.Err(); err != nil {
-				return Result{}, false, err
+				return 0, false, err
 			}
 		}
 		v := events[i].v
 		for ; i < len(events) && events[i].v == v; i++ {
-			ic.refresh(events[i].proc, v)
+			ic.refresh(int(events[i].proc), v)
 		}
-		if r, ok := try(v); ok {
-			return r, true, nil
+		if try(v) {
+			return v, true, nil
 		}
 	}
 	// The initial makespan itself (zero moves) as the final rung.
 	for p := 0; p < in.M; p++ {
 		ic.refresh(p, hi)
 	}
-	if r, ok := try(hi); ok {
-		return r, true, nil
+	if try(hi) {
+		return hi, true, nil
 	}
-	return Result{}, false, nil
+	return 0, false, nil
 }

@@ -2,7 +2,7 @@ package core
 
 import (
 	"context"
-	"sort"
+	"slices"
 
 	"repro/internal/instance"
 	"repro/internal/obs"
@@ -62,10 +62,6 @@ func MPartitionCtx(ctx context.Context, in *instance.Instance, k int, mode Searc
 		k = 0
 	}
 	s := newSolver(in, sink) // sort once; every probe reuses the order
-	feasible := func(v int64) (Result, bool) {
-		r := s.run(v)
-		return r, r.Feasible && r.Removals <= k
-	}
 
 	// finish stamps the accepted target (0 for the do-nothing fallback)
 	// on the returned solution's search_result event.
@@ -86,55 +82,74 @@ func MPartitionCtx(ctx context.Context, in *instance.Instance, k int, mode Searc
 		return finish(instance.NewSolution(in, in.Assign), hi)
 	}
 
-	var best Result
-	var ok bool
+	// Every search mode drives zero-alloc light probes; the accepted
+	// probe's assignment is snapshotted into s.bestAssign and only the
+	// final winner is materialized into an escaping Solution.
+	var bestTarget, bestMakespan int64
+	found := false
+	accept := func(target int64) {
+		found = true
+		bestTarget, bestMakespan = target, s.probeMakespan
+		s.bestAssign = instance.GrowSlice(s.bestAssign, len(s.assign))
+		copy(s.bestAssign, s.assign)
+	}
+	probe := func(v int64) bool {
+		return s.runLight(v) && s.lastRemovals <= k
+	}
+
 	switch mode {
 	case ThresholdScan:
-		for _, v := range thresholdLadder(in, lo, hi) {
+		s.ladderBuf = s.ladder(lo, hi, s.ladderBuf)
+		for _, v := range s.ladderBuf {
 			// Cancellation point: one probe per ladder rung.
 			if err := ctx.Err(); err != nil {
 				return instance.Solution{}, err
 			}
-			if r, good := feasible(v); good {
-				best, ok = r, true
+			if probe(v) {
+				accept(v)
 				break
 			}
 		}
 	case IncrementalScan:
-		var err error
-		best, ok, err = newIncrementalScan(s).scan(ctx, k)
+		target, ok, err := newIncrementalScan(s).scan(ctx, k)
 		if err != nil {
 			return instance.Solution{}, err
+		}
+		if ok {
+			// The accepted rung's full PARTITION run was the last probe,
+			// so the solver still holds its assignment.
+			accept(target)
 		}
 	default:
 		// Invariant: hi is feasible (if it is — verified below), and
 		// whenever lo is raised the value below it was infeasible.
-		if r, good := feasible(hi); good {
-			best, ok = r, true
+		if probe(hi) {
+			accept(hi)
 			for lo < hi {
 				// Cancellation point: one probe per bisection step.
 				if err := ctx.Err(); err != nil {
 					return instance.Solution{}, err
 				}
 				mid := lo + (hi-lo)/2
-				if r, good := feasible(mid); good {
-					best, hi = r, mid
+				if probe(mid) {
+					accept(mid)
+					hi = mid
 				} else {
 					lo = mid + 1
 				}
 			}
 		}
 	}
-	if !ok {
+	if !found {
 		// Defensive: with k ≥ 0 the initial makespan is always reachable
 		// with zero moves.
 		return finish(instance.NewSolution(in, in.Assign), 0)
 	}
 	// Never return something worse than doing nothing.
-	if best.Solution.Makespan >= in.InitialMakespan() {
+	if bestMakespan >= in.InitialMakespan() {
 		return finish(instance.NewSolution(in, in.Assign), 0)
 	}
-	return finish(best.Solution, best.Target)
+	return finish(s.materialize(s.bestAssign), bestTarget)
 }
 
 // String names the search mode for trace events.
@@ -155,6 +170,14 @@ func (m SearchMode) String() string {
 // the per-processor remaining-total sums governing b_i, and the
 // per-regime doubled remaining-small sums governing a_i; lo itself is
 // included since behaviour is constant between consecutive thresholds.
+func thresholdLadder(in *instance.Instance, lo, hi int64) []int64 {
+	return newSolver(in, nil).ladder(lo, hi, nil)
+}
+
+// ladder is the threshold-ladder kernel: it enumerates the candidate
+// set over the solver's size-sorted CSR rows and prefix sums, appending
+// into dst (grown once, then reused — a warmed buffer makes the call
+// allocation-free).
 //
 // Complexity: the a_i family enumerates every (cutoff t, strip count r)
 // pair, so a processor holding n_i jobs contributes Θ(n_i²) candidates
@@ -163,29 +186,25 @@ func (m SearchMode) String() string {
 // evaluation per rung after the O(n² log n²) sort here). That is why
 // ThresholdScan is only the cross-check oracle for the other modes.
 // Materialization is capped at the in-range set: every generator below
-// is monotone decreasing, so candidates are appended into one
-// preallocated slice only while they can still land in [lo, hi] and
-// each generator breaks out as soon as its values fall below lo —
-// out-of-range candidates are never stored, hashed, or iterated.
-func thresholdLadder(in *instance.Instance, lo, hi int64) []int64 {
-	out := make([]int64, 0, 4*in.N()+2*in.M+2)
-	out = append(out, lo, hi)
+// is monotone decreasing, so candidates are appended only while they
+// can still land in [lo, hi] and each generator breaks out as soon as
+// its values fall below lo — out-of-range candidates are never stored,
+// hashed, or iterated.
+func (s *solver) ladder(lo, hi int64, dst []int64) []int64 {
+	out := append(dst[:0], lo, hi)
 	add := func(v int64) {
 		if v >= lo && v <= hi {
 			out = append(out, v)
 		}
 	}
-	byProc := instance.JobsOn(in.M, in.Assign)
-	for _, list := range byProc {
-		sort.Slice(list, func(x, y int) bool { return in.Jobs[list[x]].Size > in.Jobs[list[y]].Size })
-		var total int64
-		for _, j := range list {
-			total += in.Jobs[j].Size
-		}
+	sizes := s.flat.Sizes
+	for p := 0; p < s.flat.M; p++ {
+		row := s.csr.Row(p)
+		total := s.rowTotal(p)
 		// L_T breakpoints 2·p_j: sizes are sorted decreasing, so stop
 		// once the doubled size drops below lo.
-		for _, j := range list {
-			v := 2 * in.Jobs[j].Size
+		for _, j := range row {
+			v := 2 * sizes[j]
 			if v < lo {
 				break
 			}
@@ -195,8 +214,8 @@ func thresholdLadder(in *instance.Instance, lo, hi int64) []int64 {
 		// largest jobs — strictly decreasing in r.
 		rem := total
 		add(rem)
-		for _, j := range list {
-			rem -= in.Jobs[j].Size
+		for _, j := range row {
+			rem -= sizes[j]
 			if rem < lo {
 				break
 			}
@@ -204,21 +223,17 @@ func thresholdLadder(in *instance.Instance, lo, hi int64) []int64 {
 		}
 		// a_i breakpoints: for each large/small cutoff position t (jobs
 		// before t are large in some regime), the doubled remaining
-		// small sums after stripping the r largest smalls. suffix[t] is
-		// decreasing in t, and each inner walk decreases in r, so both
-		// loops break at the lo boundary.
-		suffix := make([]int64, len(list)+1)
-		for i := len(list) - 1; i >= 0; i-- {
-			suffix[i] = suffix[i+1] + in.Jobs[list[i]].Size
-		}
-		for t := 0; t <= len(list); t++ {
-			rem := suffix[t]
+		// small sums after stripping the r largest smalls. The suffix
+		// total − prefix(t) is decreasing in t, and each inner walk
+		// decreases in r, so both loops break at the lo boundary.
+		for t := 0; t <= len(row); t++ {
+			rem := total - s.rowPrefixSum(p, t)
 			if 2*rem < lo {
 				break
 			}
 			add(2 * rem)
-			for r := t; r < len(list); r++ {
-				rem -= in.Jobs[list[r]].Size
+			for r := t; r < len(row); r++ {
+				rem -= sizes[row[r]]
 				if 2*rem < lo {
 					break
 				}
@@ -226,7 +241,7 @@ func thresholdLadder(in *instance.Instance, lo, hi int64) []int64 {
 			}
 		}
 	}
-	sort.Slice(out, func(x, y int) bool { return out[x] < out[y] })
+	slices.Sort(out)
 	// In-place dedup of the sorted candidates.
 	uniq := out[:1]
 	for _, v := range out[1:] {

@@ -10,7 +10,6 @@
 package core
 
 import (
-	"container/heap"
 	"sort"
 
 	"repro/internal/instance"
@@ -42,21 +41,27 @@ type Result struct {
 }
 
 // solver holds the target-independent preprocessing shared by every
-// probe of the same instance: per-processor job lists sorted by
-// decreasing size. M-PARTITION probes O(log C) targets, so hoisting the
-// O(n log n) sort out of the probe is the difference between
-// O(n log n + n log C) and O(n log n · log C).
+// probe of the same instance: a flat struct-of-arrays view of the
+// instance (instance.Flat) and a CSR per-processor job index whose rows
+// are sorted by decreasing size. M-PARTITION probes O(log C) targets,
+// so hoisting the O(n log n) sort out of the probe is the difference
+// between O(n log n + n log C) and O(n log n · log C).
 //
-// A solver also owns the per-probe scratch buffers, so repeated probes
-// (the bisection and incremental-scan loops) reuse the same backing
-// arrays instead of reallocating them: after the first probe the only
-// allocations left are the parts of Result that escape to the caller
-// (Selected and the Solution's copied assignment). A solver is confined
-// to a single goroutine; the parallel surfaces build one solver per
-// M-PARTITION call, so the scratch is never shared.
+// A solver also owns all per-probe scratch, so repeated probes (the
+// bisection and incremental-scan loops) run with zero steady-state heap
+// allocations: probeFlat touches only the flat arrays below, and the
+// parts of Result that escape to the caller (Selected, the Solution's
+// copied assignment) are materialized only by run(), once per accepted
+// target on the search paths. A solver is confined to a single
+// goroutine; the parallel surfaces build one solver per M-PARTITION
+// call, so the scratch is never shared.
 type solver struct {
-	in     *instance.Instance
-	byProc [][]int // per processor, job IDs sorted by decreasing size
+	in   *instance.Instance
+	flat instance.Flat
+	csr  instance.CSR // rows sorted by (size desc, id asc)
+	// rowPrefix[csr.Start[p]+i] is the summed size of the first i+1 jobs
+	// of row p — the prefix sums the ladder and incremental scan need.
+	rowPrefix []int64
 
 	// sink is the observability handle; nil disables instrumentation
 	// (the only cost left on the probe path is nil checks). The counters
@@ -68,52 +73,84 @@ type solver struct {
 	probeRemovals *obs.Histogram
 
 	// Per-probe scratch, reused across probes of the same solver.
-	states       []procState
-	assign       []int  // working assignment, reset from in.Assign each probe
-	order        []int  // Step 3 processor ordering
-	selected     []bool // Step 3 selection flags
-	freeSlots    []int  // selected large-free processors
-	removedLarge []int  // removal lists (Step 1/3/4)
-	removedSmall []int
+	largeCnt     []int32 // per-processor large-job count (Step 1)
+	aArr         []int32 // Step 2 a_i
+	bArr         []int32 // Step 2 b_i
+	cArr         []int32 // c_i = a_i − b_i
+	assign       []int32 // working assignment, reset from the flat view each probe
+	order        []int32 // Step 3 processor ordering
+	selected     []bool  // Step 3 selection flags
+	selectedList []int32 // selected processors in increasing index order
+	freeSlots    []int32 // selected large-free processors
+	removedLarge []int32 // removal lists (Step 1/3/4)
+	removedSmall []int32
 	loads        []int64 // Step 6 running loads
 	removed      []bool  // job-indexed removed-small membership (Step 6)
-	heapItems    []int   // Step 6 min-load heap backing array
+	heapItems    []int32 // Step 6 min-load heap backing array
+	orderSorter  procCSorter
+	smallSorter  instance.SizeDescSorter
+
+	// Light-probe outputs (valid after probeFlat returns true).
+	lastRemovals   int
+	lastLargeTotal int
+	lastLargeExtra int
+	probeMakespan  int64
+
+	// Search scratch (MPartitionCtx).
+	bestAssign []int32
+	assignInt  []int
+	ladderBuf  []int64
 }
 
 func newSolver(in *instance.Instance, sink *obs.Sink) *solver {
-	s := &solver{in: in, byProc: instance.JobsOn(in.M, in.Assign), sink: sink}
+	s := &solver{in: in, sink: sink}
 	if sink != nil {
 		s.probes = sink.Reg.Counter("core.probes")
 		s.probesOK = sink.Reg.Counter("core.probes_feasible")
 		s.removalsTotal = sink.Reg.Counter("core.removals")
 		s.probeRemovals = sink.Reg.Histogram("core.probe_removals")
 	}
-	for p := range s.byProc {
-		list := s.byProc[p]
-		sort.Slice(list, func(x, y int) bool {
-			if in.Jobs[list[x]].Size != in.Jobs[list[y]].Size {
-				return in.Jobs[list[x]].Size > in.Jobs[list[y]].Size
-			}
-			return list[x] < list[y]
-		})
+	s.flat.Reset(in)
+	s.csr.Reset(in.M, s.flat.Assign)
+	s.smallSorter.Sizes = s.flat.Sizes
+	for p := 0; p < in.M; p++ {
+		s.smallSorter.IDs = s.csr.Row(p)
+		sort.Sort(&s.smallSorter)
 	}
-	s.states = make([]procState, in.M)
-	s.assign = make([]int, in.N())
-	s.order = make([]int, in.M)
-	s.selected = make([]bool, in.M)
-	s.loads = make([]int64, in.M)
-	s.removed = make([]bool, in.N())
-	s.heapItems = make([]int, 0, in.M)
+	n, m := in.N(), in.M
+	s.rowPrefix = make([]int64, n)
+	for p := 0; p < m; p++ {
+		var sum int64
+		for i, j := range s.csr.Row(p) {
+			sum += s.flat.Sizes[j]
+			s.rowPrefix[int(s.csr.Start[p])+i] = sum
+		}
+	}
+	s.largeCnt = make([]int32, m)
+	s.aArr = make([]int32, m)
+	s.bArr = make([]int32, m)
+	s.cArr = make([]int32, m)
+	s.assign = make([]int32, n)
+	s.order = make([]int32, m)
+	s.selected = make([]bool, m)
+	s.loads = make([]int64, m)
+	s.removed = make([]bool, n)
+	s.heapItems = make([]int32, m)
 	return s
 }
 
-// procState holds the per-processor quantities of §3 Step 2.
-type procState struct {
-	jobs     []int // job IDs on the processor, decreasing size (shared, read-only)
-	largeCnt int   // number of large jobs (a prefix of jobs)
-	a        int   // Step 2 a_i: small removals to reach small-load ≤ V/2
-	b        int   // Step 2 b_i: removals to reach total load ≤ V
-	c        int   // c_i = a_i − b_i
+// rowPrefixSum returns the summed size of the q largest jobs on
+// processor p.
+func (s *solver) rowPrefixSum(p, q int) int64 {
+	if q == 0 {
+		return 0
+	}
+	return s.rowPrefix[int(s.csr.Start[p])+q-1]
+}
+
+// rowTotal returns the total load of processor p's initial row.
+func (s *solver) rowTotal(p int) int64 {
+	return s.rowPrefixSum(p, int(s.csr.Start[p+1]-s.csr.Start[p]))
 }
 
 // Partition runs the §3 PARTITION algorithm against target value target
@@ -131,108 +168,146 @@ func PartitionObs(in *instance.Instance, target int64, sink *obs.Sink) Result {
 	return newSolver(in, sink).run(target)
 }
 
-// run executes one PARTITION probe, wrapping runProbe with the
-// per-probe instrumentation so every return path emits exactly one
-// probe_result event.
+// run executes one instrumented PARTITION probe and materializes the
+// full Result (Selected and the Solution escape to the caller). The
+// search loops use runLight instead and materialize only the accepted
+// target.
 func (s *solver) run(target int64) Result {
+	res := Result{Target: target}
+	if !s.runLight(target) {
+		return res
+	}
+	res.Feasible = true
+	res.Removals = s.lastRemovals
+	res.LargeTotal = s.lastLargeTotal
+	res.LargeExtra = s.lastLargeExtra
+	if len(s.selectedList) > 0 {
+		res.Selected = make([]int, len(s.selectedList))
+		for i, p := range s.selectedList {
+			res.Selected[i] = int(p)
+		}
+	}
+	res.Solution = s.materialize(s.assign)
+	return res
+}
+
+// runLight executes one PARTITION probe, wrapping probeFlat with the
+// per-probe instrumentation so every return path emits exactly one
+// probe_result event. It allocates nothing (tracing disabled); the
+// probe outcome is left in the solver's last* fields and s.assign.
+func (s *solver) runLight(target int64) bool {
 	if s.sink == nil {
-		return s.runProbe(target)
+		return s.probeFlat(target)
 	}
 	s.probes.Inc()
 	if s.sink.Tracing() {
 		s.sink.Emit("probe_start", obs.Fields{"target": target})
 	}
-	res := s.runProbe(target)
-	if res.Feasible {
+	ok := s.probeFlat(target)
+	if ok {
 		s.probesOK.Inc()
-		s.removalsTotal.Add(int64(res.Removals))
-		s.probeRemovals.Observe(int64(res.Removals))
+		s.removalsTotal.Add(int64(s.lastRemovals))
+		s.probeRemovals.Observe(int64(s.lastRemovals))
 	}
 	if s.sink.Tracing() {
-		f := obs.Fields{"target": target, "feasible": res.Feasible}
-		if res.Feasible {
-			f["removals"] = res.Removals
-			f["large_total"] = res.LargeTotal
-			f["large_extra"] = res.LargeExtra
-			f["makespan"] = res.Solution.Makespan
+		f := obs.Fields{"target": target, "feasible": ok}
+		if ok {
+			f["removals"] = s.lastRemovals
+			f["large_total"] = s.lastLargeTotal
+			f["large_extra"] = s.lastLargeExtra
+			f["makespan"] = s.probeMakespan
 		}
 		s.sink.Emit("probe_result", f)
 	}
-	return res
+	return ok
 }
 
-func (s *solver) runProbe(target int64) Result {
-	in := s.in
-	res := Result{Target: target}
+// materialize converts a kernel assignment into an escaping Solution
+// with recomputed metrics.
+func (s *solver) materialize(assign []int32) instance.Solution {
+	s.assignInt = instance.GrowSlice(s.assignInt, len(assign))
+	for j, p := range assign {
+		s.assignInt[j] = int(p)
+	}
+	return instance.NewSolution(s.in, s.assignInt)
+}
+
+// probeFlat is the PARTITION kernel: Steps 1–6 of §3 over the flat
+// arrays, zero heap allocations at steady state. On success the
+// resulting assignment is in s.assign, its makespan in s.probeMakespan,
+// and the removal counts in the last* fields.
+func (s *solver) probeFlat(target int64) bool {
+	f := &s.flat
+	m := f.M
+	sizes := f.Sizes
 	// Unconditional lower bounds: any makespan is at least the largest
 	// job and the ceiling average. Below either, no solution of value
 	// ≤ target exists.
-	if target < in.MaxSize() || target*int64(in.M) < in.TotalSize() {
-		return res
+	if target < f.Max || target*int64(m) < f.Total {
+		return false
 	}
 
-	jobs := in.Jobs
-	states := s.states
 	totalLarge := 0
-	for p := 0; p < in.M; p++ {
-		st := &states[p]
-		st.jobs = s.byProc[p]
-		st.largeCnt, st.a, st.b, st.c = 0, 0, 0, 0
-		// Large jobs are a prefix of the size-sorted list.
-		for _, j := range st.jobs {
-			if 2*jobs[j].Size > target {
-				st.largeCnt++
+	for p := 0; p < m; p++ {
+		// Large jobs are a prefix of the size-sorted row.
+		lc := int32(0)
+		for _, j := range s.csr.Row(p) {
+			if 2*sizes[j] > target {
+				lc++
 			} else {
 				break
 			}
 		}
-		totalLarge += st.largeCnt
+		s.largeCnt[p] = lc
+		totalLarge += int(lc)
 	}
 	// More large jobs than processors means two of them must share a
 	// processor in every assignment, forcing makespan > target.
-	if totalLarge > in.M {
-		return res
+	if totalLarge > m {
+		return false
 	}
 
 	assign := s.assign
-	copy(assign, in.Assign)
+	copy(assign, f.Assign)
 	removals := 0
 	removedLarge, removedSmall := s.removedLarge[:0], s.removedSmall[:0]
 
 	// Step 1: from each processor keep only its smallest large job (the
 	// last of the large prefix).
-	for p := range states {
-		st := &states[p]
-		for i := 0; i < st.largeCnt-1; i++ {
-			removedLarge = append(removedLarge, st.jobs[i])
+	for p := 0; p < m; p++ {
+		row := s.csr.Row(p)
+		for i := int32(0); i < s.largeCnt[p]-1; i++ {
+			removedLarge = append(removedLarge, row[i])
 			removals++
 			if s.sink.Tracing() {
-				s.sink.Emit("removal", obs.Fields{"target": target, "job": st.jobs[i], "proc": p, "kind": "large", "step": 1})
+				s.sink.Emit("removal", obs.Fields{"target": target, "job": int(row[i]), "proc": p, "kind": "large", "step": 1})
 			}
 		}
 	}
-	res.LargeExtra = removals
-	res.LargeTotal = totalLarge
+	s.lastLargeExtra = removals
+	s.lastLargeTotal = totalLarge
 
 	// Step 2: per-processor removal counts over the post-Step-1 config.
-	for p := range states {
-		st := &states[p]
-		smalls := st.jobs[st.largeCnt:] // sorted desc
+	for p := 0; p < m; p++ {
+		row := s.csr.Row(p)
+		lc := int(s.largeCnt[p])
+		smalls := row[lc:] // sorted desc
 		var smallTotal int64
 		for _, j := range smalls {
-			smallTotal += jobs[j].Size
+			smallTotal += sizes[j]
 		}
 		// a_i: strip largest smalls until 2·remaining ≤ target.
 		rem := smallTotal
-		for st.a = 0; 2*rem > target; st.a++ {
-			rem -= jobs[smalls[st.a]].Size
+		a := 0
+		for ; 2*rem > target; a++ {
+			rem -= sizes[smalls[a]]
 		}
 		// b_i: strip largest jobs (retained large first — it strictly
 		// exceeds every small) until remaining ≤ target.
 		total := smallTotal
 		var keep int64 // size of the retained large job, 0 if none
-		if st.largeCnt > 0 {
-			keep = jobs[st.jobs[st.largeCnt-1]].Size
+		if lc > 0 {
+			keep = sizes[row[lc-1]]
 			total += keep
 		}
 		rem = total
@@ -242,11 +317,12 @@ func (s *solver) runProbe(target int64) Result {
 			cnt++
 		}
 		for i := 0; rem > target; i++ {
-			rem -= jobs[smalls[i]].Size
+			rem -= sizes[smalls[i]]
 			cnt++
 		}
-		st.b = cnt
-		st.c = st.a - st.b
+		s.aArr[p] = int32(a)
+		s.bArr[p] = int32(cnt)
+		s.cArr[p] = int32(a - cnt)
 	}
 
 	// Step 3: pick the L_T processors with the smallest c_i, preferring
@@ -254,19 +330,10 @@ func (s *solver) runProbe(target int64) Result {
 	// small jobs.
 	order := s.order
 	for p := range order {
-		order[p] = p
+		order[p] = int32(p)
 	}
-	sort.Slice(order, func(x, y int) bool {
-		sx, sy := &states[order[x]], &states[order[y]]
-		if sx.c != sy.c {
-			return sx.c < sy.c
-		}
-		hx, hy := sx.largeCnt > 0, sy.largeCnt > 0
-		if hx != hy {
-			return hx
-		}
-		return order[x] < order[y]
-	})
+	s.orderSorter = procCSorter{order: order, c: s.cArr, largeCnt: s.largeCnt}
+	sort.Sort(&s.orderSorter)
 	selected := s.selected
 	for p := range selected {
 		selected[p] = false
@@ -276,52 +343,54 @@ func (s *solver) runProbe(target int64) Result {
 	}
 	// Selected large-free processors, in index order, will receive the
 	// relocated large jobs.
+	selectedList := s.selectedList[:0]
 	freeSlots := s.freeSlots[:0]
-	for p := 0; p < in.M; p++ {
+	for p := 0; p < m; p++ {
 		if selected[p] {
-			res.Selected = append(res.Selected, p)
-			if states[p].largeCnt == 0 {
-				freeSlots = append(freeSlots, p)
+			selectedList = append(selectedList, int32(p))
+			if s.largeCnt[p] == 0 {
+				freeSlots = append(freeSlots, int32(p))
 			}
 		}
 	}
-	for p := range states {
-		st := &states[p]
+	s.selectedList = selectedList
+	for p := 0; p < m; p++ {
 		if !selected[p] {
 			continue
 		}
-		smalls := st.jobs[st.largeCnt:]
-		for i := 0; i < st.a; i++ {
+		smalls := s.csr.Row(p)[s.largeCnt[p]:]
+		for i := int32(0); i < s.aArr[p]; i++ {
 			removedSmall = append(removedSmall, smalls[i])
 			removals++
 			if s.sink.Tracing() {
-				s.sink.Emit("removal", obs.Fields{"target": target, "job": smalls[i], "proc": p, "kind": "small", "step": 3})
+				s.sink.Emit("removal", obs.Fields{"target": target, "job": int(smalls[i]), "proc": p, "kind": "small", "step": 3})
 			}
 		}
 	}
 
 	// Step 4: strip b_i jobs from each non-selected processor; displaced
 	// large jobs go to distinct large-free processors from Step 3.
-	for p := range states {
-		st := &states[p]
+	for p := 0; p < m; p++ {
 		if selected[p] {
 			continue
 		}
-		smalls := st.jobs[st.largeCnt:]
-		cnt := st.b
-		if st.largeCnt > 0 && cnt > 0 {
-			removedLarge = append(removedLarge, st.jobs[st.largeCnt-1])
+		row := s.csr.Row(p)
+		lc := s.largeCnt[p]
+		smalls := row[lc:]
+		cnt := s.bArr[p]
+		if lc > 0 && cnt > 0 {
+			removedLarge = append(removedLarge, row[lc-1])
 			removals++
 			cnt--
 			if s.sink.Tracing() {
-				s.sink.Emit("removal", obs.Fields{"target": target, "job": st.jobs[st.largeCnt-1], "proc": p, "kind": "large", "step": 4})
+				s.sink.Emit("removal", obs.Fields{"target": target, "job": int(row[lc-1]), "proc": p, "kind": "large", "step": 4})
 			}
 		}
-		for i := 0; i < cnt; i++ {
+		for i := int32(0); i < cnt; i++ {
 			removedSmall = append(removedSmall, smalls[i])
 			removals++
 			if s.sink.Tracing() {
-				s.sink.Emit("removal", obs.Fields{"target": target, "job": smalls[i], "proc": p, "kind": "small", "step": 4})
+				s.sink.Emit("removal", obs.Fields{"target": target, "job": int(smalls[i]), "proc": p, "kind": "small", "step": 4})
 			}
 		}
 	}
@@ -334,7 +403,7 @@ func (s *solver) runProbe(target int64) Result {
 	// its own large-free selected processor. The counting argument in
 	// DESIGN.md guarantees capacity; if violated the target is rejected.
 	if len(removedLarge) > len(freeSlots) {
-		return Result{Target: target}
+		return false
 	}
 	for i, j := range removedLarge {
 		assign[j] = freeSlots[i]
@@ -352,62 +421,58 @@ func (s *solver) runProbe(target int64) Result {
 	}
 	for j, p := range assign {
 		if !removedSet[j] {
-			loads[p] += jobs[j].Size
+			loads[p] += sizes[j]
 		}
 	}
 	for _, j := range removedSmall {
 		removedSet[j] = false
 	}
-	sort.Slice(removedSmall, func(x, y int) bool {
-		if jobs[removedSmall[x]].Size != jobs[removedSmall[y]].Size {
-			return jobs[removedSmall[x]].Size > jobs[removedSmall[y]].Size
-		}
-		return removedSmall[x] < removedSmall[y]
-	})
-	h := &minLoadHeap{items: s.heapItems[:0], loads: loads}
-	for p := 0; p < in.M; p++ {
-		h.items = append(h.items, p)
+	s.smallSorter.IDs = removedSmall
+	sort.Sort(&s.smallSorter)
+	items := s.heapItems
+	for p := range items {
+		items[p] = int32(p)
 	}
-	heap.Init(h)
+	instance.HeapInit(items, loads, false)
 	for _, j := range removedSmall {
-		p := h.items[0]
+		p := items[0]
 		assign[j] = p
-		loads[p] += jobs[j].Size
-		heap.Fix(h, 0)
+		loads[p] += sizes[j]
+		instance.HeapFixRoot(items, loads, false)
 	}
-	s.heapItems = h.items
 
-	res.Feasible = true
-	res.Removals = removals
-	res.Solution = instance.NewSolution(in, assign)
-	return res
-}
-
-// minLoadHeap orders processor indices by increasing load with index
-// tie-break, for deterministic greedy placement.
-type minLoadHeap struct {
-	items []int
-	loads []int64
-}
-
-func (h *minLoadHeap) Len() int { return len(h.items) }
-
-func (h *minLoadHeap) Less(a, b int) bool {
-	la, lb := h.loads[h.items[a]], h.loads[h.items[b]]
-	if la != lb {
-		return la < lb
+	var max int64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
 	}
-	return h.items[a] < h.items[b]
+	s.probeMakespan = max
+	s.lastRemovals = removals
+	return true
 }
 
-func (h *minLoadHeap) Swap(a, b int) { h.items[a], h.items[b] = h.items[b], h.items[a] }
-
-func (h *minLoadHeap) Push(x any) { h.items = append(h.items, x.(int)) }
-
-func (h *minLoadHeap) Pop() any {
-	old := h.items
-	n := len(old)
-	x := old[n-1]
-	h.items = old[:n-1]
-	return x
+// procCSorter orders processor indices by increasing c_i, preferring
+// large-holders on ties, index ascending last — the Step 3 selection
+// order. A concrete sort.Interface so sorting allocates nothing.
+type procCSorter struct {
+	order    []int32
+	c        []int32
+	largeCnt []int32
 }
+
+func (s *procCSorter) Len() int { return len(s.order) }
+
+func (s *procCSorter) Less(x, y int) bool {
+	px, py := s.order[x], s.order[y]
+	if s.c[px] != s.c[py] {
+		return s.c[px] < s.c[py]
+	}
+	hx, hy := s.largeCnt[px] > 0, s.largeCnt[py] > 0
+	if hx != hy {
+		return hx
+	}
+	return px < py
+}
+
+func (s *procCSorter) Swap(x, y int) { s.order[x], s.order[y] = s.order[y], s.order[x] }

@@ -1,0 +1,51 @@
+// Package edgecases provides the shared table of boundary instances the
+// flat-kernel equivalence and allocation-guard tests run against. Every
+// solver package exercises the same table, so a kernel rewrite that
+// mishandles a degenerate shape (one processor, fewer jobs than
+// processors, a single job, ties everywhere) fails in each of them
+// rather than in whichever package happened to cover that shape.
+package edgecases
+
+import (
+	"math/rand"
+
+	"repro/internal/instance"
+)
+
+// Case is one boundary instance.
+type Case struct {
+	Name string
+	In   *instance.Instance
+}
+
+// Table returns fresh copies of the boundary instances. Callers may
+// mutate the returned instances freely.
+func Table() []Case {
+	return []Case{
+		// A single processor: nothing can move anywhere.
+		{"m1", instance.MustNew(1, []int64{5, 3, 2}, nil, []int{0, 0, 0})},
+		// Fewer jobs than processors.
+		{"n_lt_m", instance.MustNew(4, []int64{7, 3}, nil, []int{0, 0})},
+		// A single job, not on processor zero.
+		{"n1", instance.MustNew(3, []int64{9}, nil, []int{1})},
+		// All sizes equal: every comparison is a tie-break.
+		{"all_equal", instance.MustNew(3, []int64{6, 6, 6, 6}, nil, []int{0, 0, 0, 0})},
+		// Already perfectly balanced: the optimum is to do nothing.
+		{"balanced", instance.MustNew(3, []int64{5, 5, 5}, nil, []int{0, 1, 2})},
+		// Two large jobs crowding one processor plus filler.
+		{"two_big", instance.MustNew(2, []int64{10, 10, 1, 1, 1, 1}, nil, []int{0, 0, 0, 0, 1, 1})},
+	}
+}
+
+// Random returns a deterministic pseudo-random instance: m processors,
+// n jobs with sizes in [1, maxSize], uniform initial assignment. The
+// same seed always yields the same instance.
+func Random(rng *rand.Rand, m, n int, maxSize int64) *instance.Instance {
+	sizes := make([]int64, n)
+	assign := make([]int, n)
+	for j := range sizes {
+		sizes[j] = 1 + rng.Int63n(maxSize)
+		assign[j] = rng.Intn(m)
+	}
+	return instance.MustNew(m, sizes, nil, assign)
+}

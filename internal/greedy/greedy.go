@@ -10,11 +10,15 @@
 // The paper's Step 2 order is arbitrary; the Order option selects it,
 // which matters only for adversarial analysis (Theorem 1's tightness
 // uses the largest job last). Running time is O((n + k) log n).
+//
+// The inner loops run on a flat struct-of-arrays view (instance.Flat)
+// with pooled scratch, so a steady-state call allocates only the
+// Solution that escapes to the caller (DESIGN.md §12).
 package greedy
 
 import (
-	"container/heap"
 	"sort"
+	"sync"
 
 	"repro/internal/instance"
 	"repro/internal/obs"
@@ -35,6 +39,35 @@ const (
 	OrderSmallestFirst
 )
 
+// Scratch is the working memory of one RebalanceFlat call. A zero value
+// is ready to use; backing arrays grow on first use and are reused
+// afterwards, so a recycled Scratch makes RebalanceFlat allocation-free.
+// A Scratch is confined to one goroutine at a time.
+type Scratch struct {
+	flat      instance.Flat // adapter-owned flat view (RebalanceObs)
+	csr       instance.CSR
+	heads     []int32 // per-processor cursor into csr.Jobs
+	loads     []int64
+	heapItems []int32
+	removed   []int32
+	rowSorter instance.SizeDescSorter
+	ordSorter stableSizeSorter
+
+	// Assign is the result assignment of the last RebalanceFlat call.
+	// It is scratch memory: callers must copy it out before releasing.
+	Assign []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// FlatResult summarizes a RebalanceFlat run; the assignment itself is
+// left in the Scratch.
+type FlatResult struct {
+	Makespan int64
+	Moves    int
+	MoveCost int64
+}
+
 // Rebalance runs GREEDY with move budget k and returns the resulting
 // assignment with recomputed metrics. k may exceed n; removals stop
 // early once every processor is empty. The instance is not modified.
@@ -46,9 +79,51 @@ func Rebalance(in *instance.Instance, k int, order Order) instance.Solution {
 // Step 2 placements emit removal/placement events and update the
 // greedy.* metrics in sink. A nil sink is equivalent to Rebalance.
 func RebalanceObs(in *instance.Instance, k int, order Order, sink *obs.Sink) instance.Solution {
-	assign := append([]int(nil), in.Assign...)
 	if k <= 0 || in.N() == 0 {
-		return instance.NewSolution(in, assign)
+		return instance.NewSolution(in, in.Assign)
+	}
+	sc := scratchPool.Get().(*Scratch)
+	sc.flat.Reset(in)
+	res := RebalanceFlat(&sc.flat, k, order, sc, sink)
+	assign := make([]int, len(sc.Assign))
+	for j, p := range sc.Assign {
+		assign[j] = int(p)
+	}
+	scratchPool.Put(sc)
+	return instance.Solution{
+		Assign:   assign,
+		Makespan: res.Makespan,
+		Moves:    res.Moves,
+		MoveCost: res.MoveCost,
+	}
+}
+
+// RebalanceFlat is the GREEDY kernel: it runs entirely on the flat view
+// and sc's scratch arrays, leaving the result assignment in sc.Assign.
+// With a warmed Scratch and tracing disabled it performs zero heap
+// allocations. f and sc must not be mutated concurrently.
+func RebalanceFlat(f *instance.Flat, k int, order Order, sc *Scratch, sink *obs.Sink) FlatResult {
+	n, m := f.N(), f.M
+	assign := instance.GrowSlice(sc.Assign, n)
+	copy(assign, f.Assign)
+	sc.Assign = assign
+	if k <= 0 || n == 0 {
+		// Nothing moves; the makespan is the initial one.
+		loads := instance.GrowSlice(sc.loads, m)
+		for p := range loads {
+			loads[p] = 0
+		}
+		for j, p := range assign {
+			loads[p] += f.Sizes[j]
+		}
+		sc.loads = loads
+		var max int64
+		for _, l := range loads {
+			if l > max {
+				max = l
+			}
+		}
+		return FlatResult{Makespan: max}
 	}
 	// Resolve metrics once; heap-op counting in the loops is a single
 	// cached-counter increment when enabled, a nil check when not.
@@ -61,117 +136,115 @@ func RebalanceObs(in *instance.Instance, k int, order Order, sink *obs.Sink) ins
 		movedSizeH = sink.Reg.Histogram("greedy.moved_size")
 	}
 
-	// Per-processor job lists sorted by decreasing size; heads[p] is the
-	// next (largest remaining) job index into byProc[p].
-	byProc := instance.JobsOn(in.M, assign)
-	for p := range byProc {
-		jobs := byProc[p]
-		sort.Slice(jobs, func(a, b int) bool {
-			if in.Jobs[jobs[a]].Size != in.Jobs[jobs[b]].Size {
-				return in.Jobs[jobs[a]].Size > in.Jobs[jobs[b]].Size
-			}
-			return jobs[a] < jobs[b]
-		})
+	// Per-processor job rows sorted by decreasing size; heads[p] is the
+	// absolute cursor of the next (largest remaining) job of row p.
+	sc.csr.Reset(m, assign)
+	sc.rowSorter.Sizes = f.Sizes
+	heads := instance.GrowSlice(sc.heads, m)
+	loads := instance.GrowSlice(sc.loads, m)
+	for p := 0; p < m; p++ {
+		sc.rowSorter.IDs = sc.csr.Row(p)
+		sort.Sort(&sc.rowSorter)
+		heads[p] = sc.csr.Start[p]
+		loads[p] = 0
 	}
-	heads := make([]int, in.M)
-	loads := in.Loads(assign)
+	sc.heads, sc.loads = heads, loads
+	for j, p := range assign {
+		loads[p] += f.Sizes[j]
+	}
 
 	// Step 1: k removals from the max-load processor.
-	maxH := &procHeap{loads: loads, max: true}
-	for p := 0; p < in.M; p++ {
-		maxH.items = append(maxH.items, p)
+	items := instance.GrowSlice(sc.heapItems, m)
+	sc.heapItems = items
+	for p := range items {
+		items[p] = int32(p)
 	}
-	heap.Init(maxH)
-	var removed []int
+	instance.HeapInit(items, loads, true)
+	removed := sc.removed[:0]
 	for r := 0; r < k; r++ {
-		p := maxH.items[0]
-		if heads[p] == len(byProc[p]) {
+		p := items[0]
+		if heads[p] == sc.csr.Start[p+1] {
 			// Max-load processor has no jobs left: every job is removed.
 			break
 		}
-		j := byProc[p][heads[p]]
+		j := sc.csr.Jobs[heads[p]]
 		heads[p]++
-		loads[p] -= in.Jobs[j].Size
-		heap.Fix(maxH, 0)
+		loads[p] -= f.Sizes[j]
+		instance.HeapFixRoot(items, loads, true)
 		removed = append(removed, j)
 		if sink != nil {
 			removalsC.Inc()
 			heapOpsC.Inc()
-			movedSizeH.Observe(in.Jobs[j].Size)
+			movedSizeH.Observe(f.Sizes[j])
 			if sink.Tracing() {
-				sink.Emit("removal", obs.Fields{"job": j, "proc": p, "size": in.Jobs[j].Size, "alg": "greedy"})
+				sink.Emit("removal", obs.Fields{"job": int(j), "proc": int(p), "size": f.Sizes[j], "alg": "greedy"})
 			}
 		}
 	}
+	sc.removed = removed
 
-	// Step 2: place removed jobs on the current min-load processor.
+	// Step 2: place removed jobs on the current min-load processor. The
+	// Largest/SmallestFirst orders are stable over the removal sequence.
 	switch order {
 	case OrderLargestFirst:
-		sort.SliceStable(removed, func(a, b int) bool {
-			return in.Jobs[removed[a]].Size > in.Jobs[removed[b]].Size
-		})
+		sc.ordSorter = stableSizeSorter{ids: removed, sizes: f.Sizes, desc: true}
+		sort.Stable(&sc.ordSorter)
 	case OrderSmallestFirst:
-		sort.SliceStable(removed, func(a, b int) bool {
-			return in.Jobs[removed[a]].Size < in.Jobs[removed[b]].Size
-		})
+		sc.ordSorter = stableSizeSorter{ids: removed, sizes: f.Sizes}
+		sort.Stable(&sc.ordSorter)
 	}
-	minH := &procHeap{loads: loads}
-	for p := 0; p < in.M; p++ {
-		minH.items = append(minH.items, p)
-	}
-	heap.Init(minH)
+	instance.HeapInit(items, loads, false)
 	for _, j := range removed {
-		p := minH.items[0]
+		p := items[0]
 		assign[j] = p
-		loads[p] += in.Jobs[j].Size
-		heap.Fix(minH, 0)
+		loads[p] += f.Sizes[j]
+		instance.HeapFixRoot(items, loads, false)
 		if sink != nil {
 			placementsC.Inc()
 			heapOpsC.Inc()
 			if sink.Tracing() {
-				sink.Emit("placement", obs.Fields{"job": j, "proc": p, "size": in.Jobs[j].Size, "alg": "greedy"})
+				sink.Emit("placement", obs.Fields{"job": int(j), "proc": int(p), "size": f.Sizes[j], "alg": "greedy"})
 			}
 		}
 	}
-	sol := instance.NewSolution(in, assign)
+	// The loads array now holds the final per-processor loads, so the
+	// solution metrics come out of scratch already in hand.
+	var res FlatResult
+	for _, l := range loads {
+		if l > res.Makespan {
+			res.Makespan = l
+		}
+	}
+	for j, p := range assign {
+		if p != f.Assign[j] {
+			res.Moves++
+			res.MoveCost += f.Costs[j]
+		}
+	}
 	if sink.Tracing() {
 		sink.Emit("search_result", obs.Fields{
-			"alg": "greedy", "k": k, "makespan": sol.Makespan, "moves": sol.Moves,
+			"alg": "greedy", "k": k, "makespan": res.Makespan, "moves": res.Moves,
 		})
 	}
-	return sol
+	return res
 }
 
-// procHeap is a heap of processor indices ordered by load (min-heap by
-// default, max-heap when max is set), breaking ties by processor index
-// for determinism.
-type procHeap struct {
-	items []int
-	loads []int64
-	max   bool
+// stableSizeSorter orders job IDs by size (descending when desc),
+// relying on sort.Stable to preserve the removal order among equals —
+// the contract OrderLargestFirst/OrderSmallestFirst document.
+type stableSizeSorter struct {
+	ids   []int32
+	sizes []int64
+	desc  bool
 }
 
-func (h *procHeap) Len() int { return len(h.items) }
+func (s *stableSizeSorter) Len() int { return len(s.ids) }
 
-func (h *procHeap) Less(a, b int) bool {
-	la, lb := h.loads[h.items[a]], h.loads[h.items[b]]
-	if la != lb {
-		if h.max {
-			return la > lb
-		}
-		return la < lb
+func (s *stableSizeSorter) Less(a, b int) bool {
+	if s.desc {
+		return s.sizes[s.ids[a]] > s.sizes[s.ids[b]]
 	}
-	return h.items[a] < h.items[b]
+	return s.sizes[s.ids[a]] < s.sizes[s.ids[b]]
 }
 
-func (h *procHeap) Swap(a, b int) { h.items[a], h.items[b] = h.items[b], h.items[a] }
-
-func (h *procHeap) Push(x any) { h.items = append(h.items, x.(int)) }
-
-func (h *procHeap) Pop() any {
-	old := h.items
-	n := len(old)
-	x := old[n-1]
-	h.items = old[:n-1]
-	return x
-}
+func (s *stableSizeSorter) Swap(a, b int) { s.ids[a], s.ids[b] = s.ids[b], s.ids[a] }

@@ -1,0 +1,164 @@
+// Flat-memory (struct-of-arrays) view of an instance, plus the shared
+// low-level machinery the solver kernels run on: a CSR per-processor
+// job index, concrete sort.Interface implementations (the closure-based
+// sort.Slice variants allocate per call; these do not), and an
+// int32-indexed binary heap over processor loads.
+//
+// The kernels in internal/core and internal/greedy operate exclusively
+// on Flat + caller-owned scratch so that a steady-state probe performs
+// no heap allocation (DESIGN.md §12).
+package instance
+
+// Flat is a struct-of-arrays projection of an Instance: parallel
+// primitive slices indexed by job, plus the aggregate size statistics
+// every probe's feasibility pre-check needs. All backing arrays are
+// reused by Reset, so a pooled Flat reaches a steady state with zero
+// allocations per conversion.
+type Flat struct {
+	M      int
+	Sizes  []int64
+	Costs  []int64
+	Assign []int32
+	Total  int64 // sum of Sizes
+	Max    int64 // largest size, 0 when empty
+}
+
+// N returns the number of jobs in the view.
+func (f *Flat) N() int { return len(f.Sizes) }
+
+// Reset re-points the view at in, reusing backing capacity.
+func (f *Flat) Reset(in *Instance) {
+	n := len(in.Jobs)
+	f.M = in.M
+	f.Sizes = grow(f.Sizes, n)
+	f.Costs = grow(f.Costs, n)
+	f.Assign = grow(f.Assign, n)
+	f.Total, f.Max = 0, 0
+	for j := range in.Jobs {
+		s := in.Jobs[j].Size
+		f.Sizes[j] = s
+		f.Costs[j] = in.Jobs[j].Cost
+		f.Assign[j] = int32(in.Assign[j])
+		f.Total += s
+		if s > f.Max {
+			f.Max = s
+		}
+	}
+}
+
+// grow returns s resized to n, reusing capacity when possible.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// GrowSlice is grow for callers outside this package that manage their
+// own scratch (resized content is unspecified, not zeroed).
+func GrowSlice[T any](s []T, n int) []T { return grow(s, n) }
+
+// CSR is a compressed per-processor job index: Row(p) lists the jobs an
+// assignment places on processor p. Built by counting sort, so each row
+// initially comes out in increasing job order; kernels re-sort rows in
+// place with the sorters below.
+type CSR struct {
+	Start []int32 // len m+1, row p is JobIdx[Start[p]:Start[p+1]]
+	Jobs  []int32 // len n, job IDs grouped by processor
+}
+
+// Reset rebuilds the index for assign over m processors, reusing
+// backing capacity.
+func (c *CSR) Reset(m int, assign []int32) {
+	c.Start = grow(c.Start, m+1)
+	c.Jobs = grow(c.Jobs, len(assign))
+	for p := 0; p <= m; p++ {
+		c.Start[p] = 0
+	}
+	for _, p := range assign {
+		c.Start[p+1]++
+	}
+	for p := 0; p < m; p++ {
+		c.Start[p+1] += c.Start[p]
+	}
+	// Start temporarily holds the next write cursor per processor; the
+	// second pass restores it to row offsets by construction (cursor p
+	// ends exactly at Start[p+1]'s final value), rebuilt cheaply below.
+	for j, p := range assign {
+		c.Jobs[c.Start[p]] = int32(j)
+		c.Start[p]++
+	}
+	for p := m; p > 0; p-- {
+		c.Start[p] = c.Start[p-1]
+	}
+	c.Start[0] = 0
+}
+
+// Row returns the job IDs on processor p.
+func (c *CSR) Row(p int) []int32 { return c.Jobs[c.Start[p]:c.Start[p+1]] }
+
+// SizeDescSorter orders a job-ID slice by decreasing size with
+// increasing-ID tie-break — the canonical per-processor order every
+// kernel uses. It is a concrete sort.Interface so sorting allocates
+// nothing; store it in scratch and pass its address to sort.Sort.
+type SizeDescSorter struct {
+	IDs   []int32
+	Sizes []int64
+}
+
+func (s *SizeDescSorter) Len() int { return len(s.IDs) }
+
+func (s *SizeDescSorter) Less(a, b int) bool {
+	sa, sb := s.Sizes[s.IDs[a]], s.Sizes[s.IDs[b]]
+	if sa != sb {
+		return sa > sb
+	}
+	return s.IDs[a] < s.IDs[b]
+}
+
+func (s *SizeDescSorter) Swap(a, b int) { s.IDs[a], s.IDs[b] = s.IDs[b], s.IDs[a] }
+
+// HeapInit establishes the binary-heap invariant over processor indices
+// in items, ordered by loads with index tie-break (min-heap, or
+// max-heap when max is set). The order is total, so the root is the
+// unique extreme and heap-based algorithms are deterministic.
+func HeapInit(items []int32, loads []int64, max bool) {
+	for i := len(items)/2 - 1; i >= 0; i-- {
+		heapSiftDown(items, loads, i, max)
+	}
+}
+
+// HeapFixRoot restores the invariant after the root's load changed.
+func HeapFixRoot(items []int32, loads []int64, max bool) {
+	heapSiftDown(items, loads, 0, max)
+}
+
+func heapLess(items []int32, loads []int64, a, b int, max bool) bool {
+	la, lb := loads[items[a]], loads[items[b]]
+	if la != lb {
+		if max {
+			return la > lb
+		}
+		return la < lb
+	}
+	return items[a] < items[b]
+}
+
+func heapSiftDown(items []int32, loads []int64, i int, max bool) {
+	n := len(items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && heapLess(items, loads, r, l, max) {
+			best = r
+		}
+		if !heapLess(items, loads, best, i, max) {
+			return
+		}
+		items[i], items[best] = items[best], items[i]
+		i = best
+	}
+}

@@ -7,6 +7,7 @@ package obs
 
 import (
 	"runtime"
+	"sync"
 	"time"
 )
 
@@ -17,8 +18,12 @@ const DefaultRuntimeInterval = 10 * time.Second
 // RuntimeCollector samples runtime stats until stopped. Create with
 // StartRuntimeCollector; Stop is idempotent and safe on nil.
 type RuntimeCollector struct {
+	sink *Sink
 	stop chan struct{}
 	done chan struct{}
+
+	mu     sync.Mutex
+	lastGC uint32
 }
 
 // StartRuntimeCollector samples memstats and the goroutine count into
@@ -33,9 +38,8 @@ func StartRuntimeCollector(s *Sink, interval time.Duration) *RuntimeCollector {
 	if interval <= 0 {
 		interval = DefaultRuntimeInterval
 	}
-	c := &RuntimeCollector{stop: make(chan struct{}), done: make(chan struct{})}
-	var lastGC uint32
-	lastGC = sampleRuntime(s, lastGC)
+	c := &RuntimeCollector{sink: s, stop: make(chan struct{}), done: make(chan struct{})}
+	c.Sample()
 	go func() {
 		defer close(c.done)
 		tick := time.NewTicker(interval)
@@ -43,13 +47,27 @@ func StartRuntimeCollector(s *Sink, interval time.Duration) *RuntimeCollector {
 		for {
 			select {
 			case <-tick.C:
-				lastGC = sampleRuntime(s, lastGC)
+				c.Sample()
 			case <-c.stop:
 				return
 			}
 		}
 	}()
 	return c
+}
+
+// Sample takes one runtime sample immediately, outside the ticker
+// cadence. Serving layers call it before rendering /metrics so scrapes
+// see current values instead of up-to-interval-old ones; the shared GC
+// watermark keeps forced samples from re-observing old pauses. Safe on
+// nil and from concurrent goroutines.
+func (c *RuntimeCollector) Sample() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.lastGC = sampleRuntime(c.sink, c.lastGC)
+	c.mu.Unlock()
 }
 
 // Stop halts sampling and waits for the collector goroutine to exit.
@@ -78,6 +96,7 @@ func sampleRuntime(s *Sink, lastGC uint32) uint32 {
 	reg.Gauge("runtime.heap_objects").Set(int64(ms.HeapObjects))
 	reg.Gauge("runtime.gc_count").Set(int64(ms.NumGC))
 	reg.Gauge("runtime.gc_pause_total_ns").Set(int64(ms.PauseTotalNs))
+	reg.Gauge("runtime.mallocs").Set(int64(ms.Mallocs))
 	// PauseNs is a circular buffer indexed by GC cycle; walk only the
 	// cycles completed since the previous sample (capped at the buffer).
 	newGCs := ms.NumGC - lastGC

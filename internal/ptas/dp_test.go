@@ -1,0 +1,65 @@
+package ptas
+
+// Property tests pinning the packed 16-byte DP key to the original
+// string-key representation: same roundtrip, same comparison order.
+// The (cost, cfgIdx, prevKey) tie-break of the forward DP — and hence
+// the reconstructed assignment — depends on this order being identical.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randState(rng *rand.Rand, s int) ([]int32, int) {
+	alloc := make([]int32, s)
+	for i := range alloc {
+		alloc[i] = int32(rng.Intn(256))
+	}
+	return alloc, rng.Intn(1 << 16)
+}
+
+func TestKey128RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for s := 0; s <= 14; s++ {
+		c := codec128(s)
+		for trial := 0; trial < 50; trial++ {
+			alloc, used := randState(rng, s)
+			key := c.encode(alloc, used)
+			back := make([]int32, s)
+			gotUsed := c.decode(key, back)
+			if gotUsed != used {
+				t.Fatalf("s=%d: used roundtrip %d -> %d", s, used, gotUsed)
+			}
+			for i := range alloc {
+				if back[i] != alloc[i] {
+					t.Fatalf("s=%d: alloc[%d] roundtrip %d -> %d", s, i, alloc[i], back[i])
+				}
+			}
+		}
+	}
+}
+
+func TestKey128OrderMatchesStringKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for s := 0; s <= 14; s++ {
+		packed := codec128(s)
+		str := codecString(s)
+		for trial := 0; trial < 200; trial++ {
+			aAlloc, aUsed := randState(rng, s)
+			bAlloc, bUsed := randState(rng, s)
+			if trial%4 == 0 {
+				copy(bAlloc, aAlloc) // force shared prefixes
+				bUsed = aUsed
+			}
+			pa, pb := packed.encode(aAlloc, aUsed), packed.encode(bAlloc, bUsed)
+			sa, sb := str.encode(aAlloc, aUsed), str.encode(bAlloc, bUsed)
+			if packed.less(pa, pb) != str.less(sa, sb) || packed.less(pb, pa) != str.less(sb, sa) {
+				t.Fatalf("s=%d: packed order diverges from string order for %v/%d vs %v/%d",
+					s, aAlloc, aUsed, bAlloc, bUsed)
+			}
+			if (pa == pb) != (sa == sb) {
+				t.Fatalf("s=%d: packed equality diverges from string equality", s)
+			}
+		}
+	}
+}

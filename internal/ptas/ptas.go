@@ -250,12 +250,6 @@ func isCtxErr(err error) bool {
 // steady-state allocation rate flat in the number of guesses.
 var dpCostPool = sync.Pool{New: func() any { return new([]int64) }}
 
-// config is one W-feasible processor configuration.
-type config struct {
-	x []int // large-job count per class
-	v int   // small capacity in units
-}
-
 // solveAt runs the discretized DP at guess g and returns the
 // reconstructed assignment and its DP relocation cost. The configuration
 // enumeration and every DP layer poll ctx, so a deadline interrupts the
@@ -355,17 +349,21 @@ func solveAt(ctx context.Context, in *instance.Instance, g int64, delta float64,
 	vTotal := int(math.Ceil(float64(smallTotal)/u)) + m
 	bigW := (1 + 3*delta) * float64(g)
 
-	// Enumerate the W-feasible configurations once; x_i ≤ N_i since more
-	// copies of a class than exist can never be placed.
-	var configs []config
+	// Enumerate the W-feasible configurations once, flattened into
+	// struct-of-arrays form (configuration ci occupies cfgX[ci*s:
+	// (ci+1)*s] plus cfgV[ci]); x_i ≤ N_i since more copies of a class
+	// than exist can never be placed.
+	var cfgX []int32
+	var cfgV []int32
+	nConfigs := 0
 	var ctxErr error
-	var build func(i int, load float64, x []int)
-	build = func(i int, load float64, x []int) {
+	var build func(i int, load float64, x []int32)
+	build = func(i int, load float64, x []int32) {
 		if ctxErr != nil {
 			return
 		}
 		if i == s {
-			if len(configs)&8191 == 0 {
+			if nConfigs&8191 == 0 {
 				ctxErr = ctx.Err()
 			}
 			maxV := int((bigW - load) / u)
@@ -373,7 +371,9 @@ func solveAt(ctx context.Context, in *instance.Instance, g int64, delta float64,
 				maxV = vTotal
 			}
 			for v := 0; v <= maxV; v++ {
-				configs = append(configs, config{x: append([]int(nil), x...), v: v})
+				cfgX = append(cfgX, x...)
+				cfgV = append(cfgV, int32(v))
+				nConfigs++
 			}
 			return
 		}
@@ -382,7 +382,7 @@ func solveAt(ctx context.Context, in *instance.Instance, g int64, delta float64,
 			if c > counts[i] || nl > bigW {
 				break
 			}
-			x[i] = c
+			x[i] = int32(c)
 			build(i+1, nl, x)
 			x[i] = 0
 			if grid[i] == 0 {
@@ -390,37 +390,39 @@ func solveAt(ctx context.Context, in *instance.Instance, g int64, delta float64,
 			}
 		}
 	}
-	build(0, 0, make([]int, s))
+	build(0, 0, make([]int32, s))
 	if ctxErr != nil {
 		return nil, 0, ctxErr
 	}
-	if len(configs) > opts.MaxStates {
+	if nConfigs > opts.MaxStates {
 		return nil, 0, ErrTooLarge
 	}
 	if opts.Obs != nil {
-		opts.Obs.Observe("ptas.configs", int64(len(configs)))
+		opts.Obs.Observe("ptas.configs", int64(nConfigs))
 		opts.Obs.Observe("ptas.classes", int64(s))
 		if opts.Obs.Tracing() {
 			opts.Obs.Emit("dp_setup", obs.Fields{
-				"guess": g, "classes": s, "configs": len(configs),
+				"guess": g, "classes": s, "configs": nConfigs,
 				"v_total": vTotal, "unit": int64(u),
 			})
 		}
 	}
 
 	// removalCost computes the §4 COST(C, C') for processor p moving to
-	// cfg: cheapest large jobs per over-full class plus the density-
-	// greedy small removal down to the capacity with δG slack (Lemma 11).
-	removalCost := func(p int, cfg *config) int64 {
+	// configuration ci: cheapest large jobs per over-full class plus the
+	// density-greedy small removal down to the capacity with δG slack
+	// (Lemma 11).
+	removalCost := func(p, ci int) int64 {
 		h := &hold[p]
+		x := cfgX[ci*s : ci*s+s]
 		var cost int64
 		for c := 0; c < s; c++ {
 			have := len(h.largeByClass[c])
-			if have > cfg.x[c] {
-				cost += h.largeCostPfx[c][have-cfg.x[c]]
+			if have > int(x[c]) {
+				cost += h.largeCostPfx[c][have-int(x[c])]
 			}
 		}
-		capSize := float64(cfg.v)*u + u
+		capSize := float64(cfgV[ci])*u + u
 		r := 0
 		for float64(h.smallTotal-h.smallSizePfx[r]) > capSize {
 			r++
@@ -430,135 +432,28 @@ func solveAt(ctx context.Context, in *instance.Instance, g int64, delta float64,
 	}
 
 	// Forward DP over processors. State: class counts already allocated
-	// plus small units already provisioned.
-	type entry struct {
-		cost    int64
-		cfgIdx  int
-		prevKey string
+	// plus small units already provisioned. The key codec is chosen by
+	// class count: the packed 16-byte value key whenever it fits (it
+	// always does at the default MaxJobs), strings beyond.
+	counts32 := make([]int32, s)
+	for i, c := range counts {
+		counts32[i] = int32(c)
 	}
-	encode := func(alloc []int, used int) string {
-		b := make([]byte, s+2)
-		for i, a := range alloc {
-			if a > 255 {
-				return "" // guarded by MaxJobs ≤ 64
-			}
-			b[i] = byte(a)
-		}
-		b[s] = byte(used & 0xff)
-		b[s+1] = byte(used >> 8)
-		return string(b)
+	pr := &dpProblem{
+		m: m, s: s, nConfigs: nConfigs, cfgX: cfgX, cfgV: cfgV,
+		counts: counts32, vTotal: vTotal, removalCost: removalCost,
+		opts: &opts, g: g,
 	}
-	start := encode(make([]int, s), 0)
-	frontier := map[string]entry{start: {cost: 0, cfgIdx: -1}}
-	// layers[p] records the frontier after placing processor p, for
-	// reconstruction.
-	layers := make([]map[string]entry, m)
-
-	alloc := make([]int, s)
-	nalloc := make([]int, s)
-	costBuf := dpCostPool.Get().(*[]int64)
-	defer dpCostPool.Put(costBuf)
-	if cap(*costBuf) < len(configs) {
-		*costBuf = make([]int64, len(configs))
+	var finCost int64
+	var chosen []int32
+	var dpErr error
+	if s+2 <= 16 {
+		finCost, chosen, dpErr = dpForward(ctx, pr, codec128(s))
+	} else {
+		finCost, chosen, dpErr = dpForward(ctx, pr, codecString(s))
 	}
-	for p := 0; p < m; p++ {
-		// Per-processor config costs are state-independent; the buffer
-		// is pooled across layers, guesses and concurrent solves.
-		cfgCost := (*costBuf)[:len(configs)]
-		for ci := range configs {
-			cfgCost[ci] = removalCost(p, &configs[ci])
-		}
-		next := make(map[string]entry, len(frontier))
-		// generated counts transitions surviving the capacity and class
-		// checks; pruned counts the rejected ones. Local ints so the
-		// disabled path pays nothing beyond the increments.
-		var generated, pruned int64
-		var steps int
-		for key, e := range frontier {
-			for i := 0; i < s; i++ {
-				alloc[i] = int(key[i])
-			}
-			used := int(key[s]) | int(key[s+1])<<8
-			for ci := range configs {
-				// Cancellation point: a layer explores frontier×configs
-				// transitions — potentially many millions — so the context
-				// is polled every 16384 of them.
-				if steps++; steps&16383 == 0 {
-					if err := ctx.Err(); err != nil {
-						return nil, 0, err
-					}
-				}
-				cfg := &configs[ci]
-				nu := used + cfg.v
-				if nu > vTotal {
-					pruned++
-					continue
-				}
-				bad := false
-				for i := 0; i < s; i++ {
-					nalloc[i] = alloc[i] + cfg.x[i]
-					if nalloc[i] > counts[i] {
-						bad = true
-						break
-					}
-				}
-				if bad {
-					pruned++
-					continue
-				}
-				generated++
-				nk := encode(nalloc, nu)
-				tot := e.cost + cfgCost[ci]
-				// Min by (cost, cfgIdx, prevKey): the tie-breaks make the
-				// recorded back-pointer — and therefore the reconstructed
-				// assignment — canonical even though the frontier is
-				// iterated in randomized map order. Without them, equal-
-				// cost solutions would flip between runs and the
-				// Workers>1 path could not promise byte-identical results.
-				if old, exists := next[nk]; !exists || tot < old.cost ||
-					(tot == old.cost && (ci < old.cfgIdx ||
-						(ci == old.cfgIdx && key < old.prevKey))) {
-					next[nk] = entry{cost: tot, cfgIdx: ci, prevKey: key}
-				}
-			}
-		}
-		if opts.Obs != nil {
-			opts.Obs.Count("ptas.dp_generated", generated)
-			opts.Obs.Count("ptas.dp_pruned", pruned)
-			opts.Obs.Observe("ptas.dp_states", int64(len(next)))
-			if opts.Obs.Tracing() {
-				opts.Obs.Emit("dp_layer", obs.Fields{
-					"guess": g, "proc": p, "frontier_in": len(frontier),
-					"generated": generated, "pruned": pruned, "kept": len(next),
-				})
-			}
-		}
-		if len(next) == 0 {
-			return nil, 0, errInfeasibleGuess
-		}
-		if len(next) > opts.MaxStates {
-			return nil, 0, ErrTooLarge
-		}
-		layers[p] = next
-		frontier = next
-	}
-
-	finalKey := encode(counts, vTotal)
-	fin, ok := frontier[finalKey]
-	if !ok {
-		return nil, 0, errInfeasibleGuess
-	}
-
-	// Reconstruct the per-processor configurations.
-	chosen := make([]*config, m)
-	key := finalKey
-	e := fin
-	for p := m - 1; p >= 0; p-- {
-		chosen[p] = &configs[e.cfgIdx]
-		key = e.prevKey
-		if p > 0 {
-			e = layers[p-1][key]
-		}
+	if dpErr != nil {
+		return nil, 0, dpErr
 	}
 
 	// Apply removals, then reassign.
@@ -572,10 +467,10 @@ func solveAt(ctx context.Context, in *instance.Instance, g int64, delta float64,
 	var deficits []deficit
 	for p := 0; p < m; p++ {
 		h := &hold[p]
-		cfg := chosen[p]
+		x := cfgX[int(chosen[p])*s : int(chosen[p])*s+s]
 		for c := 0; c < s; c++ {
 			have := len(h.largeByClass[c])
-			keepN := cfg.x[c]
+			keepN := int(x[c])
 			if keepN > have {
 				deficits = append(deficits, deficit{p, c, keepN - have})
 				keepN = have
@@ -589,7 +484,7 @@ func solveAt(ctx context.Context, in *instance.Instance, g int64, delta float64,
 				loads[p] += jobs[h.largeByClass[c][i]].Size
 			}
 		}
-		capSize := float64(cfg.v)*u + u
+		capSize := float64(cfgV[chosen[p]])*u + u
 		r := 0
 		for float64(h.smallTotal-h.smallSizePfx[r]) > capSize {
 			r++
@@ -627,7 +522,7 @@ func solveAt(ctx context.Context, in *instance.Instance, g int64, delta float64,
 	})
 	spare := &spareHeap{}
 	for p := 0; p < m; p++ {
-		capSize := float64(chosen[p].v) * u
+		capSize := float64(cfgV[chosen[p]]) * u
 		spare.items = append(spare.items, spareItem{p, capSize - float64(smallLoad[p])})
 	}
 	heap.Init(spare)
@@ -641,7 +536,7 @@ func solveAt(ctx context.Context, in *instance.Instance, g int64, delta float64,
 		heap.Fix(spare, 0)
 	}
 
-	return assign, fin.cost, nil
+	return assign, finCost, nil
 }
 
 type spareItem struct {

@@ -5,6 +5,7 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -152,4 +153,43 @@ func (c *Client) Ready(ctx context.Context) error {
 // Healthy probes /healthz.
 func (c *Client) Healthy(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Scalars scrapes GET /metrics and returns every unlabeled sample —
+// counters and gauges, in Prometheus-mangled form (runtime_mallocs,
+// cache_hits, ...) — as a name→value map. Histogram quantile samples
+// carry labels and are skipped; their _sum/_count samples are plain and
+// included. Load generators differentiate two scrapes into rates.
+func (c *Client) Scalars(ctx context.Context) (map[string]int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &APIError{StatusCode: resp.StatusCode, Message: "metrics scrape failed"}
+	}
+	vals := map[string]int64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, ok := strings.Cut(line, " ")
+		if !ok || strings.Contains(name, "{") {
+			continue
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+		if err != nil {
+			continue
+		}
+		vals[name] = v
+	}
+	return vals, sc.Err()
 }

@@ -1,0 +1,237 @@
+// The zero-allocation serving path for POST /v1/solve cache hits.
+//
+// The handler reads the body into pooled scratch and attempts the whole
+// request lifecycle — strict decode, validation, canonicalization, LRU
+// probe, response encode — on reused buffers. Anything outside the
+// strict common case (extension fields, unusual JSON, unknown solver,
+// invalid parameters, a cache miss, tracing enabled) falls back to the
+// original encoding/json path, which re-decodes from the buffered body
+// into a fresh heap request: the worker/flight machinery may retain a
+// request beyond the handler's lifetime, so pooled memory is only ever
+// served on a pure hit, where nothing escapes.
+package server
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/engine"
+	"repro/internal/instance"
+	"repro/internal/obs"
+)
+
+// solverEntry is the per-solver serving table: the interned name and
+// spec for allocation-free lookup from raw request bytes, plus the
+// pre-resolved per-solver metrics (nil without an obs sink).
+type solverEntry struct {
+	name     string
+	spec     engine.Spec
+	requests *obs.Counter
+	latency  *obs.Histogram
+}
+
+// solveScratch carries one request's reusable buffers through the fast
+// path. Pooled; nothing in it may escape the handler.
+type solveScratch struct {
+	body   []byte
+	req    SolveRequest
+	can    cache.CanonScratch
+	assign []int
+	loads  []int64
+	out    []byte
+}
+
+var solveScratchPool = sync.Pool{New: func() any { return new(solveScratch) }}
+
+// readBody reads r into dst's capacity, growing as needed. Identical
+// error surface to draining the reader through encoding/json: an
+// http.MaxBytesReader limit violation returns its *MaxBytesError.
+func readBody(dst []byte, r io.Reader) ([]byte, error) {
+	if cap(dst) == 0 {
+		dst = make([]byte, 0, 4096)
+	}
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+// fastOutcome is fastSolve's disposition.
+type fastOutcome int
+
+const (
+	// fastFallback: the request is outside the fast path (or a cache
+	// miss); the caller re-decodes and runs the original path.
+	fastFallback fastOutcome = iota
+	// fastHit: sc.out holds the complete 200 response body.
+	fastHit
+	// fastCachedError: the cache holds a deterministic error for this
+	// request (an infeasibility); respond with it.
+	fastCachedError
+)
+
+// fastSolve attempts the allocation-free hit path. On fastHit the
+// response body is in sc.out; on fastCachedError the returned error is
+// the cached one. It performs the same counter accounting a worker-path
+// hit would (request/latency/phase metrics, cache.hits), so a served
+// hit is indistinguishable from the slow path in /metrics.
+func (s *Server) fastSolve(sc *solveScratch, rid string) (fastOutcome, error) {
+	if s.cache == nil || s.cfg.Trace != nil || !plainJSONSafe(rid) {
+		return fastFallback, nil
+	}
+	start := time.Now()
+	req := &sc.req
+	solverBytes, ok := fastDecodeSolve(sc.body, req)
+	if !ok {
+		return fastFallback, nil
+	}
+	ent := s.solvers[string(solverBytes)]
+	if ent == nil || ent.spec.Kind != engine.KindSolution {
+		return fastFallback, nil
+	}
+	req.Solver = ent.name
+	in := &req.Instance.Instance
+	if in.Validate() != nil {
+		return fastFallback, nil
+	}
+	// Tuning flags the solver does not consume reject with 400 on the
+	// slow path; nonzero counts as set, mirroring validateSolveRequest.
+	caps := ent.spec.Caps
+	if (req.K != 0 && !caps.K) || (req.Budget != 0 && !caps.Budget) || (req.Eps != 0 && !caps.Eps) {
+		return fastFallback, nil
+	}
+	p := engine.Params{
+		K: req.K, Budget: req.Budget, Eps: req.Eps,
+		Workers: s.cfg.SolverWorkers, Obs: s.cfg.Obs,
+	}
+	can := sc.can.Canonicalize(ent.name, caps, &req.Instance, p)
+	sol, hit, err := s.cache.TryGet(can, ent.name, sc.assign)
+	if !hit {
+		return fastFallback, nil
+	}
+	totalNS := time.Since(start).Nanoseconds()
+	s.observeFast(ent, totalNS, err != nil)
+	if err != nil {
+		return fastCachedError, err
+	}
+	sc.assign = sol.Assign // keep the (possibly grown) buffer
+	initial, lower := sc.initialStats(in)
+	sc.out = appendSolveResponse(sc.out[:0], ent.name, rid, sol, initial, lower, totalNS)
+	return fastHit, nil
+}
+
+// observeFast mirrors the worker path's per-request accounting for a
+// request that never touched the queue: zero queue wait, zero engine
+// compute, all cache.
+func (s *Server) observeFast(ent *solverEntry, cacheNS int64, failed bool) {
+	o := s.cfg.Obs
+	if o == nil {
+		return
+	}
+	s.mQueueNS.Observe(0)
+	s.mCacheNS.Observe(cacheNS)
+	s.mSolveNS.Observe(0)
+	s.mRequests.Inc()
+	if failed {
+		s.mErrors.Inc()
+	}
+	ent.requests.Inc()
+	ent.latency.Observe(cacheNS)
+}
+
+// initialStats computes the initial makespan and the packing lower
+// bound on scratch loads, avoiding Instance.Loads' allocation.
+func (sc *solveScratch) initialStats(in *instance.Instance) (initial, lower int64) {
+	sc.loads = instance.GrowSlice(sc.loads, in.M)
+	for i := range sc.loads {
+		sc.loads[i] = 0
+	}
+	var total, maxSize int64
+	for j := range in.Jobs {
+		sz := in.Jobs[j].Size
+		sc.loads[in.Assign[j]] += sz
+		total += sz
+		if sz > maxSize {
+			maxSize = sz
+		}
+	}
+	for _, l := range sc.loads {
+		if l > initial {
+			initial = l
+		}
+	}
+	lower = (total + int64(in.M) - 1) / int64(in.M)
+	if maxSize > lower {
+		lower = maxSize
+	}
+	return initial, lower
+}
+
+// plainJSONSafe reports whether s encodes into a JSON string verbatim
+// under encoding/json's escaper (printable ASCII, no quote, backslash,
+// or HTML-escaped characters). Anything else routes to the slow path
+// rather than replicating the escaper.
+func plainJSONSafe(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c > 0x7e || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return false
+		}
+	}
+	return true
+}
+
+// appendSolveResponse encodes the hit response exactly as
+// writeJSON(w, 200, buildResponse(...)) would: same field order, same
+// omitempty behaviour, trailing newline from json.Encoder included.
+// Only plainJSONSafe strings reach it, so no escaping is needed.
+func appendSolveResponse(dst []byte, solver, rid string, sol instance.Solution, initial, lower, cacheNS int64) []byte {
+	dst = append(dst, `{"solver":"`...)
+	dst = append(dst, solver...)
+	dst = append(dst, `","request_id":"`...)
+	dst = append(dst, rid...)
+	dst = append(dst, '"')
+	if len(sol.Assign) > 0 {
+		dst = append(dst, `,"assign":[`...)
+		for i, p := range sol.Assign {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = strconv.AppendInt(dst, int64(p), 10)
+		}
+		dst = append(dst, ']')
+	}
+	if sol.Makespan != 0 {
+		dst = append(dst, `,"makespan":`...)
+		dst = strconv.AppendInt(dst, sol.Makespan, 10)
+	}
+	if sol.Moves != 0 {
+		dst = append(dst, `,"moves":`...)
+		dst = strconv.AppendInt(dst, int64(sol.Moves), 10)
+	}
+	if sol.MoveCost != 0 {
+		dst = append(dst, `,"move_cost":`...)
+		dst = strconv.AppendInt(dst, sol.MoveCost, 10)
+	}
+	dst = append(dst, `,"initial_makespan":`...)
+	dst = strconv.AppendInt(dst, initial, 10)
+	dst = append(dst, `,"lower_bound":`...)
+	dst = strconv.AppendInt(dst, lower, 10)
+	dst = append(dst, `,"cache":"hit","timing":{"queue_ns":0,"cache_ns":`...)
+	dst = strconv.AppendInt(dst, cacheNS, 10)
+	dst = append(dst, `,"solve_ns":0}}`...)
+	dst = append(dst, '\n')
+	return dst
+}

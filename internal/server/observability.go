@@ -60,6 +60,9 @@ func (s *Server) noteSlow(rid, solver string, res taskResult, total time.Duratio
 // text exposition format — counters, gauges, and histograms as
 // summaries. With no sink configured the exposition is valid and empty.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.PreScrape != nil {
+		s.cfg.PreScrape()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if s.cfg.Obs == nil {
 		return

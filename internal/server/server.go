@@ -46,6 +46,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -123,6 +124,12 @@ type Config struct {
 	// Log receives the structured serving logs (slow requests); nil
 	// means slog.Default().
 	Log *slog.Logger
+	// PreScrape, if set, runs at the top of every GET /metrics request —
+	// the daemon wires the runtime collector's Sample here so scrapes
+	// report current heap/GC/malloc figures instead of values up to a
+	// collector interval old (loadgen differentiates consecutive scrapes
+	// into allocation and GC-pause rates).
+	PreScrape func()
 }
 
 // task is one admitted solve request travelling from handler to worker.
@@ -157,14 +164,23 @@ func (r taskResult) timing() Timing {
 type Server struct {
 	cfg        Config
 	queue      chan *task
-	cache      *cache.Cache // nil when caching is disabled
-	poolSize   int          // resolved worker count
+	cache      *cache.Cache    // nil when caching is disabled
+	poolSize   int             // resolved worker count
 	rootCtx    context.Context // cancelled to kill stragglers and stop workers
 	rootCancel context.CancelFunc
 	draining   atomic.Bool
 	inflight   sync.WaitGroup // queued + running tasks
 	inflightN  atomic.Int64   // same population, as a number for the gauge
 	workers    chan struct{}  // closed when the pool has exited
+
+	// solvers is the per-solver serving table, built once from the
+	// registry: interned names for allocation-free lookup plus the
+	// pre-resolved per-solver counters. Solvers registered after New
+	// (tests) miss here and take the allocating fallback.
+	solvers map[string]*solverEntry
+	// Pre-resolved aggregate serving metrics; nil without an obs sink.
+	mRequests, mErrors           *obs.Counter
+	mQueueNS, mCacheNS, mSolveNS *obs.Histogram
 }
 
 // New normalizes cfg, starts the worker pool, and returns the server.
@@ -203,6 +219,22 @@ func New(cfg Config) *Server {
 		s.cache = cache.New(cache.Config{
 			MaxEntries: cfg.CacheEntries, BaseCtx: ctx, Obs: cfg.Obs,
 		})
+	}
+	s.solvers = make(map[string]*solverEntry)
+	for _, spec := range engine.Specs() {
+		s.solvers[spec.Name] = &solverEntry{name: spec.Name, spec: spec}
+	}
+	if cfg.Obs != nil {
+		reg := cfg.Obs.Reg
+		s.mRequests = reg.Counter("server.requests")
+		s.mErrors = reg.Counter("server.errors")
+		s.mQueueNS = reg.Histogram("server.queue_ns")
+		s.mCacheNS = reg.Histogram("server.cache_ns")
+		s.mSolveNS = reg.Histogram("server.solve_ns")
+		for name, ent := range s.solvers {
+			ent.requests = reg.Counter("server.requests." + name)
+			ent.latency = reg.Histogram("server.latency_ns." + name)
+		}
 	}
 	n := par.Workers(cfg.Workers, 0)
 	s.poolSize = n
@@ -268,8 +300,13 @@ func (s *Server) runTask(t *task) {
 		s.cfg.Obs.Observe("server.cache_ns", res.cacheNS)
 	}
 	s.cfg.Obs.Count("server.requests", 1)
-	s.cfg.Obs.Count("server.requests."+t.req.Solver, 1)
-	s.cfg.Obs.Observe("server.latency_ns."+t.req.Solver, totalNS)
+	if ent := s.solvers[t.req.Solver]; ent != nil && ent.requests != nil {
+		ent.requests.Inc()
+		ent.latency.Observe(totalNS)
+	} else {
+		s.cfg.Obs.Count("server.requests."+t.req.Solver, 1)
+		s.cfg.Obs.Observe("server.latency_ns."+t.req.Solver, totalNS)
+	}
 	s.cfg.Obs.Observe("server.solve_ns", res.solveNS)
 	if res.err != nil {
 		s.cfg.Obs.Count("server.errors", 1)
@@ -555,7 +592,9 @@ func buildResponse(req *SolveRequest, res taskResult, rid string) SolveResponse 
 
 // handleSolve is POST /v1/solve: decode and validate, mint or adopt the
 // request ID, admit (or answer 429/503), then wait for the worker's
-// result or the request deadline.
+// result or the request deadline. The body is buffered into pooled
+// scratch first so the allocation-free hit path can run; anything it
+// cannot serve re-decodes from the buffer and takes the original path.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	rid := requestID(r)
 	w.Header().Set("X-Request-ID", rid)
@@ -563,14 +602,40 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	var req SolveRequest
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	sc := solveScratchPool.Get().(*solveScratch)
+	defer solveScratchPool.Put(sc)
+	var err error
+	sc.body, err = readBody(sc.body[:0], http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
 		s.cfg.Obs.Count("server.bad_requests", 1)
 		writeError(w, http.StatusBadRequest, "decode request: %v", err)
 		return
 	}
-	if status, msg := s.validateSolveRequest(&req); status != 0 {
+	fstart := time.Now()
+	switch out, ferr := s.fastSolve(sc, rid); out {
+	case fastHit:
+		s.noteSlow(rid, sc.req.Solver, taskResult{cacheOut: cache.Hit}, time.Since(fstart), http.StatusOK)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(sc.out)
+		return
+	case fastCachedError:
+		s.noteSlow(rid, sc.req.Solver, taskResult{cacheOut: cache.Hit}, time.Since(fstart), statusFor(ferr))
+		writeError(w, statusFor(ferr), "%v", ferr)
+		return
+	}
+
+	// Slow path. Decode into a fresh heap request — the worker/flight
+	// machinery may retain it beyond this handler, so pooled scratch
+	// cannot carry it. The stream decoder over the buffered body keeps
+	// the original error surface (io.EOF text, trailing-data tolerance).
+	req := new(SolveRequest)
+	if err := json.NewDecoder(bytes.NewReader(sc.body)).Decode(req); err != nil {
+		s.cfg.Obs.Count("server.bad_requests", 1)
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if status, msg := s.validateSolveRequest(req); status != 0 {
 		writeError(w, status, "%s", msg)
 		return
 	}
@@ -580,9 +645,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		root.SetAttr(obs.String("solver", req.Solver))
 	}
 	defer root.End()
-	ctx, cancel := s.solveCtx(tctx, &req)
+	ctx, cancel := s.solveCtx(tctx, req)
 	defer cancel()
-	res, aerr := s.solveOne(ctx, &req)
+	res, aerr := s.solveOne(ctx, req)
 	if aerr != nil {
 		s.noteSlow(rid, req.Solver, res, time.Since(start), aerr.status)
 		if aerr.retryAfter {
@@ -597,7 +662,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.noteSlow(rid, req.Solver, res, time.Since(start), http.StatusOK)
-	writeJSON(w, http.StatusOK, buildResponse(&req, res, rid))
+	writeJSON(w, http.StatusOK, buildResponse(req, res, rid))
 }
 
 // handleBatch is POST /v1/batch: decode a slice of solve requests, fan
