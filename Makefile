@@ -16,10 +16,11 @@ race:
 
 # race-fast covers only the concurrency-bearing packages (the worker
 # pool, the shared metric sinks, the engine registry, the solution
-# cache's single-flight layer, and the serving layer) — the quick
-# pre-push check; `ci` and `race` sweep the module.
+# cache's single-flight layer, the dispatch core, the hash ring, the
+# routing tier, and the serving layer) — the quick pre-push check; `ci`
+# and `race` sweep the module.
 race-fast:
-	$(GO) test -race ./internal/par ./internal/obs ./internal/engine ./internal/cache ./internal/server/...
+	$(GO) test -race ./internal/par ./internal/obs ./internal/engine ./internal/cache ./internal/dispatch ./internal/ring ./internal/router ./internal/server/...
 
 vet:
 	$(GO) vet ./...

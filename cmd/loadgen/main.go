@@ -23,6 +23,15 @@
 // counted, not retried, so the report shows how the daemon's admission
 // control behaved under the offered load. Ctrl-C stops the run early
 // and prints the report for the requests already issued.
+//
+// Fleet mode: -fleet takes a comma-separated shard list and replaces
+// the single-daemon client with the consistent-hash fleet client
+// (client.Fleet), so every request goes straight to its owning shard —
+// the same placement rebalrouter computes — and the report adds a
+// per-shard breakdown of requests and cache hit rates. Because
+// duplicate requests collide on one shard's cache, the aggregate hit
+// rate in fleet mode should match the single-daemon rate for the same
+// -dup, which is exactly what sharding by canonical key buys.
 package main
 
 import (
@@ -34,6 +43,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -51,6 +63,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("loadgen: ")
 	addr := flag.String("addr", "localhost:8080", "rebalanced daemon address")
+	fleet := flag.String("fleet", "", "comma-separated shard addresses; route by consistent hash instead of -addr")
 	alg := flag.String("alg", "mpartition", "solver to request")
 	k := flag.Int("k", 10, "move budget (k-capable solvers)")
 	budget := flag.Int64("budget", 0, "relocation cost budget (budget-capable solvers)")
@@ -130,18 +143,46 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cl := client.New(*addr, nil)
-	if err := cl.Ready(ctx); err != nil {
-		log.Fatalf("daemon not ready at %s: %v", *addr, err)
+	// solve abstracts over the two client shapes: a single daemon (the
+	// shard label is -addr) or a consistent-hash fleet, which reports
+	// the shard that actually served each request.
+	var solve func(context.Context, server.SolveRequest) (*server.SolveResponse, string, error)
+	var cl *client.Client
+	if *fleet != "" {
+		var shards []string
+		for _, s := range strings.Split(*fleet, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				shards = append(shards, s)
+			}
+		}
+		fc := client.NewFleet(shards, nil)
+		if err := fc.Ready(ctx); err != nil {
+			log.Fatalf("no fleet shard ready among %s: %v", *fleet, err)
+		}
+		solve = fc.SolveShard
+	} else {
+		cl = client.New(*addr, nil)
+		if err := cl.Ready(ctx); err != nil {
+			log.Fatalf("daemon not ready at %s: %v", *addr, err)
+		}
+		solve = func(ctx context.Context, req server.SolveRequest) (*server.SolveResponse, string, error) {
+			resp, err := cl.Solve(ctx, req)
+			return resp, *addr, err
+		}
 	}
 
 	// Bracket the run with /metrics scrapes: the daemon refreshes its
 	// runtime gauges on scrape, so the deltas below are the server-side
 	// allocation and GC cost of exactly this load. Absent gauges (daemon
-	// running without a sink) just suppress the report.
-	before, err := cl.Scalars(ctx)
-	if err != nil {
-		log.Printf("metrics scrape failed (runtime report disabled): %v", err)
+	// running without a sink) just suppress the report. Fleet mode skips
+	// it — the per-shard breakdown is the fleet report.
+	var before map[string]int64
+	if cl != nil {
+		var err error
+		before, err = cl.Scalars(ctx)
+		if err != nil {
+			log.Printf("metrics scrape failed (runtime report disabled): %v", err)
+		}
 	}
 
 	// Latency accounting rides the same histogram the daemon's own
@@ -154,6 +195,30 @@ func main() {
 	solveLat := &obs.Histogram{}
 	var ok, rejected, deadline, failed atomic.Int64
 	var hits, misses, coalesced atomic.Int64
+	// Per-shard tallies (fleet mode report). Keyed by the shard that
+	// served the request — the fleet client's report, not the ring's
+	// prediction, so failover shows up as traffic on the successor.
+	type shardStat struct{ ok, hits, misses, coalesced int64 }
+	shardStats := make(map[string]*shardStat)
+	var shardMu sync.Mutex
+	tally := func(shard string, resp *server.SolveResponse) {
+		shardMu.Lock()
+		defer shardMu.Unlock()
+		st := shardStats[shard]
+		if st == nil {
+			st = &shardStat{}
+			shardStats[shard] = st
+		}
+		st.ok++
+		switch resp.Cache {
+		case "hit":
+			st.hits++
+		case "miss":
+			st.misses++
+		case "coalesced":
+			st.coalesced++
+		}
+	}
 	if *dup < 0 {
 		*dup = 0
 	}
@@ -172,7 +237,7 @@ func main() {
 		}
 		req := genReq(idx)
 		t0 := time.Now()
-		resp, err := cl.Solve(ctx, req)
+		resp, shard, err := solve(ctx, req)
 		lat.Observe(time.Since(t0).Nanoseconds())
 		var ae *client.APIError
 		switch {
@@ -189,6 +254,7 @@ func main() {
 			case "coalesced":
 				coalesced.Add(1)
 			}
+			tally(shard, resp)
 		case errors.As(err, &ae) && ae.StatusCode == http.StatusTooManyRequests:
 			rejected.Add(1)
 		case errors.As(err, &ae) && ae.StatusCode == http.StatusGatewayTimeout:
@@ -204,7 +270,11 @@ func main() {
 	elapsed := time.Since(start)
 
 	issued := lat.Count()
-	fmt.Printf("loadgen: %s against %s\n", *alg, *addr)
+	target := *addr
+	if *fleet != "" {
+		target = "fleet [" + *fleet + "]"
+	}
+	fmt.Printf("loadgen: %s against %s\n", *alg, target)
 	fmt.Printf("requests:   %d issued / %d requested (concurrency %d)\n", issued, *n, *c)
 	fmt.Printf("outcomes:   %d ok, %d rejected (429), %d deadline (504), %d failed\n",
 		ok.Load(), rejected.Load(), deadline.Load(), failed.Load())
@@ -232,6 +302,23 @@ func main() {
 	if h, ms, co := hits.Load(), misses.Load(), coalesced.Load(); h+ms+co > 0 {
 		fmt.Printf("cache:      %d hit, %d miss, %d coalesced (hit rate %.1f%%)\n",
 			h, ms, co, 100*float64(h+co)/float64(h+ms+co))
+	}
+	if *fleet != "" && len(shardStats) > 0 {
+		fmt.Printf("shards (consistent-hash placement, per-shard cache):\n")
+		names := make([]string, 0, len(shardStats))
+		for s := range shardStats {
+			names = append(names, s)
+		}
+		sort.Strings(names)
+		for _, s := range names {
+			st := shardStats[s]
+			rate := 0.0
+			if t := st.hits + st.misses + st.coalesced; t > 0 {
+				rate = 100 * float64(st.hits+st.coalesced) / float64(t)
+			}
+			fmt.Printf("  %-28s %5d ok  %5d hit %5d miss %5d coalesced (hit rate %.1f%%)\n",
+				s, st.ok, st.hits, st.misses, st.coalesced, rate)
+		}
 	}
 	if r := rejected.Load(); r > 0 {
 		fmt.Printf("note:       %d rejections mean the offered load exceeded pool+queue capacity\n", r)

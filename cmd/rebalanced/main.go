@@ -60,6 +60,7 @@ import (
 	"repro"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/server/client"
 )
 
 func main() {
@@ -73,6 +74,9 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", server.DefaultMaxTimeout, "clamp on request-supplied timeout_ms")
 	cacheEntries := flag.Int("cache", server.DefaultCacheEntries, "solution cache LRU entries (0: default, negative: disable caching)")
 	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "max requests per /v1/batch call")
+	shardID := flag.String("shard-id", "", "fleet identity stamped into every solve response (empty: standalone)")
+	peerFill := flag.Bool("peer-fill", false, "warm the cache from the peer named in X-Peer-Fill on local misses (fleet mode)")
+	peerTimeout := flag.Duration("peer-timeout", 2*time.Second, "bound on one peer cache-fill peek")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown grace before in-flight solves are cancelled")
 	debugAddr := flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address")
 	metrics := flag.Bool("metrics", false, "print the end-of-run metrics summary to stderr at exit")
@@ -133,6 +137,10 @@ func main() {
 	}
 	tracer := obs.NewSpanTracer(spanCfg)
 
+	var fill server.FillFunc
+	if *peerFill {
+		fill = client.PeerFill(nil, *peerTimeout)
+	}
 	srv := server.New(server.Config{
 		Workers:        *pool,
 		SolverWorkers:  *solverWorkers,
@@ -141,6 +149,8 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		CacheEntries:   *cacheEntries,
 		MaxBatch:       *maxBatch,
+		ShardID:        *shardID,
+		PeerFill:       fill,
 		Obs:            sink,
 		Trace:          tracer,
 		SlowThreshold:  *slowThreshold,

@@ -58,7 +58,23 @@ type Stats struct {
 	// other requests), the direct engine call for bypasses, and 0 for
 	// hits.
 	EngineNS int64
+	// PeerFill reports the peer cache-fill attempt behind a miss:
+	// "hit" (the peer had the solution; no local engine call), "miss"
+	// (the peer was asked and had nothing), or "" (no peer named, no
+	// fill hook configured, or the request never reached a flight).
+	PeerFill string
 }
+
+// FillFunc asks a peer shard for an already-computed solution before a
+// miss runs the engine locally. peer is the routing layer's fill target
+// (a base URL); the request is identified exactly as the cache key is —
+// solver, instance, caps-masked params. Implementations must be
+// side-effect free on failure and honor ctx (the flight's context):
+// return ok=false on any error, timeout, or peer miss, in which case
+// the flight falls through to the local engine. The returned solution
+// must be on the request's own job order — a /v1/peek response already
+// is — and is re-indexed and cached locally like an engine result.
+type FillFunc func(ctx context.Context, peer, solver string, ext *instance.Extended, p engine.Params) (instance.Solution, bool)
 
 // Config tunes a Cache.
 type Config struct {
@@ -71,6 +87,11 @@ type Config struct {
 	// Obs receives the cache.* counters (hits, misses, coalesced,
 	// evictions, size); nil disables instrumentation.
 	Obs *obs.Sink
+	// Fill is the peer cache-fill hook consulted by flights whose
+	// request names a peer (SolveTimedPeer): before running the engine,
+	// the flight asks the peer for the cached solution and only solves
+	// locally when the peer misses. Nil disables peer fill.
+	Fill FillFunc
 }
 
 // flight is one in-progress solve that concurrent identical requests
@@ -83,7 +104,8 @@ type flight struct {
 	done     chan struct{}     // closed when sol/err are final
 	sol      instance.Solution // canonical job order
 	err      error
-	engineNS int64 // measured spec.Solve time; final once done closes
+	engineNS int64  // measured spec.Solve time; final once done closes
+	peerFill string // peer fill outcome ("hit"/"miss"/""); final once done closes
 	refs     atomic.Int64
 	cancel   context.CancelFunc
 
@@ -192,6 +214,7 @@ type solverCounters struct {
 type Cache struct {
 	base context.Context
 	sink *obs.Sink
+	fill FillFunc
 
 	// Aggregate and per-solver counters, resolved once at construction
 	// from the engine registry. Solvers registered later (tests) fall
@@ -215,6 +238,7 @@ func New(cfg Config) *Cache {
 	c := &Cache{
 		base:    cfg.BaseCtx,
 		sink:    cfg.Obs,
+		fill:    cfg.Fill,
 		entries: newLRU(cfg.MaxEntries),
 		flights: make(map[Key]*flight),
 	}
@@ -294,6 +318,18 @@ func (c *Cache) Solve(ctx context.Context, solver string, ext *instance.Extended
 // engine compute time behind the result — for callers (the server) that
 // split per-phase latency on the wire.
 func (c *Cache) SolveTimed(ctx context.Context, solver string, ext *instance.Extended, p engine.Params) (instance.Solution, Stats, error) {
+	return c.SolveTimedPeer(ctx, solver, ext, p, "")
+}
+
+// SolveTimedPeer is SolveTimed with a peer cache-fill target: when this
+// call initiates a flight (a local miss) and both peer and the
+// configured Fill hook are present, the flight first asks the peer for
+// the solution and runs the engine only if the peer misses. The routing
+// tier names the peer — the shard that owned this key before the
+// current owner joined the ring — so a shard acquiring keys after a
+// membership change warms its cache from the previous owner instead of
+// recomputing. Stats.PeerFill reports the attempt's outcome.
+func (c *Cache) SolveTimedPeer(ctx context.Context, solver string, ext *instance.Extended, p engine.Params, peer string) (instance.Solution, Stats, error) {
 	spec, ok := engine.Lookup(solver)
 	if !ok || spec.Kind != engine.KindSolution {
 		// Unknown names keep the engine's typed error; sweep-kind
@@ -321,7 +357,7 @@ func (c *Cache) SolveTimed(ctx context.Context, solver string, ext *instance.Ext
 			case <-f.done:
 				f.detach() // balance the attach; the flight is already final
 				if f.err == nil {
-					return can.FromCanonical(f.sol), Stats{Outcome: Coalesced, EngineNS: f.engineNS}, nil
+					return can.FromCanonical(f.sol), Stats{Outcome: Coalesced, EngineNS: f.engineNS, PeerFill: f.peerFill}, nil
 				}
 				// The flight died of a context error that was not ours
 				// (e.g. it lost all its other parties between our cache
@@ -330,7 +366,7 @@ func (c *Cache) SolveTimed(ctx context.Context, solver string, ext *instance.Ext
 				if isContextErr(f.err) && ctx.Err() == nil && c.base.Err() == nil {
 					continue
 				}
-				return instance.Solution{}, Stats{Outcome: Coalesced, EngineNS: f.engineNS}, f.err
+				return instance.Solution{}, Stats{Outcome: Coalesced, EngineNS: f.engineNS, PeerFill: f.peerFill}, f.err
 			case <-ctx.Done():
 				f.detach()
 				return instance.Solution{}, Stats{Outcome: Coalesced}, ctx.Err()
@@ -354,7 +390,7 @@ func (c *Cache) SolveTimed(ctx context.Context, solver string, ext *instance.Ext
 		c.mu.Unlock()
 		c.count("cache.misses", solver)
 
-		go c.runFlight(fctx, spec, solver, ext, p, can, f)
+		go c.runFlight(fctx, spec, solver, ext, p, can, f, peer)
 
 		select {
 		case <-f.done:
@@ -367,9 +403,9 @@ func (c *Cache) SolveTimed(ctx context.Context, solver string, ext *instance.Ext
 				err = ctx.Err()
 			}
 			if err != nil {
-				return instance.Solution{}, Stats{Outcome: Miss, EngineNS: f.engineNS}, err
+				return instance.Solution{}, Stats{Outcome: Miss, EngineNS: f.engineNS, PeerFill: f.peerFill}, err
 			}
-			return can.FromCanonical(f.sol), Stats{Outcome: Miss, EngineNS: f.engineNS}, nil
+			return can.FromCanonical(f.sol), Stats{Outcome: Miss, EngineNS: f.engineNS, PeerFill: f.peerFill}, nil
 		case <-ctx.Done():
 			f.detach()
 			return instance.Solution{}, Stats{Outcome: Miss}, ctx.Err()
@@ -385,7 +421,7 @@ func (c *Cache) SolveTimed(ctx context.Context, solver string, ext *instance.Ext
 // request for the key. The panic is converted into the error each
 // attached party receives (the server maps it to 500, same as its own
 // panic safety net).
-func (c *Cache) runFlight(fctx context.Context, spec engine.Spec, solver string, ext *instance.Extended, p engine.Params, can Canonical, f *flight) {
+func (c *Cache) runFlight(fctx context.Context, spec engine.Spec, solver string, ext *instance.Extended, p engine.Params, can Canonical, f *flight, peer string) {
 	var (
 		sol instance.Solution
 		err error
@@ -422,6 +458,24 @@ func (c *Cache) runFlight(fctx context.Context, spec engine.Spec, solver string,
 		close(f.done)
 		f.cancel() // release the flight context's resources
 	}()
+	// Peer fill: ask the key's previous owner for the finished solution
+	// before burning local compute. The attempt runs under the flight's
+	// context (so a drain or an all-parties-gone cancellation aborts the
+	// network call too); its cost lands in the request's cache_ns phase,
+	// not solve_ns — engineNS stays 0 on a peer hit.
+	if peer != "" && c.fill != nil {
+		if psol, ok := c.fill(fctx, peer, solver, ext, p); ok {
+			f.peerFill = "hit"
+			c.sink.Count("cache.peer_fill_hits", 1)
+			sol, err = psol, nil
+			return
+		}
+		f.peerFill = "miss"
+		c.sink.Count("cache.peer_fill_misses", 1)
+		if err = fctx.Err(); err != nil {
+			return // cancelled mid-fill; don't start the engine
+		}
+	}
 	t0 := time.Now()
 	sol, err = spec.Solve(fctx, &ext.Instance, p)
 	f.engineNS = time.Since(t0).Nanoseconds()

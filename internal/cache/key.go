@@ -37,6 +37,14 @@ import (
 // fuzz suite hunts for and the 256-bit digest makes negligible).
 type Key [sha256.Size]byte
 
+// Point projects the key onto the consistent-hash ring's 64-bit circle
+// (internal/ring): the first 8 bytes of the digest, which are uniform.
+// Permuted-but-identical requests share a Key and therefore a Point, so
+// the whole fleet agrees on one owning shard per canonical request.
+func (k Key) Point() uint64 {
+	return binary.BigEndian.Uint64(k[:8])
+}
+
 // Canonical is the canonicalized identity of one solve request: the
 // cache key plus the job permutation that maps the request's ordering
 // onto canonical order.

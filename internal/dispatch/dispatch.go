@@ -1,0 +1,446 @@
+// Package dispatch is the transport-agnostic serving core of the
+// repository: everything between "a decoded, validated solve request"
+// and "a solution (or typed error) with per-phase timings" — with no
+// knowledge of HTTP, JSON, or any other wire format.
+//
+// It owns, in order of a request's life:
+//
+//   - Validation against the engine registry (typed errors: unknown
+//     solver, bad parameters) — Validate.
+//   - Deadline derivation: the request's timeout clamped to the
+//     configured maximum, layered on the caller's context and the
+//     core's root context so a drain cancels stragglers.
+//   - The bounded admission queue and fixed worker pool: a request
+//     either enters the queue or fails fast with ErrQueueFull; workers
+//     bound concurrent solver compute regardless of transport fan-in.
+//   - The solution cache: canonical-form LRU + single-flight
+//     coalescing (internal/cache), including the peer cache-fill hook
+//     a routing tier uses to warm a shard from the previous owner of a
+//     key (DESIGN.md §13).
+//   - The engine call itself, panic-isolated, with compute measured
+//     separately from cache and queue time.
+//
+// The HTTP layer (internal/server) is a thin adapter over this core:
+// it decodes bodies, maps the typed errors onto status codes, and
+// renders Results. A shard router or any future transport (gRPC, an
+// in-process fleet simulator) consumes the same core — that is the
+// point of the split: the serving semantics live here exactly once.
+//
+// Construction mirrors internal/server's former monolith: New starts
+// the worker pool; Shutdown drains it (admission is the transport's
+// concern — callers stop calling Do — while queued and in-flight work
+// completes, then stragglers are cancelled on ctx expiry).
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	rebalance "repro"
+	"repro/internal/cache"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+// Defaults applied by New to zero Config fields.
+const (
+	DefaultQueueDepth   = 64
+	DefaultTimeout      = 30 * time.Second
+	DefaultMaxTimeout   = 5 * time.Minute
+	DefaultCacheEntries = cache.DefaultMaxEntries
+)
+
+// FillFunc is the peer cache-fill hook threaded through to the
+// solution cache; see cache.FillFunc. It is aliased here so transports
+// can configure peer fill without importing internal/cache.
+type FillFunc = cache.FillFunc
+
+// Config tunes a Core. The zero value is usable: New fills every unset
+// field with the package default.
+type Config struct {
+	// Workers is the solver pool size — the number of goroutines
+	// executing solves concurrently. ≤ 0 means runtime.GOMAXPROCS(0)
+	// (the internal/par resolution rule).
+	Workers int
+	// SolverWorkers is the internal parallelism handed to each solve
+	// (engine Params.Workers). ≤ 0 means 1: with the pool providing
+	// across-request parallelism, single-threaded solver internals keep
+	// the machine share per request deterministic.
+	SolverWorkers int
+	// QueueDepth bounds the admission queue; a request arriving with the
+	// queue full fails with ErrQueueFull. ≤ 0 means DefaultQueueDepth.
+	QueueDepth int
+	// DefaultTimeout is the per-request deadline applied when the
+	// request names none. ≤ 0 means the package default.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request-supplied deadlines. ≤ 0 means the
+	// package default.
+	MaxTimeout time.Duration
+	// CacheEntries bounds the solution cache's LRU. 0 means
+	// DefaultCacheEntries; negative disables caching entirely.
+	CacheEntries int
+	// Obs receives the serving metrics (request counts, latency
+	// histograms, queue depth, rejections) and is threaded into every
+	// solve; nil disables instrumentation. The metric names keep the
+	// server.* family they have carried since the serving layer landed:
+	// the core is the serving pipeline, whichever transport fronts it.
+	Obs *obs.Sink
+	// Fill is the peer cache-fill hook: when a Request names a PeerFill
+	// target and the local cache misses, the flight asks that peer for
+	// the finished solution before running the engine. Nil disables
+	// peer fill.
+	Fill FillFunc
+}
+
+// task is one admitted solve request travelling from Do to a worker.
+type task struct {
+	ctx      context.Context
+	req      *Request
+	enqueued time.Time
+	qspan    *obs.Span   // queue-wait span; ended by the worker at dequeue
+	done     chan Result // buffered(1): the worker's send never blocks
+}
+
+// Core dispatches solve requests through the engine registry: bounded
+// admission, deadlines, solution cache, worker pool. Create with New
+// and release with Shutdown (or Close); transports adapt their wire
+// format onto Do and never touch the cache or engine directly.
+type Core struct {
+	cfg        Config
+	queue      chan *task
+	cache      *cache.Cache    // nil when caching is disabled
+	poolSize   int             // resolved worker count
+	rootCtx    context.Context // cancelled to kill stragglers and stop workers
+	rootCancel context.CancelFunc
+	draining   atomic.Bool
+	inflight   sync.WaitGroup // queued + running tasks
+	inflightN  atomic.Int64   // same population, as a number for the gauge
+	workers    chan struct{}  // closed when the pool has exited
+
+	// solvers is the per-solver serving table, built once from the
+	// registry: interned names for allocation-free lookup plus the
+	// pre-resolved per-solver counters. Solvers registered after New
+	// (tests) miss here and take the allocating fallback.
+	solvers map[string]*Solver
+	// Pre-resolved aggregate serving metrics; nil without an obs sink.
+	mRequests, mErrors           *obs.Counter
+	mQueueNS, mCacheNS, mSolveNS *obs.Histogram
+}
+
+// New normalizes cfg, starts the worker pool, and returns the core.
+func New(cfg Config) *Core {
+	if cfg.SolverWorkers <= 0 {
+		cfg.SolverWorkers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = DefaultTimeout
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = DefaultMaxTimeout
+	}
+	if cfg.DefaultTimeout > cfg.MaxTimeout {
+		cfg.DefaultTimeout = cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Core{
+		cfg:        cfg,
+		queue:      make(chan *task, cfg.QueueDepth),
+		rootCtx:    ctx,
+		rootCancel: cancel,
+		workers:    make(chan struct{}),
+	}
+	if cfg.CacheEntries >= 0 {
+		// Flights run under rootCtx so a drain timeout cancels them.
+		c.cache = cache.New(cache.Config{
+			MaxEntries: cfg.CacheEntries, BaseCtx: ctx, Obs: cfg.Obs, Fill: cfg.Fill,
+		})
+	}
+	c.solvers = make(map[string]*Solver)
+	for _, spec := range engine.Specs() {
+		c.solvers[spec.Name] = &Solver{name: spec.Name, spec: spec}
+	}
+	if cfg.Obs != nil {
+		reg := cfg.Obs.Reg
+		c.mRequests = reg.Counter("server.requests")
+		c.mErrors = reg.Counter("server.errors")
+		c.mQueueNS = reg.Histogram("server.queue_ns")
+		c.mCacheNS = reg.Histogram("server.cache_ns")
+		c.mSolveNS = reg.Histogram("server.solve_ns")
+		for name, ent := range c.solvers {
+			ent.requests = reg.Counter("server.requests." + name)
+			ent.latency = reg.Histogram("server.latency_ns." + name)
+		}
+	}
+	n := par.Workers(cfg.Workers, 0)
+	c.poolSize = n
+	go func() {
+		defer close(c.workers)
+		// One par task per pool worker: par supplies the sizing rules and
+		// last-resort panic capture; per-solve panics are converted to
+		// errors inside dispatch and never reach the pool.
+		_ = par.Do(context.Background(), n, n, func(int) error {
+			c.workerLoop()
+			return nil
+		})
+	}()
+	return c
+}
+
+// PoolSize returns the resolved worker count.
+func (c *Core) PoolSize() int { return c.poolSize }
+
+// QueueDepth returns the admission queue bound.
+func (c *Core) QueueDepth() int { return c.cfg.QueueDepth }
+
+// QueueLen returns the admission queue's current occupancy.
+func (c *Core) QueueLen() int { return len(c.queue) }
+
+// Draining reports whether Shutdown has begun.
+func (c *Core) Draining() bool { return c.draining.Load() }
+
+// workerLoop pulls tasks until the root context is cancelled, then
+// drains what is left in the queue — those tasks' contexts are already
+// cancelled (Shutdown cancels rootCtx only after admission stopped), so
+// each finishes immediately with a context error.
+func (c *Core) workerLoop() {
+	for {
+		select {
+		case t := <-c.queue:
+			c.runTask(t)
+		case <-c.rootCtx.Done():
+			for {
+				select {
+				case t := <-c.queue:
+					c.runTask(t)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// runTask executes one admitted task and delivers its result.
+func (c *Core) runTask(t *task) {
+	defer c.inflight.Done()
+	defer func() { c.gauge("server.inflight", c.inflightN.Add(-1)) }()
+	c.gauge("server.queue_depth", int64(len(c.queue)))
+	queueNS := time.Since(t.enqueued).Nanoseconds()
+	t.qspan.End()
+	c.cfg.Obs.Observe("server.queue_ns", queueNS)
+	if err := t.ctx.Err(); err != nil {
+		// Expired while queued: don't burn a worker on a dead request.
+		c.cfg.Obs.Count("server.expired_in_queue", 1)
+		t.done <- Result{Err: err, QueueNS: queueNS}
+		return
+	}
+	start := time.Now()
+	res := c.solve(t)
+	res.QueueNS = queueNS
+	totalNS := time.Since(start).Nanoseconds()
+	// solve measured the engine compute (SolveNS); the remainder of the
+	// dispatch time belongs to the cache layer when one was in play.
+	if res.Cache != "" {
+		if res.CacheNS = totalNS - res.SolveNS; res.CacheNS < 0 {
+			res.CacheNS = 0
+		}
+		c.cfg.Obs.Observe("server.cache_ns", res.CacheNS)
+	}
+	c.cfg.Obs.Count("server.requests", 1)
+	if ent := c.solvers[t.req.Solver]; ent != nil && ent.requests != nil {
+		ent.requests.Inc()
+		ent.latency.Observe(totalNS)
+	} else {
+		c.cfg.Obs.Count("server.requests."+t.req.Solver, 1)
+		c.cfg.Obs.Observe("server.latency_ns."+t.req.Solver, totalNS)
+	}
+	c.cfg.Obs.Observe("server.solve_ns", res.SolveNS)
+	if res.Err != nil {
+		c.cfg.Obs.Count("server.errors", 1)
+	}
+	t.done <- res
+}
+
+// solve runs the named solver (or sweep) under the task's context. A
+// solver panic is converted into an error so one bad request cannot
+// take the pool down. Solution-kind solves route through the solution
+// cache when one is configured.
+func (c *Core) solve(t *task) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("server: solver %q panicked: %v", t.req.Solver, r)
+		}
+	}()
+	spec, ok := engine.Lookup(t.req.Solver)
+	if !ok {
+		// Validation already vetted the name; re-check defensively.
+		res.Err = fmt.Errorf("%w: %q", engine.ErrUnknownSolver, t.req.Solver)
+		return res
+	}
+	in := &t.req.Instance.Instance
+	if spec.Kind == engine.KindSweep {
+		ks := t.req.Ks
+		if len(ks) == 0 {
+			ks = rebalance.DefaultFrontierKs(in.N())
+		}
+		// Sweeps don't route through engine.Spec.Solve, so the solve
+		// span is opened here.
+		sctx, sp := obs.StartSpan(t.ctx, "solve")
+		if sp != nil {
+			sp.SetAttr(obs.String("solver", t.req.Solver))
+		}
+		t0 := time.Now()
+		points, err := rebalance.FrontierCtx(sctx, in, ks, rebalance.FrontierOptions{
+			Workers: c.cfg.SolverWorkers, Obs: c.cfg.Obs,
+		})
+		res.SolveNS = time.Since(t0).Nanoseconds()
+		sp.End()
+		res.Sweep = true
+		res.Err = err
+		res.Points = make([]SweepPoint, len(points))
+		for i, p := range points {
+			res.Points[i] = SweepPoint{K: p.K, Makespan: p.Makespan, Moves: p.Moves}
+		}
+		return res
+	}
+	p := engine.Params{
+		K:       t.req.K,
+		Budget:  t.req.Budget,
+		Eps:     t.req.Eps,
+		Workers: c.cfg.SolverWorkers,
+		Obs:     c.cfg.Obs,
+		Allowed: t.req.Instance.Allowed, Conflicts: t.req.Instance.Conflicts,
+	}
+	if c.cache != nil {
+		// The cache span covers lookup, canonicalization, coalesce wait
+		// and any peer fill; the engine solve becomes its child via the
+		// span linkage grafted onto the flight context (internal/cache).
+		cctx, csp := obs.StartSpan(t.ctx, "cache")
+		var st cache.Stats
+		res.Sol, st, res.Err = c.cache.SolveTimedPeer(cctx, t.req.Solver, &t.req.Instance, p, t.req.PeerFill)
+		res.Cache, res.SolveNS, res.PeerFill = st.Outcome.String(), st.EngineNS, st.PeerFill
+		if csp != nil {
+			csp.SetAttr(obs.String("outcome", st.Outcome.String()))
+		}
+		csp.End()
+		return res
+	}
+	t0 := time.Now()
+	res.Sol, res.Err = engine.Solve(t.ctx, t.req.Solver, in, p)
+	res.SolveNS = time.Since(t0).Nanoseconds()
+	return res
+}
+
+// requestCtx derives the solve context for one request: the request's
+// timeout (clamped to the configured maximum) layered on parent. The
+// context dies with the first of: the deadline, the parent (client
+// connection), or a drain timeout (rootCtx). The returned cancel also
+// releases the rootCtx hook.
+func (c *Core) requestCtx(parent context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	timeout := c.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if timeout > c.cfg.MaxTimeout {
+		timeout = c.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(parent, timeout)
+	stop := context.AfterFunc(c.rootCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// Do admits one validated request into the worker queue and waits for
+// its result. The request runs under its own deadline (TimeoutMS
+// clamped to the configured maximum, else the default) layered on ctx;
+// trace span linkage in ctx is honored (the queue and cache phases
+// record child spans).
+//
+// The error return covers requests that never produced a solver
+// result: ErrQueueFull when the admission queue was full, or the
+// context's error when the caller's deadline or disconnect abandoned
+// the wait (the worker, if it reached the task, observes the same
+// cancelled context and stops promptly). A non-nil Result.Err instead
+// reports the solver's own outcome — unknown solver, infeasible,
+// deadline mid-solve — with the phase timings populated.
+func (c *Core) Do(ctx context.Context, req *Request) (Result, error) {
+	dctx, cancel := c.requestCtx(ctx, req.TimeoutMS)
+	defer cancel()
+	// The queue span opens at enqueue and is ended by the worker at
+	// dequeue, so its duration is the admission wait. It is a child of
+	// the request's root span, not a parent of the solve spans.
+	_, qspan := obs.StartSpan(dctx, "queue")
+	t := &task{ctx: dctx, req: req, enqueued: time.Now(), qspan: qspan, done: make(chan Result, 1)}
+	c.inflight.Add(1)
+	select {
+	case c.queue <- t:
+		c.gauge("server.inflight", c.inflightN.Add(1))
+		c.gauge("server.queue_depth", int64(len(c.queue)))
+	default:
+		c.inflight.Done()
+		if qspan != nil {
+			qspan.SetAttr(obs.Bool("rejected", true))
+		}
+		qspan.End()
+		c.cfg.Obs.Count("server.rejected_full", 1)
+		return Result{}, fmt.Errorf("%w (%d deep); retry later", ErrQueueFull, c.cfg.QueueDepth)
+	}
+	select {
+	case res := <-t.done:
+		return res, nil
+	case <-dctx.Done():
+		// The worker (if it reached the task) sees the same cancelled
+		// context and stops promptly; its buffered send is discarded.
+		err := dctx.Err()
+		if err == context.DeadlineExceeded {
+			c.cfg.Obs.Count("server.deadline_expired", 1)
+		}
+		return Result{}, fmt.Errorf("solve abandoned: %w", err)
+	}
+}
+
+// Shutdown drains the core: the transport must stop admitting first
+// (Draining reports true immediately), then queued and in-flight
+// solves run to completion. If ctx fires first, the stragglers' solve
+// contexts are cancelled — they return promptly with context errors —
+// and ctx.Err() is reported. The worker pool has fully exited when
+// Shutdown returns.
+func (c *Core) Shutdown(ctx context.Context) error {
+	c.draining.Store(true)
+	drained := make(chan struct{})
+	go func() {
+		c.inflight.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		c.cfg.Obs.Count("server.drain_cancelled", 1)
+	}
+	c.rootCancel() // stops workers; cancels any straggler solve contexts
+	<-c.workers
+	return err
+}
+
+// Close is Shutdown with no grace: in-flight solves are cancelled
+// immediately.
+func (c *Core) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = c.Shutdown(ctx)
+}
+
+// gauge sets a named gauge when instrumentation is on.
+func (c *Core) gauge(name string, v int64) {
+	if c.cfg.Obs != nil {
+		c.cfg.Obs.Reg.Gauge(name).Set(v)
+	}
+}

@@ -1,0 +1,188 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/instance"
+	"repro/internal/obs"
+)
+
+// Test-only solvers, registered once per test binary (the registry has
+// no removal — registration is init-time wiring).
+var registerOnce sync.Once
+
+func registerTestSolvers() {
+	registerOnce.Do(func() {
+		engine.Register(engine.Spec{
+			Name: "dispatch-test-block", Summary: "blocks until released or cancelled", Guarantee: "-",
+			Run: func(ctx context.Context, in *instance.Instance, _ engine.Params) (instance.Solution, error) {
+				blockStarted <- struct{}{}
+				select {
+				case <-blockRelease:
+				case <-ctx.Done():
+				}
+				return instance.NewSolution(in, in.Assign), nil
+			},
+		})
+		engine.Register(engine.Spec{
+			Name: "dispatch-test-hang", Summary: "parks until cancelled", Guarantee: "-",
+			Run: func(ctx context.Context, _ *instance.Instance, _ engine.Params) (instance.Solution, error) {
+				<-ctx.Done()
+				return instance.Solution{}, ctx.Err()
+			},
+		})
+	})
+}
+
+var (
+	blockStarted = make(chan struct{}, 64)
+	blockRelease = make(chan struct{})
+)
+
+func coreReq(k int) *Request {
+	in := instance.MustNew(2, []int64{5, 4, 3, 2}, nil, []int{0, 0, 0, 0})
+	req := &Request{Solver: "mpartition", K: k}
+	req.Instance.Instance = *in
+	return req
+}
+
+// TestCoreDoSolves drives the core directly — no transport at all —
+// and checks the full result shape: solution, cache outcome, timings.
+func TestCoreDoSolves(t *testing.T) {
+	c := New(Config{Workers: 2, Obs: obs.New()})
+	t.Cleanup(c.Close)
+	ctx := context.Background()
+
+	req := coreReq(2)
+	if err := c.Validate(req); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	res, err := c.Do(ctx, req)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatalf("solve error: %v", res.Err)
+	}
+	if res.Cache != "miss" {
+		t.Fatalf("first solve Cache = %q, want miss", res.Cache)
+	}
+	if len(res.Sol.Assign) != 4 {
+		t.Fatalf("assign length %d, want 4", len(res.Sol.Assign))
+	}
+	res, err = c.Do(ctx, req)
+	if err != nil || res.Err != nil {
+		t.Fatalf("second Do: %v / %v", err, res.Err)
+	}
+	if res.Cache != "hit" {
+		t.Fatalf("second solve Cache = %q, want hit", res.Cache)
+	}
+}
+
+// TestCoreValidateTaxonomy pins the typed errors transports map to
+// statuses: unknown solver (with the catalog in the message),
+// malformed instance, and parameter misuse.
+func TestCoreValidateTaxonomy(t *testing.T) {
+	c := New(Config{Workers: 1})
+	t.Cleanup(c.Close)
+
+	req := coreReq(2)
+	req.Solver = "nope"
+	err := c.Validate(req)
+	if !errors.Is(err, ErrUnknownSolver) {
+		t.Fatalf("unknown solver err = %v, want ErrUnknownSolver", err)
+	}
+
+	var bad *BadRequestError
+	req = coreReq(2)
+	req.Instance.Instance.M = 0
+	if err := c.Validate(req); !errors.As(err, &bad) {
+		t.Fatalf("invalid instance err = %v, want BadRequestError", err)
+	}
+
+	req = coreReq(2)
+	req.Ks = []int{1, 2} // ks on a non-sweep solver
+	if err := c.Validate(req); !errors.As(err, &bad) {
+		t.Fatalf("ks on non-sweep err = %v, want BadRequestError", err)
+	}
+}
+
+// TestCoreQueueFull pins fail-fast admission: with the one worker
+// blocked and the queue at depth, the next Do returns ErrQueueFull
+// without waiting.
+func TestCoreQueueFull(t *testing.T) {
+	registerTestSolvers()
+	c := New(Config{Workers: 1, QueueDepth: 1, CacheEntries: -1, Obs: obs.New()})
+	t.Cleanup(c.Close)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	start := func(k int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := coreReq(k)
+			req.Solver = "dispatch-test-block"
+			c.Do(ctx, req)
+		}()
+	}
+	start(1) // occupies the worker
+	<-blockStarted
+	start(2) // occupies the queue slot
+	for c.QueueLen() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	req := coreReq(3)
+	req.Solver = "dispatch-test-block"
+	_, err := c.Do(ctx, req)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Do with full queue = %v, want ErrQueueFull", err)
+	}
+	close(blockRelease)
+	wg.Wait()
+}
+
+// TestCoreDeadline pins that a request-supplied timeout cancels the
+// solve mid-search and surfaces context.DeadlineExceeded.
+func TestCoreDeadline(t *testing.T) {
+	registerTestSolvers()
+	c := New(Config{Workers: 1, CacheEntries: -1})
+	t.Cleanup(c.Close)
+
+	req := coreReq(1)
+	req.Solver = "dispatch-test-hang"
+	req.TimeoutMS = 20
+	_, err := c.Do(context.Background(), req)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Do past deadline = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestCoreShutdownDrains pins the drain contract: Shutdown waits for
+// in-flight work, and the core reports Draining.
+func TestCoreShutdownDrains(t *testing.T) {
+	c := New(Config{Workers: 2})
+	done := make(chan Result, 1)
+	go func() {
+		res, _ := c.Do(context.Background(), coreReq(2))
+		done <- res
+	}()
+	res := <-done
+	if res.Err != nil {
+		t.Fatalf("solve before shutdown: %v", res.Err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if !c.Draining() {
+		t.Fatal("Draining() = false after Shutdown")
+	}
+}

@@ -119,6 +119,18 @@ func (c *Client) Solve(ctx context.Context, req server.SolveRequest) (*server.So
 	return &resp, nil
 }
 
+// Peek probes the daemon's solution cache through POST /v1/peek
+// without solving anything: a hit returns the cached response, a miss
+// returns an *APIError with status 404 (and a cached infeasibility
+// 422). The fleet's peer cache-fill protocol is built on it.
+func (c *Client) Peek(ctx context.Context, req server.SolveRequest) (*server.SolveResponse, error) {
+	var resp server.SolveResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/peek", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Batch round-trips a batch of solve requests through POST /v1/batch.
 // The returned items are in request order; each carries the status,
 // result, or error that the same request would have produced as a

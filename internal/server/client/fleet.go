@@ -1,0 +1,199 @@
+// Fleet-aware client: the same consistent-hash placement the router
+// tier uses (internal/ring over the canonical cache key), embedded in
+// the client so a caller can talk to a shard fleet directly — no
+// router hop — and still land every canonical request on its one
+// owning shard. On a 503 (a draining shard) or a transport error the
+// request rotates to the key's next ring successor, which is exactly
+// the shard that inherits the key when the member leaves the ring, and
+// the failed shard is put on a cooldown so subsequent requests skip it
+// without paying a round trip. See DESIGN.md §13.
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/engine"
+	"repro/internal/instance"
+	"repro/internal/ring"
+	"repro/internal/server"
+)
+
+// DefaultShardCooldown is how long a shard that answered 503 or failed
+// at the transport level is skipped before being tried again.
+const DefaultShardCooldown = 5 * time.Second
+
+// Fleet is a sharded client over a fixed set of rebalanced daemons.
+// Methods are safe for concurrent use.
+type Fleet struct {
+	ring    *ring.Ring
+	clients map[string]*Client
+	// Cooldown bounds how long a failed shard is skipped; the zero
+	// value means DefaultShardCooldown. Set before first use.
+	Cooldown time.Duration
+
+	mu      sync.Mutex
+	benched map[string]time.Time // shard → cooldown expiry
+}
+
+// NewFleet returns a fleet client over the given shard base URLs
+// (normalized exactly like New's base). httpClient may be nil for
+// http.DefaultClient. The ring uses the default vnode count, so a
+// Fleet and a router configured with the same shard set agree on every
+// key's owner.
+func NewFleet(shards []string, httpClient *http.Client) *Fleet {
+	f := &Fleet{
+		clients: make(map[string]*Client, len(shards)),
+		benched: make(map[string]time.Time),
+	}
+	urls := make([]string, 0, len(shards))
+	for _, s := range shards {
+		c := New(s, httpClient)
+		f.clients[c.base] = c
+		urls = append(urls, c.base)
+	}
+	f.ring = ring.New(urls, 0)
+	return f
+}
+
+// Shards returns the fleet's members (normalized base URLs, sorted).
+func (f *Fleet) Shards() []string { return f.ring.Members() }
+
+// point places a request on the ring's key circle, mirroring the
+// router: solution-kind requests by canonical cache key, everything
+// else by a content hash of the encoded request.
+func point(req *server.SolveRequest) uint64 {
+	if spec, ok := engine.Lookup(req.Solver); ok && spec.Kind == engine.KindSolution && req.Instance.Validate() == nil {
+		p := engine.Params{K: req.K, Budget: req.Budget, Eps: req.Eps}
+		return cache.Canonicalize(req.Solver, spec.Caps, &req.Instance, p).Key.Point()
+	}
+	b, _ := json.Marshal(req)
+	return ring.Hash(b)
+}
+
+// benchedNow reports whether shard is on cooldown.
+func (f *Fleet) benchedNow(shard string, now time.Time) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	until, ok := f.benched[shard]
+	if !ok {
+		return false
+	}
+	if now.After(until) {
+		delete(f.benched, shard)
+		return false
+	}
+	return true
+}
+
+func (f *Fleet) bench(shard string) {
+	d := f.Cooldown
+	if d <= 0 {
+		d = DefaultShardCooldown
+	}
+	f.mu.Lock()
+	f.benched[shard] = time.Now().Add(d)
+	f.mu.Unlock()
+}
+
+// Solve routes one request to its owning shard, rotating to ring
+// successors on 503 (draining) or transport errors.
+func (f *Fleet) Solve(ctx context.Context, req server.SolveRequest) (*server.SolveResponse, error) {
+	resp, _, err := f.SolveShard(ctx, req)
+	return resp, err
+}
+
+// SolveShard is Solve, also reporting which shard served the request —
+// load generators tally per-shard traffic and cache hits with it.
+//
+// Attempt order is the key's ring successor order: the owner first,
+// then the shard that would own the key if the owner left, and so on —
+// so a request that fails over lands exactly where the fleet's routing
+// will converge once membership catches up. Shards on cooldown are
+// skipped up front (unless every shard is benched, in which case all
+// are tried: a fully-benched fleet must not fail without asking).
+// A 503 or transport error benches the shard and rotates; any other
+// error is the authoritative answer for this request and returns as-is.
+func (f *Fleet) SolveShard(ctx context.Context, req server.SolveRequest) (*server.SolveResponse, string, error) {
+	order := f.ring.Successors(point(&req), f.ring.Len())
+	if len(order) == 0 {
+		return nil, "", errors.New("client: fleet has no shards")
+	}
+	now := time.Now()
+	attempts := make([]string, 0, len(order))
+	for _, s := range order {
+		if !f.benchedNow(s, now) {
+			attempts = append(attempts, s)
+		}
+	}
+	if len(attempts) == 0 {
+		attempts = order // everyone benched: try them all anyway
+	}
+	var lastErr error
+	for _, shard := range attempts {
+		resp, err := f.clients[shard].Solve(ctx, req)
+		if err == nil {
+			return resp, shard, nil
+		}
+		var ae *APIError
+		if errors.As(err, &ae) && ae.StatusCode != http.StatusServiceUnavailable {
+			// An authoritative per-request answer (400/404/422/429/504…):
+			// every shard would say the same, or the caller must back off.
+			return nil, shard, err
+		}
+		f.bench(shard)
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, "", lastErr
+}
+
+// Ready reports nil when at least one shard answers /readyz with 200.
+func (f *Fleet) Ready(ctx context.Context) error {
+	var lastErr error
+	for _, s := range f.ring.Members() {
+		if err := f.clients[s].Ready(ctx); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("client: fleet has no shards")
+	}
+	return lastErr
+}
+
+// PeerFill builds the dispatch-core fill hook a shard daemon uses to
+// warm its cache from a key's previous owner: a POST /v1/peek against
+// the peer URL the router supplied in X-Peer-Fill. Any error — peer
+// down, cache miss (404), cached infeasibility (422) — reports a miss
+// and the shard computes locally; peer fill is an optimization, never
+// a dependency. timeout bounds the peek on top of the solve's own
+// context (0 means the solve context alone).
+func PeerFill(httpClient *http.Client, timeout time.Duration) server.FillFunc {
+	return func(ctx context.Context, peer, solver string, ext *instance.Extended, p engine.Params) (instance.Solution, bool) {
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		resp, err := New(peer, httpClient).Peek(ctx, server.SolveRequest{
+			Solver: solver, Instance: *ext, K: p.K, Budget: p.Budget, Eps: p.Eps,
+		})
+		if err != nil {
+			return instance.Solution{}, false
+		}
+		return instance.Solution{
+			Assign: resp.Assign, Makespan: resp.Makespan,
+			Moves: resp.Moves, MoveCost: resp.MoveCost,
+		}, true
+	}
+}

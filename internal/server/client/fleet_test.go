@@ -1,0 +1,197 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/instance"
+	"repro/internal/ring"
+	"repro/internal/server"
+)
+
+// drainingHandler mimics a rebalanced daemon mid-drain: every solve
+// answers 503 with the daemon's drain message.
+func drainingHandler(hits *atomic.Int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(server.ErrorResponse{Error: "server is draining"})
+	})
+}
+
+// fleetReq returns a solve request for one fixed small instance.
+func fleetReq() server.SolveRequest {
+	in := instance.MustNew(2, []int64{5, 4, 3, 2}, nil, []int{0, 0, 0, 0})
+	req := server.SolveRequest{Solver: "mpartition", K: 2}
+	req.Instance.Instance = *in
+	return req
+}
+
+// TestFleetRotatesOffDrainingShard pins the failover contract: when a
+// key's owning shard answers 503 (draining), the fleet client rotates
+// to the ring successor and succeeds; the cooldown then keeps follow-up
+// requests off the draining shard without paying another round trip.
+func TestFleetRotatesOffDrainingShard(t *testing.T) {
+	var drainHits, healthyHits atomic.Int64
+
+	draining := httptest.NewServer(drainingHandler(&drainHits))
+	t.Cleanup(draining.Close)
+
+	s := server.New(server.Config{Workers: 2, ShardID: "healthy"})
+	healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		healthyHits.Add(1)
+		s.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		healthy.Close()
+		s.Close()
+	})
+
+	f := NewFleet([]string{draining.URL, healthy.URL}, nil)
+	ctx := context.Background()
+
+	// Make the draining shard the request's owner, so the first attempt
+	// really does hit it and the rotation path is exercised — the two
+	// httptest ports land on the ring in an arbitrary order, so steer by
+	// varying K until the ring agrees. (K changes the canonical key and
+	// therefore the placement; any K solves fine on this instance.)
+	req := fleetReq()
+	drainBase := New(draining.URL, nil).base
+	for k := 1; ; k++ {
+		if k > 64 {
+			t.Fatal("no K in 1..64 placed the key on the draining shard")
+		}
+		req.K = k
+		if owner, _ := f.ring.Owner(point(&req)); owner == drainBase {
+			break
+		}
+	}
+
+	resp, shard, err := f.SolveShard(ctx, req)
+	if err != nil {
+		t.Fatalf("SolveShard with draining owner: %v", err)
+	}
+	if shard == drainBase {
+		t.Fatalf("request reported as served by the draining shard %s", shard)
+	}
+	if resp.ShardID != "healthy" {
+		t.Fatalf("ShardID = %q, want %q", resp.ShardID, "healthy")
+	}
+	if got := drainHits.Load(); got != 1 {
+		t.Fatalf("draining shard saw %d requests during first solve, want 1", got)
+	}
+
+	// Second solve of the same key: the draining shard is on cooldown,
+	// so it must not see another request at all.
+	resp, _, err = f.SolveShard(ctx, req)
+	if err != nil {
+		t.Fatalf("SolveShard after cooldown: %v", err)
+	}
+	if resp.Cache != "hit" {
+		t.Fatalf("second solve Cache = %q, want hit (same shard, same key)", resp.Cache)
+	}
+	if got := drainHits.Load(); got != 1 {
+		t.Fatalf("draining shard saw %d total requests across 2 solves, want 1 (cooldown skip)", got)
+	}
+	if healthyHits.Load() < 2 {
+		t.Fatalf("healthy shard saw %d requests, want >= 2", healthyHits.Load())
+	}
+}
+
+// TestFleetCooldownExpires confirms a benched shard is retried after
+// its cooldown elapses, so a drained-then-restarted shard rejoins
+// without a client restart.
+func TestFleetCooldownExpires(t *testing.T) {
+	var drainHits atomic.Int64
+	draining := httptest.NewServer(drainingHandler(&drainHits))
+	t.Cleanup(draining.Close)
+
+	s := server.New(server.Config{Workers: 1})
+	healthy := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		healthy.Close()
+		s.Close()
+	})
+
+	f := NewFleet([]string{draining.URL, healthy.URL}, nil)
+	f.Cooldown = 10 * time.Millisecond
+	req := fleetReq()
+	drainBase := New(draining.URL, nil).base
+	for k := 1; ; k++ {
+		if k > 64 {
+			t.Fatal("no K in 1..64 placed the key on the draining shard")
+		}
+		req.K = k
+		if owner, _ := f.ring.Owner(point(&req)); owner == drainBase {
+			break
+		}
+	}
+	ctx := context.Background()
+	if _, _, err := f.SolveShard(ctx, req); err != nil {
+		t.Fatalf("SolveShard: %v", err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, _, err := f.SolveShard(ctx, req); err != nil {
+		t.Fatalf("SolveShard after cooldown expiry: %v", err)
+	}
+	if got := drainHits.Load(); got != 2 {
+		t.Fatalf("draining shard saw %d requests, want 2 (cooldown expired, retried)", got)
+	}
+}
+
+// TestFleetAuthoritativeErrorNoRotation pins that a non-503 API error
+// is returned as-is without trying other shards: a 404 for an unknown
+// solver means every shard would answer the same.
+func TestFleetAuthoritativeErrorNoRotation(t *testing.T) {
+	var hits [2]atomic.Int64
+	mk := func(i int) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits[i].Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(server.ErrorResponse{Error: "unknown solver"})
+		}))
+	}
+	s0, s1 := mk(0), mk(1)
+	t.Cleanup(s0.Close)
+	t.Cleanup(s1.Close)
+
+	f := NewFleet([]string{s0.URL, s1.URL}, nil)
+	req := fleetReq()
+	req.Solver = "no-such-solver"
+	_, _, err := f.SolveShard(context.Background(), req)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound {
+		t.Fatalf("err = %v, want APIError 404", err)
+	}
+	if total := hits[0].Load() + hits[1].Load(); total != 1 {
+		t.Fatalf("fleet tried %d shards for an authoritative 404, want 1", total)
+	}
+}
+
+// TestFleetAgreesWithRouterPlacement pins that the fleet client and a
+// ring built the router's way place every key identically — the
+// property that lets callers skip the router hop without fragmenting
+// the fleet's cache.
+func TestFleetAgreesWithRouterPlacement(t *testing.T) {
+	shards := []string{"http://a:1", "http://b:1", "http://c:1"}
+	f := NewFleet(shards, nil)
+	r := ring.New(shards, 0)
+	req := fleetReq()
+	for k := 1; k <= 32; k++ {
+		req.K = k
+		p := point(&req)
+		fo, _ := f.ring.Owner(p)
+		ro, _ := r.Owner(p)
+		if fo != ro {
+			t.Fatalf("K=%d: fleet owner %s != ring owner %s", k, fo, ro)
+		}
+	}
+}

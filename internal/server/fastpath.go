@@ -9,6 +9,10 @@
 // into a fresh heap request: the worker/flight machinery may retain a
 // request beyond the handler's lifetime, so pooled memory is only ever
 // served on a pure hit, where nothing escapes.
+//
+// The cache-facing halves (solver table lookup, canonical probe, hit
+// accounting) live on the dispatch core; this file owns only the byte-
+// level decode and encode.
 package server
 
 import (
@@ -17,31 +21,18 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/cache"
-	"repro/internal/engine"
+	"repro/internal/dispatch"
 	"repro/internal/instance"
-	"repro/internal/obs"
 )
-
-// solverEntry is the per-solver serving table: the interned name and
-// spec for allocation-free lookup from raw request bytes, plus the
-// pre-resolved per-solver metrics (nil without an obs sink).
-type solverEntry struct {
-	name     string
-	spec     engine.Spec
-	requests *obs.Counter
-	latency  *obs.Histogram
-}
 
 // solveScratch carries one request's reusable buffers through the fast
 // path. Pooled; nothing in it may escape the handler.
 type solveScratch struct {
-	body   []byte
-	req    SolveRequest
-	can    cache.CanonScratch
-	assign []int
-	loads  []int64
-	out    []byte
+	body  []byte
+	req   SolveRequest
+	hit   dispatch.HitScratch
+	loads []int64
+	out   []byte
 }
 
 var solveScratchPool = sync.Pool{New: func() any { return new(solveScratch) }}
@@ -88,7 +79,7 @@ const (
 // hit would (request/latency/phase metrics, cache.hits), so a served
 // hit is indistinguishable from the slow path in /metrics.
 func (s *Server) fastSolve(sc *solveScratch, rid string) (fastOutcome, error) {
-	if s.cache == nil || s.cfg.Trace != nil || !plainJSONSafe(rid) {
+	if !s.core.FastPathEnabled() || s.cfg.Trace != nil || !s.shardSafe || !plainJSONSafe(rid) {
 		return fastFallback, nil
 	}
 	start := time.Now()
@@ -97,58 +88,32 @@ func (s *Server) fastSolve(sc *solveScratch, rid string) (fastOutcome, error) {
 	if !ok {
 		return fastFallback, nil
 	}
-	ent := s.solvers[string(solverBytes)]
-	if ent == nil || ent.spec.Kind != engine.KindSolution {
+	ent := s.core.LookupSolver(solverBytes)
+	if ent == nil || !ent.Solution() {
 		return fastFallback, nil
 	}
-	req.Solver = ent.name
+	req.Solver = ent.Name()
 	in := &req.Instance.Instance
 	if in.Validate() != nil {
 		return fastFallback, nil
 	}
 	// Tuning flags the solver does not consume reject with 400 on the
-	// slow path; nonzero counts as set, mirroring validateSolveRequest.
-	caps := ent.spec.Caps
-	if (req.K != 0 && !caps.K) || (req.Budget != 0 && !caps.Budget) || (req.Eps != 0 && !caps.Eps) {
+	// slow path; nonzero counts as set, mirroring Validate.
+	if !ent.AcceptsParams(req.K, req.Budget, req.Eps) {
 		return fastFallback, nil
 	}
-	p := engine.Params{
-		K: req.K, Budget: req.Budget, Eps: req.Eps,
-		Workers: s.cfg.SolverWorkers, Obs: s.cfg.Obs,
-	}
-	can := sc.can.Canonicalize(ent.name, caps, &req.Instance, p)
-	sol, hit, err := s.cache.TryGet(can, ent.name, sc.assign)
+	sol, hit, err := s.core.TryCachedSolve(&sc.hit, ent, &req.Instance, req.K, req.Budget, req.Eps)
 	if !hit {
 		return fastFallback, nil
 	}
 	totalNS := time.Since(start).Nanoseconds()
-	s.observeFast(ent, totalNS, err != nil)
+	s.core.ObserveFast(ent, totalNS, err != nil)
 	if err != nil {
 		return fastCachedError, err
 	}
-	sc.assign = sol.Assign // keep the (possibly grown) buffer
 	initial, lower := sc.initialStats(in)
-	sc.out = appendSolveResponse(sc.out[:0], ent.name, rid, sol, initial, lower, totalNS)
+	sc.out = appendSolveResponse(sc.out[:0], ent.Name(), rid, s.cfg.ShardID, sol, initial, lower, totalNS)
 	return fastHit, nil
-}
-
-// observeFast mirrors the worker path's per-request accounting for a
-// request that never touched the queue: zero queue wait, zero engine
-// compute, all cache.
-func (s *Server) observeFast(ent *solverEntry, cacheNS int64, failed bool) {
-	o := s.cfg.Obs
-	if o == nil {
-		return
-	}
-	s.mQueueNS.Observe(0)
-	s.mCacheNS.Observe(cacheNS)
-	s.mSolveNS.Observe(0)
-	s.mRequests.Inc()
-	if failed {
-		s.mErrors.Inc()
-	}
-	ent.requests.Inc()
-	ent.latency.Observe(cacheNS)
 }
 
 // initialStats computes the initial makespan and the packing lower
@@ -196,8 +161,10 @@ func plainJSONSafe(s string) bool {
 // appendSolveResponse encodes the hit response exactly as
 // writeJSON(w, 200, buildResponse(...)) would: same field order, same
 // omitempty behaviour, trailing newline from json.Encoder included.
-// Only plainJSONSafe strings reach it, so no escaping is needed.
-func appendSolveResponse(dst []byte, solver, rid string, sol instance.Solution, initial, lower, cacheNS int64) []byte {
+// Only plainJSONSafe strings reach it, so no escaping is needed. A hit
+// never has a peer_fill (the peer is consulted only on a miss), so that
+// field is always omitted here.
+func appendSolveResponse(dst []byte, solver, rid, shardID string, sol instance.Solution, initial, lower, cacheNS int64) []byte {
 	dst = append(dst, `{"solver":"`...)
 	dst = append(dst, solver...)
 	dst = append(dst, `","request_id":"`...)
@@ -229,7 +196,13 @@ func appendSolveResponse(dst []byte, solver, rid string, sol instance.Solution, 
 	dst = strconv.AppendInt(dst, initial, 10)
 	dst = append(dst, `,"lower_bound":`...)
 	dst = strconv.AppendInt(dst, lower, 10)
-	dst = append(dst, `,"cache":"hit","timing":{"queue_ns":0,"cache_ns":`...)
+	dst = append(dst, `,"cache":"hit"`...)
+	if shardID != "" {
+		dst = append(dst, `,"shard_id":"`...)
+		dst = append(dst, shardID...)
+		dst = append(dst, '"')
+	}
+	dst = append(dst, `,"timing":{"queue_ns":0,"cache_ns":`...)
 	dst = strconv.AppendInt(dst, cacheNS, 10)
 	dst = append(dst, `,"solve_ns":0}}`...)
 	dst = append(dst, '\n')

@@ -181,3 +181,56 @@ func TestFastPathResponseMatchesSlowPath(t *testing.T) {
 		t.Fatalf("fast response Content-Type = %q", ct)
 	}
 }
+
+// TestFastPathShardIDParity: with a fleet identity configured, the
+// append encoder emits shard_id exactly where encoding/json puts it —
+// between cache and timing — on both serving paths, and an unsafe
+// shard ID disables the fast path rather than emitting broken JSON.
+func TestFastPathShardIDParity(t *testing.T) {
+	s := New(Config{Workers: 1, ShardID: "s7"})
+	defer s.Close()
+	h := s.Handler()
+	body := []byte(`{"solver":"greedy","instance":{"m":2,"jobs":[{"id":0,"size":7},{"id":1,"size":4},{"id":2,"size":3}],"assign":[0,0,0]},"k":1}`)
+	post := func(rid string) *httptest.ResponseRecorder {
+		r := httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(body))
+		r.Header.Set("X-Request-ID", rid)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		return w
+	}
+	post("shard-parity") // miss: slow path computes and caches
+	slowHit := post("shard-parity<slow>")
+	fastHit := post("shard-parity")
+	want := []byte(`,"cache":"hit","shard_id":"s7","timing":{`)
+	for _, resp := range []*httptest.ResponseRecorder{slowHit, fastHit} {
+		if !bytes.Contains(resp.Body.Bytes(), want) {
+			t.Fatalf("response missing shard_id in canonical position: %s", resp.Body.String())
+		}
+	}
+	var generic map[string]any
+	if err := json.Unmarshal(fastHit.Body.Bytes(), &generic); err != nil {
+		t.Fatalf("fast response is not valid JSON: %v", err)
+	}
+
+	// A shard ID that needs JSON escaping must force the slow path; the
+	// response still carries it, escaped by encoding/json.
+	esc := New(Config{Workers: 1, ShardID: `s"0`})
+	defer esc.Close()
+	eh := esc.Handler()
+	postEsc := func(rid string) *httptest.ResponseRecorder {
+		r := httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(body))
+		r.Header.Set("X-Request-ID", rid)
+		w := httptest.NewRecorder()
+		eh.ServeHTTP(w, r)
+		return w
+	}
+	postEsc("esc")
+	hit := postEsc("esc")
+	var resp SolveResponse
+	if err := json.Unmarshal(hit.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("escaped-shard response: %v", err)
+	}
+	if resp.Cache != "hit" || resp.ShardID != `s"0` {
+		t.Fatalf("escaped-shard hit: cache=%q shard=%q", resp.Cache, resp.ShardID)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	rebalance "repro"
+	"repro/internal/dispatch"
 	"repro/internal/obs"
 )
 
@@ -36,7 +37,7 @@ func requestID(r *http.Request) string {
 // the configured threshold. status is the HTTP status the request is
 // about to be answered with; res carries the phase decomposition (zero
 // for requests that never reached a worker).
-func (s *Server) noteSlow(rid, solver string, res taskResult, total time.Duration, status int) {
+func (s *Server) noteSlow(rid, solver string, res dispatch.Result, total time.Duration, status int) {
 	if s.cfg.SlowThreshold <= 0 || total < s.cfg.SlowThreshold {
 		return
 	}
@@ -49,9 +50,9 @@ func (s *Server) noteSlow(rid, solver string, res taskResult, total time.Duratio
 		slog.String("request_id", rid),
 		slog.String("solver", solver),
 		slog.Int("status", status),
-		slog.Int64("queue_ns", res.queueNS),
-		slog.Int64("cache_ns", res.cacheNS),
-		slog.Int64("solve_ns", res.solveNS),
+		slog.Int64("queue_ns", res.QueueNS),
+		slog.Int64("cache_ns", res.CacheNS),
+		slog.Int64("solve_ns", res.SolveNS),
 		slog.Int64("total_ns", total.Nanoseconds()),
 	)
 }

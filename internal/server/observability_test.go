@@ -15,6 +15,7 @@ import (
 	"time"
 
 	rebalance "repro"
+	"repro/internal/dispatch"
 	"repro/internal/obs"
 )
 
@@ -430,8 +431,8 @@ func TestTracesDuringDrain(t *testing.T) {
 		defer close(done)
 		postSolve(t, ts.URL, req)
 	}()
-	<-testStarted // the sleep solver is on a worker
-	s.draining.Store(true)
+	<-testStarted                                        // the sleep solver is on a worker
+	go func() { _ = s.Shutdown(context.Background()) }() // begin draining; the sleep finishes on its own
 	var traces TracesResponse
 	if resp := getJSON(t, ts.URL+"/debug/traces", &traces); resp.StatusCode != http.StatusOK {
 		t.Errorf("/debug/traces during drain: status %d", resp.StatusCode)
@@ -454,7 +455,7 @@ func TestServerTracingDisabledAllocs(t *testing.T) {
 	s := New(Config{Workers: 1}) // no Obs, no Trace, no SlowThreshold
 	defer s.Close()
 	ctx := context.Background()
-	res := taskResult{queueNS: 1, solveNS: 2}
+	res := dispatch.Result{QueueNS: 1, SolveNS: 2}
 	allocs := testing.AllocsPerRun(1000, func() {
 		tctx, root := s.cfg.Trace.StartRequest(ctx, "request", "rid")
 		_, q := obs.StartSpan(tctx, "queue")
@@ -485,8 +486,8 @@ func BenchmarkSolveServing(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, aerr := s.solveOne(ctx, &req); aerr != nil {
-				b.Fatal(aerr.msg)
+			if _, err := s.core.Do(ctx, &req); err != nil {
+				b.Fatal(err)
 			}
 		}
 	}

@@ -1,17 +1,28 @@
-// Package server is the network serving layer of the repository: a
-// long-running HTTP JSON API over the internal/engine solver registry,
-// production-shaped rather than a toy mux.
+// Package server is the HTTP adapter over the transport-agnostic
+// dispatch core (internal/dispatch): a long-running JSON API over the
+// solver registry, production-shaped rather than a toy mux.
 //
 //   - POST /v1/solve   — run any registered solver (or sweep) on an
 //     instance shipped in the request body.
 //   - POST /v1/batch   — fan a slice of solve requests through the
 //     worker pool; per-item results and statuses.
+//   - POST /v1/peek    — probe the solution cache without solving; the
+//     read side of the fleet's peer cache-fill protocol.
 //   - GET  /v1/solvers — the solver catalog, generated from the registry.
 //   - GET  /healthz    — liveness (200 while the process runs).
 //   - GET  /readyz     — readiness (503 once draining begins).
 //   - GET  /metrics    — the obs registry in Prometheus text format.
 //   - GET  /debug/traces — ring of recent sampled/slow request traces.
 //   - GET  /version    — the build-info stamp as JSON.
+//
+// This package owns ONLY the HTTP concerns: decoding bodies, request
+// IDs and trace roots, mapping the core's typed errors onto status
+// codes, and rendering responses (including the allocation-free
+// cache-hit encoder in fastpath.go). Admission, deadlines, the
+// solution cache, and the engine call live in the core; the import
+// boundary — no internal/cache, no internal/engine from this package —
+// is pinned by TestServerImportBoundary. A shard router or any future
+// transport reuses the same core with the same semantics.
 //
 // Tracing: every solve carries a request ID (the client's X-Request-ID
 // or a minted one), returned in the response header and body. With a
@@ -20,29 +31,16 @@
 // plus always-on-slow into /debug/traces; responses carry a per-phase
 // `timing` decomposition either way. See DESIGN.md §11.
 //
-// Caching: solution-kind solves pass through internal/cache behind the
-// admission queue — a canonical-form LRU plus single-flight coalescing,
-// so repeated and concurrent-identical requests cost one engine call
-// (DESIGN.md §10). Responses carry a "cache" field (hit/miss/coalesced)
-// and the cache.* counters land in the obs sink.
+// Fleet: a Server configured with a ShardID stamps it into every solve
+// response, and one configured with a PeerFill hook warms its cache
+// from the key's previous owner after a membership change. Both are
+// wired by cmd/rebalanced and consumed by cmd/rebalrouter's routing
+// tier; see DESIGN.md §13.
 //
-// Admission control: requests enter a bounded queue; when it is full the
-// server answers 429 with a Retry-After header instead of letting work
-// pile up unboundedly. A fixed pool of worker goroutines (sized with the
-// internal/par rules, so deterministic for a given configuration) pulls
-// from the queue, which bounds concurrent solver compute no matter how
-// many connections are open.
-//
-// Deadlines: every request carries a deadline — the request's
-// timeout_ms, clamped to the configured maximum, or the server default —
-// covering queue wait plus solve. The deadline becomes the context
-// threaded into the solver's inner loops (PR 3), so expiry interrupts a
-// branch-and-bound or DP mid-search and surfaces as 504.
-//
-// Graceful drain: Shutdown stops admission (readyz and new solves answer
-// 503), waits for queued and in-flight solves to finish, and on drain
-// timeout cancels the stragglers' contexts so they return promptly. See
-// DESIGN.md §9.
+// Graceful drain: Shutdown stops admission (readyz and new solves
+// answer 503), waits for queued and in-flight solves to finish, and on
+// drain timeout cancels the stragglers' contexts so they return
+// promptly. See DESIGN.md §9.
 package server
 
 import (
@@ -53,28 +51,29 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
-	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	rebalance "repro"
-	"repro/internal/cache"
-	"repro/internal/engine"
+	"repro/internal/dispatch"
 	"repro/internal/instance"
 	"repro/internal/obs"
 	"repro/internal/par"
 )
 
-// Defaults applied by New to zero Config fields.
+// Defaults applied by New to zero Config fields. The serving-core
+// defaults re-export internal/dispatch's so daemon flag defaults need
+// only this package.
 const (
-	DefaultQueueDepth   = 64
-	DefaultTimeout      = 30 * time.Second
-	DefaultMaxTimeout   = 5 * time.Minute
+	DefaultQueueDepth   = dispatch.DefaultQueueDepth
+	DefaultTimeout      = dispatch.DefaultTimeout
+	DefaultMaxTimeout   = dispatch.DefaultMaxTimeout
+	DefaultCacheEntries = dispatch.DefaultCacheEntries
 	DefaultMaxBodySize  = 64 << 20
-	DefaultCacheEntries = cache.DefaultMaxEntries
 	DefaultMaxBatch     = 256
 )
+
+// FillFunc re-exports the core's peer cache-fill hook type for callers
+// wiring Config.PeerFill.
+type FillFunc = dispatch.FillFunc
 
 // Config tunes a Server. The zero value is usable: New fills every
 // unset field with the package default.
@@ -106,6 +105,16 @@ type Config struct {
 	// MaxBatch bounds the number of requests in one /v1/batch call.
 	// ≤ 0 means DefaultMaxBatch.
 	MaxBatch int
+	// ShardID, when set, identifies this process within a fleet: every
+	// solve response carries it as "shard_id" so routers and tests can
+	// verify key→shard placement. Empty (the default) omits the field.
+	ShardID string
+	// PeerFill, when set, lets this shard warm its cache from a peer: a
+	// request arriving with an X-Peer-Fill header (the previous owner
+	// of its key, per the router's ring) consults that peer's /v1/peek
+	// before running the engine on a local miss. Nil disables peer
+	// fill; requests with the header still solve locally.
+	PeerFill FillFunc
 	// Obs receives the serving metrics (request counts, latency
 	// histograms, queue depth, rejections) and is threaded into every
 	// solve; nil disables instrumentation. GET /metrics exposes it in
@@ -132,256 +141,39 @@ type Config struct {
 	PreScrape func()
 }
 
-// task is one admitted solve request travelling from handler to worker.
-type task struct {
-	ctx      context.Context
-	req      *SolveRequest
-	enqueued time.Time
-	qspan    *obs.Span       // queue-wait span; ended by the worker at dequeue
-	done     chan taskResult // buffered(1): the worker's send never blocks
-}
+// peerFillHeader names the routing tier's peer-fill hint: the base URL
+// of the shard that owned the request's key before a membership change.
+const peerFillHeader = "X-Peer-Fill"
 
-type taskResult struct {
-	sol      instance.Solution
-	points   []SweepPoint
-	sweep    bool
-	cacheOut cache.Outcome
-	err      error
-	queueNS  int64 // admission-queue wait
-	cacheNS  int64 // cache-layer time excluding engine compute
-	solveNS  int64 // engine compute
-}
-
-// timing shapes a result's phase decomposition for the wire.
-func (r taskResult) timing() Timing {
-	return Timing{QueueNS: r.queueNS, CacheNS: r.cacheNS, SolveNS: r.solveNS}
-}
-
-// Server dispatches HTTP solve requests through the engine registry.
-// Create with New, expose Handler on an http.Server, and call Shutdown
-// to drain; a Server must be Shutdown (or Close) to release its worker
-// goroutines.
+// Server adapts HTTP onto the dispatch core. Create with New, expose
+// Handler on an http.Server, and call Shutdown to drain; a Server must
+// be Shutdown (or Close) to release its worker goroutines.
 type Server struct {
-	cfg        Config
-	queue      chan *task
-	cache      *cache.Cache    // nil when caching is disabled
-	poolSize   int             // resolved worker count
-	rootCtx    context.Context // cancelled to kill stragglers and stop workers
-	rootCancel context.CancelFunc
-	draining   atomic.Bool
-	inflight   sync.WaitGroup // queued + running tasks
-	inflightN  atomic.Int64   // same population, as a number for the gauge
-	workers    chan struct{}  // closed when the pool has exited
-
-	// solvers is the per-solver serving table, built once from the
-	// registry: interned names for allocation-free lookup plus the
-	// pre-resolved per-solver counters. Solvers registered after New
-	// (tests) miss here and take the allocating fallback.
-	solvers map[string]*solverEntry
-	// Pre-resolved aggregate serving metrics; nil without an obs sink.
-	mRequests, mErrors           *obs.Counter
-	mQueueNS, mCacheNS, mSolveNS *obs.Histogram
+	cfg       Config
+	core      *dispatch.Core
+	shardSafe bool // ShardID encodes verbatim in JSON (fast path eligible)
 }
 
-// New normalizes cfg, starts the worker pool, and returns the server.
+// New normalizes cfg, starts the core's worker pool, and returns the
+// server.
 func New(cfg Config) *Server {
-	if cfg.SolverWorkers <= 0 {
-		cfg.SolverWorkers = 1
-	}
-	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = DefaultQueueDepth
-	}
-	if cfg.DefaultTimeout <= 0 {
-		cfg.DefaultTimeout = DefaultTimeout
-	}
-	if cfg.MaxTimeout <= 0 {
-		cfg.MaxTimeout = DefaultMaxTimeout
-	}
-	if cfg.DefaultTimeout > cfg.MaxTimeout {
-		cfg.DefaultTimeout = cfg.MaxTimeout
-	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodySize
 	}
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	s := &Server{
-		cfg:        cfg,
-		queue:      make(chan *task, cfg.QueueDepth),
-		rootCtx:    ctx,
-		rootCancel: cancel,
-		workers:    make(chan struct{}),
-	}
-	if cfg.CacheEntries >= 0 {
-		// Flights run under rootCtx so a drain timeout cancels them.
-		s.cache = cache.New(cache.Config{
-			MaxEntries: cfg.CacheEntries, BaseCtx: ctx, Obs: cfg.Obs,
-		})
-	}
-	s.solvers = make(map[string]*solverEntry)
-	for _, spec := range engine.Specs() {
-		s.solvers[spec.Name] = &solverEntry{name: spec.Name, spec: spec}
-	}
-	if cfg.Obs != nil {
-		reg := cfg.Obs.Reg
-		s.mRequests = reg.Counter("server.requests")
-		s.mErrors = reg.Counter("server.errors")
-		s.mQueueNS = reg.Histogram("server.queue_ns")
-		s.mCacheNS = reg.Histogram("server.cache_ns")
-		s.mSolveNS = reg.Histogram("server.solve_ns")
-		for name, ent := range s.solvers {
-			ent.requests = reg.Counter("server.requests." + name)
-			ent.latency = reg.Histogram("server.latency_ns." + name)
-		}
-	}
-	n := par.Workers(cfg.Workers, 0)
-	s.poolSize = n
-	go func() {
-		defer close(s.workers)
-		// One par task per pool worker: par supplies the sizing rules and
-		// last-resort panic capture; per-solve panics are converted to
-		// 500s inside dispatch and never reach the pool.
-		_ = par.Do(context.Background(), n, n, func(int) error {
-			s.workerLoop()
-			return nil
-		})
-	}()
-	return s
-}
-
-// workerLoop pulls tasks until the root context is cancelled, then
-// drains what is left in the queue — those tasks' contexts are already
-// cancelled (Shutdown cancels rootCtx only after admission stopped), so
-// each finishes immediately with a context error.
-func (s *Server) workerLoop() {
-	for {
-		select {
-		case t := <-s.queue:
-			s.runTask(t)
-		case <-s.rootCtx.Done():
-			for {
-				select {
-				case t := <-s.queue:
-					s.runTask(t)
-				default:
-					return
-				}
-			}
-		}
-	}
-}
-
-// runTask executes one admitted task and delivers its result.
-func (s *Server) runTask(t *task) {
-	defer s.inflight.Done()
-	defer func() { s.gauge("server.inflight", s.inflightN.Add(-1)) }()
-	s.gauge("server.queue_depth", int64(len(s.queue)))
-	queueNS := time.Since(t.enqueued).Nanoseconds()
-	t.qspan.End()
-	s.cfg.Obs.Observe("server.queue_ns", queueNS)
-	if err := t.ctx.Err(); err != nil {
-		// Expired while queued: don't burn a worker on a dead request.
-		s.cfg.Obs.Count("server.expired_in_queue", 1)
-		t.done <- taskResult{err: err, queueNS: queueNS}
-		return
-	}
-	start := time.Now()
-	res := s.dispatch(t)
-	res.queueNS = queueNS
-	totalNS := time.Since(start).Nanoseconds()
-	// dispatch measured the engine compute (solveNS); the remainder of
-	// the dispatch time belongs to the cache layer when one was in play.
-	if res.cacheOut != cache.Bypass {
-		if res.cacheNS = totalNS - res.solveNS; res.cacheNS < 0 {
-			res.cacheNS = 0
-		}
-		s.cfg.Obs.Observe("server.cache_ns", res.cacheNS)
-	}
-	s.cfg.Obs.Count("server.requests", 1)
-	if ent := s.solvers[t.req.Solver]; ent != nil && ent.requests != nil {
-		ent.requests.Inc()
-		ent.latency.Observe(totalNS)
-	} else {
-		s.cfg.Obs.Count("server.requests."+t.req.Solver, 1)
-		s.cfg.Obs.Observe("server.latency_ns."+t.req.Solver, totalNS)
-	}
-	s.cfg.Obs.Observe("server.solve_ns", res.solveNS)
-	if res.err != nil {
-		s.cfg.Obs.Count("server.errors", 1)
-	}
-	t.done <- res
-}
-
-// dispatch runs the named solver (or sweep) under the task's context. A
-// solver panic is converted into an error so one bad request cannot take
-// the pool down. Solution-kind solves route through the solution cache
-// when one is configured.
-func (s *Server) dispatch(t *task) (res taskResult) {
-	defer func() {
-		if r := recover(); r != nil {
-			res.err = fmt.Errorf("server: solver %q panicked: %v", t.req.Solver, r)
-		}
-	}()
-	spec, ok := engine.Lookup(t.req.Solver)
-	if !ok {
-		// Admission already vetted the name; re-check defensively.
-		res.err = fmt.Errorf("%w: %q", engine.ErrUnknownSolver, t.req.Solver)
-		return res
-	}
-	in := &t.req.Instance.Instance
-	if spec.Kind == engine.KindSweep {
-		ks := t.req.Ks
-		if len(ks) == 0 {
-			ks = rebalance.DefaultFrontierKs(in.N())
-		}
-		// Sweeps don't route through engine.Spec.Solve, so the solve
-		// span is opened here.
-		sctx, sp := obs.StartSpan(t.ctx, "solve")
-		if sp != nil {
-			sp.SetAttr(obs.String("solver", t.req.Solver))
-		}
-		t0 := time.Now()
-		points, err := rebalance.FrontierCtx(sctx, in, ks, rebalance.FrontierOptions{
-			Workers: s.cfg.SolverWorkers, Obs: s.cfg.Obs,
-		})
-		res.solveNS = time.Since(t0).Nanoseconds()
-		sp.End()
-		res.sweep = true
-		res.err = err
-		res.points = make([]SweepPoint, len(points))
-		for i, p := range points {
-			res.points[i] = SweepPoint{K: p.K, Makespan: p.Makespan, Moves: p.Moves}
-		}
-		return res
-	}
-	p := engine.Params{
-		K:       t.req.K,
-		Budget:  t.req.Budget,
-		Eps:     t.req.Eps,
-		Workers: s.cfg.SolverWorkers,
-		Obs:     s.cfg.Obs,
-		Allowed: t.req.Instance.Allowed, Conflicts: t.req.Instance.Conflicts,
-	}
-	if s.cache != nil {
-		// The cache span covers lookup, canonicalization and coalesce
-		// wait; the engine solve becomes its child via the span linkage
-		// grafted onto the flight context (internal/cache).
-		cctx, csp := obs.StartSpan(t.ctx, "cache")
-		var st cache.Stats
-		res.sol, st, res.err = s.cache.SolveTimed(cctx, t.req.Solver, &t.req.Instance, p)
-		res.cacheOut, res.solveNS = st.Outcome, st.EngineNS
-		if csp != nil {
-			csp.SetAttr(obs.String("outcome", st.Outcome.String()))
-		}
-		csp.End()
-		return res
-	}
-	t0 := time.Now()
-	res.sol, res.err = engine.Solve(t.ctx, t.req.Solver, in, p)
-	res.solveNS = time.Since(t0).Nanoseconds()
-	return res
+	core := dispatch.New(dispatch.Config{
+		Workers:        cfg.Workers,
+		SolverWorkers:  cfg.SolverWorkers,
+		QueueDepth:     cfg.QueueDepth,
+		DefaultTimeout: cfg.DefaultTimeout,
+		MaxTimeout:     cfg.MaxTimeout,
+		CacheEntries:   cfg.CacheEntries,
+		Obs:            cfg.Obs,
+		Fill:           cfg.PeerFill,
+	})
+	return &Server{cfg: cfg, core: core, shardSafe: plainJSONSafe(cfg.ShardID)}
 }
 
 // Handler returns the API mux. It may be wrapped (logging, auth) before
@@ -390,6 +182,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/peek", s.handlePeek)
 	mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -405,42 +198,14 @@ func (s *Server) Handler() http.Handler {
 // cancelled — they return promptly with context errors and their
 // handlers answer 503 — and ctx.Err() is reported. The worker pool has
 // fully exited when Shutdown returns.
-func (s *Server) Shutdown(ctx context.Context) error {
-	s.draining.Store(true)
-	drained := make(chan struct{})
-	go func() {
-		s.inflight.Wait()
-		close(drained)
-	}()
-	var err error
-	select {
-	case <-drained:
-	case <-ctx.Done():
-		err = ctx.Err()
-		s.cfg.Obs.Count("server.drain_cancelled", 1)
-	}
-	s.rootCancel() // stops workers; cancels any straggler solve contexts
-	<-s.workers
-	return err
-}
+func (s *Server) Shutdown(ctx context.Context) error { return s.core.Shutdown(ctx) }
 
 // Close is Shutdown with no grace: in-flight solves are cancelled
 // immediately.
-func (s *Server) Close() {
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	_ = s.Shutdown(ctx)
-}
+func (s *Server) Close() { s.core.Close() }
 
 // Draining reports whether Shutdown has begun.
-func (s *Server) Draining() bool { return s.draining.Load() }
-
-// gauge sets a named gauge when instrumentation is on.
-func (s *Server) gauge(name string, v int64) {
-	if s.cfg.Obs != nil {
-		s.cfg.Obs.Reg.Gauge(name).Set(v)
-	}
-}
+func (s *Server) Draining() bool { return s.core.Draining() }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -452,14 +217,20 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// statusFor maps a solve error onto an HTTP status: unknown solver 404,
-// unusable request 400, infeasible instance 422, deadline 504,
-// cancellation (drain or disconnect) 503, anything else 500.
+// statusFor maps a core error onto an HTTP status: queue rejection
+// 429, unknown solver 404, unusable request 400, infeasible instance
+// 422, deadline 504, cancellation (drain or disconnect) 503, anything
+// else 500.
 func statusFor(err error) int {
+	var bad *dispatch.BadRequestError
 	switch {
-	case errors.Is(err, engine.ErrUnknownSolver):
+	case errors.Is(err, dispatch.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.As(err, &bad):
+		return http.StatusBadRequest
+	case errors.Is(err, dispatch.ErrUnknownSolver):
 		return http.StatusNotFound
-	case errors.Is(err, engine.ErrUnsupported):
+	case errors.Is(err, dispatch.ErrUnsupported):
 		return http.StatusBadRequest
 	case errors.Is(err, instance.ErrInfeasible):
 		return http.StatusUnprocessableEntity
@@ -472,133 +243,39 @@ func statusFor(err error) int {
 	}
 }
 
-// validateSolveRequest vets a decoded request against the registry,
-// mirroring the CLI's flag validation. A nonzero status means reject
-// with the returned message.
-func (s *Server) validateSolveRequest(req *SolveRequest) (status int, msg string) {
-	if err := req.Instance.Validate(); err != nil {
-		s.cfg.Obs.Count("server.bad_requests", 1)
-		return http.StatusBadRequest, fmt.Sprintf("invalid instance: %v", err)
-	}
-	spec, ok := engine.Lookup(req.Solver)
-	if !ok {
-		s.cfg.Obs.Count("server.unknown_solver", 1)
-		return http.StatusNotFound, fmt.Sprintf("unknown solver %q (known: %s)",
-			req.Solver, knownSolvers())
-	}
-	// Reject parameters the solver does not consume: a nonzero field
-	// counts as explicitly set.
-	set := map[string]bool{"k": req.K != 0, "budget": req.Budget != 0, "eps": req.Eps != 0}
-	if err := engine.ValidateFlags(req.Solver, set); err != nil {
-		s.cfg.Obs.Count("server.bad_requests", 1)
-		return http.StatusBadRequest, err.Error()
-	}
-	if len(req.Ks) > 0 && spec.Kind != engine.KindSweep {
-		s.cfg.Obs.Count("server.bad_requests", 1)
-		return http.StatusBadRequest, fmt.Sprintf("solver %q is not a sweep; ks applies only to sweep-kind solvers", req.Solver)
-	}
-	return 0, ""
-}
-
-// solveCtx derives the solve context for one request: the request's
-// timeout (clamped to the configured maximum) layered on parent. The
-// context dies with the first of: the deadline, the parent (client
-// connection), or a drain timeout (rootCtx). The returned cancel also
-// releases the rootCtx hook.
-func (s *Server) solveCtx(parent context.Context, req *SolveRequest) (context.Context, context.CancelFunc) {
-	timeout := s.cfg.DefaultTimeout
-	if req.TimeoutMS > 0 {
-		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-	}
-	if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
-	}
-	ctx, cancel := context.WithTimeout(parent, timeout)
-	stop := context.AfterFunc(s.rootCtx, cancel)
-	return ctx, func() { stop(); cancel() }
-}
-
-// admissionError is a request that failed before producing a solver
-// result: rejected at the queue or abandoned on deadline/disconnect.
-type admissionError struct {
-	status     int
-	retryAfter bool // set the Retry-After header (429)
-	msg        string
-}
-
-// solveOne admits one validated request into the worker queue and waits
-// for its result or the context. Shared by /v1/solve and /v1/batch.
-func (s *Server) solveOne(ctx context.Context, req *SolveRequest) (taskResult, *admissionError) {
-	// The queue span opens at enqueue and is ended by the worker at
-	// dequeue, so its duration is the admission wait. It is a child of
-	// the request's root span, not a parent of the solve spans.
-	_, qspan := obs.StartSpan(ctx, "queue")
-	t := &task{ctx: ctx, req: req, enqueued: time.Now(), qspan: qspan, done: make(chan taskResult, 1)}
-	s.inflight.Add(1)
-	select {
-	case s.queue <- t:
-		s.gauge("server.inflight", s.inflightN.Add(1))
-		s.gauge("server.queue_depth", int64(len(s.queue)))
-	default:
-		s.inflight.Done()
-		if qspan != nil {
-			qspan.SetAttr(obs.Bool("rejected", true))
-		}
-		qspan.End()
-		s.cfg.Obs.Count("server.rejected_full", 1)
-		return taskResult{}, &admissionError{
-			status: http.StatusTooManyRequests, retryAfter: true,
-			msg: fmt.Sprintf("admission queue full (%d deep); retry later", s.cfg.QueueDepth),
-		}
-	}
-	select {
-	case res := <-t.done:
-		return res, nil
-	case <-ctx.Done():
-		// The worker (if it reached the task) sees the same cancelled
-		// context and stops promptly; its buffered send is discarded.
-		err := ctx.Err()
-		if errors.Is(err, context.DeadlineExceeded) {
-			s.cfg.Obs.Count("server.deadline_expired", 1)
-		}
-		return taskResult{}, &admissionError{
-			status: statusFor(err),
-			msg:    fmt.Sprintf("solve abandoned: %v", err),
-		}
-	}
-}
-
-// buildResponse shapes a worker result into the wire response.
-func buildResponse(req *SolveRequest, res taskResult, rid string) SolveResponse {
+// buildResponse shapes a core result into the wire response.
+func (s *Server) buildResponse(req *SolveRequest, res dispatch.Result, rid string) SolveResponse {
 	in := &req.Instance.Instance
 	resp := SolveResponse{
 		Solver:          req.Solver,
 		RequestID:       rid,
 		InitialMakespan: in.InitialMakespan(),
 		LowerBound:      in.LowerBound(),
-		Cache:           res.cacheOut.String(),
-		Timing:          res.timing(),
+		Cache:           res.Cache,
+		ShardID:         s.cfg.ShardID,
+		PeerFill:        res.PeerFill,
+		Timing:          Timing{QueueNS: res.QueueNS, CacheNS: res.CacheNS, SolveNS: res.SolveNS},
 	}
-	if res.sweep {
-		resp.Points = res.points
+	if res.Sweep {
+		resp.Points = res.Points
 	} else {
-		resp.Assign = res.sol.Assign
-		resp.Makespan = res.sol.Makespan
-		resp.Moves = res.sol.Moves
-		resp.MoveCost = res.sol.MoveCost
+		resp.Assign = res.Sol.Assign
+		resp.Makespan = res.Sol.Makespan
+		resp.Moves = res.Sol.Moves
+		resp.MoveCost = res.Sol.MoveCost
 	}
 	return resp
 }
 
 // handleSolve is POST /v1/solve: decode and validate, mint or adopt the
-// request ID, admit (or answer 429/503), then wait for the worker's
-// result or the request deadline. The body is buffered into pooled
-// scratch first so the allocation-free hit path can run; anything it
-// cannot serve re-decodes from the buffer and takes the original path.
+// request ID, then dispatch through the core (or answer 429/503). The
+// body is buffered into pooled scratch first so the allocation-free hit
+// path can run; anything it cannot serve re-decodes from the buffer and
+// takes the queued path.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	rid := requestID(r)
 	w.Header().Set("X-Request-ID", rid)
-	if s.draining.Load() {
+	if s.core.Draining() {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
@@ -614,13 +291,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	fstart := time.Now()
 	switch out, ferr := s.fastSolve(sc, rid); out {
 	case fastHit:
-		s.noteSlow(rid, sc.req.Solver, taskResult{cacheOut: cache.Hit}, time.Since(fstart), http.StatusOK)
+		s.noteSlow(rid, sc.req.Solver, dispatch.Result{Cache: "hit"}, time.Since(fstart), http.StatusOK)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(sc.out)
 		return
 	case fastCachedError:
-		s.noteSlow(rid, sc.req.Solver, taskResult{cacheOut: cache.Hit}, time.Since(fstart), statusFor(ferr))
+		s.noteSlow(rid, sc.req.Solver, dispatch.Result{Cache: "hit"}, time.Since(fstart), statusFor(ferr))
 		writeError(w, statusFor(ferr), "%v", ferr)
 		return
 	}
@@ -635,34 +312,34 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decode request: %v", err)
 		return
 	}
-	if status, msg := s.validateSolveRequest(req); status != 0 {
-		writeError(w, status, "%s", msg)
+	if err := s.core.Validate(req); err != nil {
+		writeError(w, statusFor(err), "%s", err.Error())
 		return
 	}
+	req.PeerFill = r.Header.Get(peerFillHeader)
 	start := time.Now()
 	tctx, root := s.cfg.Trace.StartRequest(r.Context(), "request", rid)
 	if root != nil {
 		root.SetAttr(obs.String("solver", req.Solver))
 	}
 	defer root.End()
-	ctx, cancel := s.solveCtx(tctx, req)
-	defer cancel()
-	res, aerr := s.solveOne(ctx, req)
-	if aerr != nil {
-		s.noteSlow(rid, req.Solver, res, time.Since(start), aerr.status)
-		if aerr.retryAfter {
+	res, derr := s.core.Do(tctx, req)
+	if derr != nil {
+		status := statusFor(derr)
+		s.noteSlow(rid, req.Solver, res, time.Since(start), status)
+		if status == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", "1")
 		}
-		writeError(w, aerr.status, "%s", aerr.msg)
+		writeError(w, status, "%s", derr.Error())
 		return
 	}
-	if res.err != nil {
-		s.noteSlow(rid, req.Solver, res, time.Since(start), statusFor(res.err))
-		writeError(w, statusFor(res.err), "%v", res.err)
+	if res.Err != nil {
+		s.noteSlow(rid, req.Solver, res, time.Since(start), statusFor(res.Err))
+		writeError(w, statusFor(res.Err), "%v", res.Err)
 		return
 	}
 	s.noteSlow(rid, req.Solver, res, time.Since(start), http.StatusOK)
-	writeJSON(w, http.StatusOK, buildResponse(req, res, rid))
+	writeJSON(w, http.StatusOK, s.buildResponse(req, res, rid))
 }
 
 // handleBatch is POST /v1/batch: decode a slice of solve requests, fan
@@ -673,7 +350,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	rid := requestID(r)
 	w.Header().Set("X-Request-ID", rid)
-	if s.draining.Load() {
+	if s.core.Draining() {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
@@ -702,9 +379,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// admission queue and 429 its own items; identical items in one batch
 	// coalesce in the cache like any other concurrent duplicates.
 	items := make([]BatchItem, len(breq.Requests))
-	fan := s.poolSize
-	if fan > s.cfg.QueueDepth {
-		fan = s.cfg.QueueDepth
+	fan := s.core.PoolSize()
+	if qd := s.core.QueueDepth(); fan > qd {
+		fan = qd
 	}
 	_ = par.Do(r.Context(), len(breq.Requests), fan, func(i int) error {
 		// Item IDs derive from the batch's: item i of request R is R-i,
@@ -726,8 +403,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // admit → wait path as a single solve and folds the outcome into a
 // BatchItem; rid is the item's request/trace ID.
 func (s *Server) batchItem(parent context.Context, req *SolveRequest, rid string) BatchItem {
-	if status, msg := s.validateSolveRequest(req); status != 0 {
-		return BatchItem{Status: status, Error: msg}
+	if err := s.core.Validate(req); err != nil {
+		return BatchItem{Status: statusFor(err), Error: err.Error()}
 	}
 	start := time.Now()
 	tctx, root := s.cfg.Trace.StartRequest(parent, "request", rid)
@@ -735,23 +412,54 @@ func (s *Server) batchItem(parent context.Context, req *SolveRequest, rid string
 		root.SetAttr(obs.String("solver", req.Solver), obs.Bool("batch", true))
 	}
 	defer root.End()
-	ctx, cancel := s.solveCtx(tctx, req)
-	defer cancel()
-	res, aerr := s.solveOne(ctx, req)
-	if aerr != nil {
-		s.noteSlow(rid, req.Solver, res, time.Since(start), aerr.status)
-		return BatchItem{Status: aerr.status, Error: aerr.msg}
+	res, derr := s.core.Do(tctx, req)
+	if derr != nil {
+		status := statusFor(derr)
+		s.noteSlow(rid, req.Solver, res, time.Since(start), status)
+		return BatchItem{Status: status, Error: derr.Error()}
 	}
-	if res.err != nil {
-		s.noteSlow(rid, req.Solver, res, time.Since(start), statusFor(res.err))
-		return BatchItem{Status: statusFor(res.err), Error: res.err.Error()}
+	if res.Err != nil {
+		s.noteSlow(rid, req.Solver, res, time.Since(start), statusFor(res.Err))
+		return BatchItem{Status: statusFor(res.Err), Error: res.Err.Error()}
 	}
 	s.noteSlow(rid, req.Solver, res, time.Since(start), http.StatusOK)
-	resp := buildResponse(req, res, rid)
+	resp := s.buildResponse(req, res, rid)
 	return BatchItem{Status: http.StatusOK, Result: &resp}
 }
 
-func knownSolvers() string { return strings.Join(engine.Names(), ", ") }
+// handlePeek is POST /v1/peek: probe the solution cache for a finished
+// result without solving. A hit answers exactly like a cached
+// /v1/solve (including cached infeasibilities as 422); a miss answers
+// 404 without queuing, solving, or warming anything. This is the read
+// side of the fleet's peer cache-fill protocol: after a membership
+// change the new owner of a key peeks the previous owner.
+func (s *Server) handlePeek(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(r)
+	w.Header().Set("X-Request-ID", rid)
+	var req SolveRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.cfg.Obs.Count("server.bad_requests", 1)
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if err := s.core.Validate(&req); err != nil {
+		writeError(w, statusFor(err), "%s", err.Error())
+		return
+	}
+	s.cfg.Obs.Count("server.peeks", 1)
+	sol, ok, err := s.core.Peek(&req)
+	if !ok {
+		writeError(w, http.StatusNotFound, "cache miss")
+		return
+	}
+	if err != nil {
+		writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	res := dispatch.Result{Sol: sol, Cache: "hit"}
+	writeJSON(w, http.StatusOK, s.buildResponse(&req, res, rid))
+}
 
 // handleSolvers is GET /v1/solvers.
 func (s *Server) handleSolvers(w http.ResponseWriter, _ *http.Request) {
@@ -761,15 +469,16 @@ func (s *Server) handleSolvers(w http.ResponseWriter, _ *http.Request) {
 // handleHealthz is GET /healthz — liveness: 200 as long as the process
 // can serve HTTP, draining or not.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, ReadyResponse{Status: "ok", QueueDepth: len(s.queue)})
+	writeJSON(w, http.StatusOK, ReadyResponse{Status: "ok", Shard: s.cfg.ShardID, QueueDepth: s.core.QueueLen()})
 }
 
 // handleReadyz is GET /readyz — readiness: 503 once draining begins so
-// load balancers stop routing here before the listener closes.
+// load balancers (and the fleet router's health prober) stop routing
+// here before the listener closes.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Status: "draining", QueueDepth: len(s.queue)})
+	if s.core.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Status: "draining", Shard: s.cfg.ShardID, QueueDepth: s.core.QueueLen()})
 		return
 	}
-	writeJSON(w, http.StatusOK, ReadyResponse{Status: "ok", QueueDepth: len(s.queue)})
+	writeJSON(w, http.StatusOK, ReadyResponse{Status: "ok", Shard: s.cfg.ShardID, QueueDepth: s.core.QueueLen()})
 }

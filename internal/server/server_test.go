@@ -277,7 +277,7 @@ func TestQueueFull(t *testing.T) {
 	}
 	// … and the other fills the queue.
 	deadline := time.Now().Add(5 * time.Second)
-	for len(s.queue) == 0 {
+	for s.core.QueueLen() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("second request never queued")
 		}

@@ -1,54 +1,31 @@
-// Wire format of the rebalanced HTTP API. The request embeds the same
-// extended-instance JSON that genwork writes and the CLI reads, so a
-// file produced by `genwork` can be pasted into the "instance" field of
-// a request body unchanged. The response carries the solver's solution
-// (or, for sweep-kind solvers, the tradeoff curve) plus queue/solve
-// timings so callers can see admission latency separately from compute.
+// Wire format of the rebalanced HTTP API. The request and catalog
+// shapes are aliases of the dispatch core's canonical types (the body
+// embeds the same extended-instance JSON that genwork writes and the
+// CLI reads, so a file produced by `genwork` can be pasted into the
+// "instance" field unchanged); the response shapes are HTTP-specific
+// and live here. The response carries the solver's solution (or, for
+// sweep-kind solvers, the tradeoff curve) plus queue/solve timings so
+// callers can see admission latency separately from compute.
 package server
 
 import (
-	"repro/internal/engine"
-	"repro/internal/instance"
+	"repro/internal/dispatch"
 	"repro/internal/obs"
 )
 
-// SolveRequest is the body of POST /v1/solve.
-type SolveRequest struct {
-	// Solver names a registered engine solver (see GET /v1/solvers);
-	// sweep-kind entries such as "frontier" are accepted and return
-	// Points instead of an assignment.
-	Solver string `json:"solver"`
-	// Instance is the problem in the extended JSON format (base fields
-	// m/jobs/assign plus optional allowed/conflicts), exactly as written
-	// by genwork.
-	Instance instance.Extended `json:"instance"`
-	// K is the move budget for k-capable solvers.
-	K int `json:"k,omitempty"`
-	// Budget is the relocation cost budget for budget-capable solvers.
-	Budget int64 `json:"budget,omitempty"`
-	// Eps is the approximation parameter; zero means the solver default.
-	Eps float64 `json:"eps,omitempty"`
-	// TimeoutMS requests a per-solve deadline in milliseconds. Zero
-	// means the server's default; the server clamps every request to its
-	// configured maximum. The deadline covers queue wait plus solve.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-	// Ks lists the move budgets for a sweep-kind solver. Empty means the
-	// default doubling ladder 0, 1, 2, 4, … capped at the job count.
-	Ks []int `json:"ks,omitempty"`
-}
+// SolveRequest is the body of POST /v1/solve (and /v1/peek): the
+// dispatch core's canonical request shape.
+type SolveRequest = dispatch.Request
 
 // SweepPoint is one point of a sweep-kind solver's tradeoff curve.
-type SweepPoint struct {
-	K        int   `json:"k"`
-	Makespan int64 `json:"makespan"`
-	Moves    int   `json:"moves"`
-}
+type SweepPoint = dispatch.SweepPoint
 
 // Timing splits one request's server-side latency into phases, all in
 // nanoseconds: admission-queue wait, solution-cache time (lookup,
-// canonicalization and coalesce wait, excluding engine compute; zero
-// when the request bypassed the cache), and engine compute (the flight's
-// measured solve for cache misses and coalesced waits, zero for hits).
+// canonicalization, coalesce wait and peer fill, excluding engine
+// compute; zero when the request bypassed the cache), and engine
+// compute (the flight's measured solve for cache misses and coalesced
+// waits, zero for hits).
 type Timing struct {
 	QueueNS int64 `json:"queue_ns"`
 	CacheNS int64 `json:"cache_ns"`
@@ -79,6 +56,14 @@ type SolveResponse struct {
 	// "miss", or "coalesced". Empty when the request bypassed the cache
 	// (sweeps, or caching disabled).
 	Cache string `json:"cache,omitempty"`
+	// ShardID identifies the fleet member that served this solve; empty
+	// outside a fleet (no -shard-id configured).
+	ShardID string `json:"shard_id,omitempty"`
+	// PeerFill reports the peer cache warm-up on a local miss: "hit"
+	// (the previous owner supplied the solution; no engine run) or
+	// "miss" (it didn't; the engine ran). Empty when no peer was
+	// consulted.
+	PeerFill string `json:"peer_fill,omitempty"`
 	// Timing is the per-phase server-side latency decomposition.
 	Timing Timing `json:"timing"`
 }
@@ -111,41 +96,17 @@ type ErrorResponse struct {
 
 // SolverInfo is one entry of GET /v1/solvers — the registry spec
 // flattened into a wire-friendly shape.
-type SolverInfo struct {
-	Name          string   `json:"name"`
-	Summary       string   `json:"summary"`
-	Guarantee     string   `json:"guarantee"`
-	Kind          string   `json:"kind"` // "solution" or "sweep"
-	Flags         []string `json:"flags,omitempty"`
-	Exponential   bool     `json:"exponential,omitempty"`
-	NeedsExtended bool     `json:"needs_extended,omitempty"`
-}
+type SolverInfo = dispatch.SolverInfo
 
 // Catalog renders the engine registry as the GET /v1/solvers payload.
-func Catalog() []SolverInfo {
-	specs := engine.Specs()
-	infos := make([]SolverInfo, len(specs))
-	for i, s := range specs {
-		kind := "solution"
-		if s.Kind == engine.KindSweep {
-			kind = "sweep"
-		}
-		infos[i] = SolverInfo{
-			Name:          s.Name,
-			Summary:       s.Summary,
-			Guarantee:     s.Guarantee,
-			Kind:          kind,
-			Flags:         s.FlagNames(),
-			Exponential:   s.Caps.Exponential,
-			NeedsExtended: s.Caps.NeedsExtended,
-		}
-	}
-	return infos
-}
+func Catalog() []SolverInfo { return dispatch.Catalog() }
 
 // ReadyResponse is the body of GET /readyz and GET /healthz.
 type ReadyResponse struct {
-	Status     string `json:"status"` // "ok" or "draining"
+	Status string `json:"status"` // "ok" or "draining"
+	// Shard is the serving process's fleet identity (empty outside a
+	// fleet); the router's health prober uses it for log context.
+	Shard      string `json:"shard,omitempty"`
 	QueueDepth int    `json:"queue_depth"`
 }
 
