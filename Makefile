@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race race-fast vet bench bench-json bench-diff bench-profile serve loadtest lint-metrics metrics-smoke fuzz-short ci check clean
+.PHONY: build test short race race-fast vet bench bench-json bench-diff bench-profile serve loadtest lint-metrics metrics-smoke sim-validate hypotheses hypotheses-check fuzz-short ci check clean
 
 build:
 	$(GO) build ./...
@@ -110,6 +110,37 @@ metrics-smoke:
 	wait $$pid 2>/dev/null; \
 	exit $$status
 
+# sim-validate closes the loop between the discrete-event fleet
+# simulator (internal/des) and the real daemon: boot one shard, drive a
+# Zipf-keyed burst through it, replay the identical key sequence through
+# an equivalent simulated scenario, and fail if the simulated cache hit
+# rate drifts from the real /metrics scrape by more than the tolerance.
+SIMV_ADDR ?= localhost:18090
+sim-validate:
+	@tmp=$$(mktemp -d); \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/ ./cmd/rebalanced ./cmd/simvalidate || exit 1; \
+	$$tmp/rebalanced -addr $(SIMV_ADDR) -drain 2s & \
+	pid=$$!; \
+	$$tmp/simvalidate -addr $(SIMV_ADDR) -n 2000 -keys 256 -zipf 1.1; \
+	status=$$?; \
+	kill $$pid 2>/dev/null; \
+	wait $$pid 2>/dev/null; \
+	exit $$status
+
+# hypotheses runs the simulation lab (cmd/fleetsim over hypotheses/*.json)
+# and rewrites the committed result artifacts; hypotheses-check re-runs
+# every experiment and fails if any regenerated artifact differs from
+# the committed one by a single byte — the simulator is pure virtual
+# time, so even the multi-seed statistical experiments must reproduce
+# exactly. ci runs the check; run `make hypotheses` and commit after
+# changing the simulator or a spec.
+hypotheses:
+	$(GO) run ./cmd/fleetsim -dir hypotheses
+
+hypotheses-check:
+	$(GO) run ./cmd/fleetsim -dir hypotheses -check
+
 # fuzz-short gives each native fuzz target a ~10s budget on top of its
 # committed seed corpus: long enough to shake out encoding and
 # status-mapping regressions, short enough for every CI run. Dedicated
@@ -134,6 +165,7 @@ ci:
 	$(GO) test ./...
 	$(GO) test -race ./...
 	$(MAKE) bench-diff
+	$(MAKE) hypotheses-check
 	$(MAKE) fuzz-short
 
 check: vet test race

@@ -18,7 +18,6 @@ package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -49,13 +48,9 @@ func main() {
 		}
 	}
 
-	raw, err := os.ReadFile(*baseline)
+	base, err := benchjson.LoadFile(*baseline)
 	if err != nil {
-		log.Fatalf("read baseline: %v", err)
-	}
-	var base benchjson.Snapshot
-	if err := json.Unmarshal(raw, &base); err != nil {
-		log.Fatalf("parse baseline %s: %v", *baseline, err)
+		log.Fatalf("load baseline: %v", err)
 	}
 
 	cur := benchjson.Snapshot{

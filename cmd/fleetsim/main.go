@@ -1,0 +1,137 @@
+// Command fleetsim runs the discrete-event fleet simulator and its
+// hypothesis lab.
+//
+// Modes:
+//
+//	fleetsim -dir hypotheses            # run every spec, write <name>.md artifacts
+//	fleetsim -spec hypotheses/h1-….json # run one spec
+//	fleetsim -dir hypotheses -check     # re-run and byte-compare committed artifacts (CI)
+//	fleetsim -scenario sc.json          # run one raw Scenario JSON, print the Result JSON
+//
+// Service times come from the committed BENCH.json (-bench) unless the
+// scenario pins service_ns; environment mismatches between the snapshot
+// and this machine are warnings on stderr, never part of artifacts —
+// simulated nanoseconds model the recorded environment, not this one.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/benchjson"
+	"repro/internal/des"
+	"repro/internal/des/lab"
+)
+
+func main() {
+	var (
+		dir      = flag.String("dir", "hypotheses", "hypothesis spec directory")
+		spec     = flag.String("spec", "", "run a single hypothesis spec file")
+		check    = flag.Bool("check", false, "regenerate artifacts and fail on any byte difference (writes nothing)")
+		bench    = flag.String("bench", "BENCH.json", "committed benchmark snapshot for service times")
+		scenario = flag.String("scenario", "", "run one raw Scenario JSON file and print the Result as JSON")
+	)
+	flag.Parse()
+
+	snap := loadBench(*bench)
+
+	if *scenario != "" {
+		if err := runScenario(*scenario, snap); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	paths := []string{*spec}
+	if *spec == "" {
+		var err error
+		paths, err = lab.SpecPaths(*dir)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	failed := 0
+	for _, p := range paths {
+		s, err := lab.LoadSpec(p)
+		if err != nil {
+			fatal(err)
+		}
+		if want := strings.TrimSuffix(filepath.Base(p), ".json"); want != s.Name {
+			fatal(fmt.Errorf("fleetsim: %s: spec name %q must match its file name", p, s.Name))
+		}
+		rep, err := lab.Run(s, snap)
+		if err != nil {
+			fatal(err)
+		}
+		art := lab.ArtifactPath(p)
+		got := rep.Markdown()
+		if *check {
+			committed, err := os.ReadFile(art)
+			if err != nil {
+				fatal(fmt.Errorf("fleetsim: %s has no committed artifact (run `make hypotheses`): %w", s.Name, err))
+			}
+			if string(committed) != got {
+				failed++
+				fmt.Fprintf(os.Stderr, "FAIL %s: regenerated artifact differs from committed %s (%d vs %d bytes)\n",
+					s.Name, art, len(got), len(committed))
+				continue
+			}
+			fmt.Printf("ok   %s: artifact reproduces byte-for-byte — %s\n", s.Name, rep.Verdict)
+			continue
+		}
+		if err := os.WriteFile(art, []byte(got), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-32s %s → %s\n", s.Name, rep.Verdict, art)
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("fleetsim: %d hypothesis artifact(s) out of date — run `make hypotheses` and commit", failed))
+	}
+}
+
+// loadBench loads the snapshot when present; scenarios that pin
+// service_ns run without one, so absence is only fatal on use.
+func loadBench(path string) *benchjson.Snapshot {
+	snap, err := benchjson.LoadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetsim: no benchmark snapshot (%v); scenarios must set service_ns\n", err)
+		return nil
+	}
+	for _, w := range snap.EnvMismatches(runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0), runtime.NumCPU()) {
+		fmt.Fprintf(os.Stderr, "fleetsim: warning: %s\n", w)
+	}
+	return &snap
+}
+
+func runScenario(path string, snap *benchjson.Snapshot) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var sc des.Scenario
+	if err := json.Unmarshal(raw, &sc); err != nil {
+		return fmt.Errorf("fleetsim: parse %s: %w", path, err)
+	}
+	sc.Bench = snap
+	res, err := des.Run(sc)
+	if err != nil {
+		return err
+	}
+	if err := des.CheckConservation(res); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -24,6 +24,16 @@
 // control behaved under the offered load. Ctrl-C stops the run early
 // and prints the report for the requests already issued.
 //
+// Workload shape: -zipf s draws each request's instance index from a
+// Zipf(s) popularity law over a -keys working set — the canonical-key
+// population model the fleet simulator (internal/des) uses, produced by
+// the same workload.ZipfSequence, so a simulated scenario and a real
+// burst replay the *identical* key sequence, not merely the same
+// distribution (cmd/simvalidate depends on this). -rate paces requests
+// as an open arrival process (-arrival poisson|gamma, -cv for Gamma
+// burstiness) instead of the closed-loop as-fast-as-possible default;
+// pacing uses workload.ArrivalTimes, again shared with the simulator.
+//
 // Fleet mode: -fleet takes a comma-separated shard list and replaces
 // the single-daemon client with the consistent-hash fleet client
 // (client.Fleet), so every request goes straight to its owning shard —
@@ -80,6 +90,11 @@ func main() {
 	place := flag.String("place", "skewed", "initial placement: random|skewed|balanced|onehot")
 	costs := flag.String("costs", "unit", "cost model: unit|proportional|anticorrelated|random")
 	seed := flag.Uint64("seed", 1, "base RNG seed; instance i uses seed+i")
+	zipfS := flag.Float64("zipf", -1, "Zipf popularity exponent over a -keys working set (<0: disabled; overrides -dup and -instances)")
+	keys := flag.Int("keys", 1024, "distinct instance population for -zipf")
+	arrival := flag.String("arrival", "poisson", "arrival process when -rate is set: poisson|gamma")
+	rate := flag.Float64("rate", 0, "offered load in req/s as paced open arrivals (0: closed loop, as fast as -c allows)")
+	cv := flag.Float64("cv", 1, "interarrival coefficient of variation for -arrival gamma")
 	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
 
@@ -138,6 +153,22 @@ func main() {
 		req := tmpl
 		req.Instance.Instance = *workload.Generate(wcfg)
 		return req
+	}
+
+	// The Zipf key schedule and the arrival schedule are materialized up
+	// front from the base seed: they are exactly the sequences an
+	// internal/des scenario with the same knobs consumes.
+	var zipfSeq []int
+	if *zipfS >= 0 {
+		zipfSeq = workload.ZipfSequence(*seed, *zipfS, *keys, *n)
+	}
+	var arrivals []int64
+	if *rate > 0 {
+		dist, err := workload.ParseArrivalDist(*arrival)
+		if err != nil {
+			log.Fatal(err)
+		}
+		arrivals = workload.ArrivalTimes(*seed, workload.Interarrival{Dist: dist, Rate: *rate, CV: *cv}, *n)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -234,6 +265,22 @@ func main() {
 		// an RNG. Request 0 always seeds the cache with the hot key.
 		if i > 0 && int64(float64(i)**dup) > int64(float64(i-1)**dup) {
 			idx = 0
+		}
+		if zipfSeq != nil {
+			idx = zipfSeq[i]
+		}
+		if arrivals != nil {
+			// Open-arrival pacing: hold request i until its scheduled
+			// offset. With all -c senders busy the arrival is late — that
+			// is queueing at the generator and means -c is the bottleneck,
+			// not the daemon.
+			if d := time.Until(start.Add(time.Duration(arrivals[i]))); d > 0 {
+				select {
+				case <-ctx.Done():
+					return nil
+				case <-time.After(d):
+				}
+			}
 		}
 		req := genReq(idx)
 		t0 := time.Now()

@@ -1,0 +1,157 @@
+// Command simvalidate closes the loop between the fleet simulator and
+// the real daemon: it drives a Zipf-keyed burst against a running
+// rebalanced shard, replays the *same* key sequence through an
+// equivalent internal/des scenario, and asserts the simulated cache hit
+// rate lands within tolerance of the hit rate scraped from the real
+// /metrics counters.
+//
+// The comparison is fair because both sides consume the identical
+// workload.ZipfSequence: rank r names the instance generated from
+// seed+r, permuted instances collide on one canonical cache key in the
+// daemon, and the simulator's keyLRU sees the same rank stream — so any
+// drift is a modeling error in the simulator (or a cache-semantics
+// regression in the daemon), not sampling noise.
+//
+// Usage (see `make sim-validate` for the scripted version):
+//
+//	rebalanced -addr localhost:18090 &
+//	simvalidate -addr localhost:18090 -n 2000 -keys 256 -zipf 1.1 -cache-entries 4096
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/engine"
+	"repro/internal/par"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("simvalidate: ")
+	addr := flag.String("addr", "localhost:8080", "rebalanced daemon address")
+	alg := flag.String("alg", "mpartition", "solver to request")
+	k := flag.Int("k", 10, "move budget")
+	n := flag.Int("n", 2000, "requests to issue")
+	c := flag.Int("c", 8, "concurrent senders")
+	keys := flag.Int("keys", 256, "distinct instance population")
+	zipfS := flag.Float64("zipf", 1.1, "Zipf popularity exponent")
+	seed := flag.Uint64("seed", 1, "workload seed (instance r = seed+r)")
+	jobs := flag.Int("jobs", 60, "jobs per generated instance")
+	m := flag.Int("m", 8, "processors per generated instance")
+	cacheEntries := flag.Int("cache-entries", 4096, "daemon cache capacity (must match its -cache flag)")
+	tol := flag.Float64("tol", 0.03, "max |simulated - scraped| hit rate")
+	flag.Parse()
+
+	// The shared schedule: both the real burst and the simulation below
+	// consume exactly this rank sequence.
+	ranks := workload.ZipfSequence(*seed, *zipfS, *keys, *n)
+
+	cl := client.New(*addr, nil)
+	ctx := context.Background()
+	// Poll readiness briefly: `make sim-validate` boots the daemon in the
+	// same recipe and races us to the socket.
+	var ready error
+	for i := 0; i < 50; i++ {
+		if ready = cl.Ready(ctx); ready == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if ready != nil {
+		log.Fatalf("daemon not ready at %s: %v", *addr, ready)
+	}
+	before, err := cl.Scalars(ctx)
+	if err != nil {
+		log.Fatalf("metrics scrape: %v", err)
+	}
+
+	spec, known := engine.Lookup(*alg)
+	if !known {
+		log.Fatalf("unknown solver %q", *alg)
+	}
+	cfg := workload.Config{N: *jobs, M: *m, MaxSize: 1000}
+	if cfg.Sizes, err = workload.ParseSizeDist("zipf"); err != nil {
+		log.Fatal(err)
+	}
+	if cfg.Placement, err = workload.ParsePlacement("skewed"); err != nil {
+		log.Fatal(err)
+	}
+	if cfg.Costs, err = workload.ParseCostModel("unit"); err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	err = par.Do(ctx, *n, *c, func(i int) error {
+		wcfg := cfg
+		wcfg.Seed = *seed + uint64(ranks[i])
+		req := server.SolveRequest{Solver: *alg}
+		if spec.Caps.K {
+			req.K = *k
+		}
+		req.Instance.Instance = *workload.Generate(wcfg)
+		_, solveErr := cl.Solve(ctx, req)
+		return solveErr // any failure invalidates the comparison: abort
+	})
+	if err != nil {
+		log.Fatalf("burst failed (hit-rate comparison needs every request served): %v", err)
+	}
+	elapsed := time.Since(start)
+
+	after, err := cl.Scalars(ctx)
+	if err != nil {
+		log.Fatalf("metrics scrape: %v", err)
+	}
+	hits := after["cache_hits"] - before["cache_hits"]
+	misses := after["cache_misses"] - before["cache_misses"]
+	coalesced := after["cache_coalesced"] - before["cache_coalesced"]
+	served := hits + misses + coalesced
+	if served != int64(*n) {
+		log.Fatalf("scraped %d cache outcomes for %d requests — another client is hitting this daemon, comparison invalid", served, *n)
+	}
+	realRate := float64(hits+coalesced) / float64(served)
+
+	// The equivalent simulated shard: same rank stream, same cache
+	// capacity, same worker count. Service times don't move the hit rate
+	// (the sequence does), so a nominal fixed cost is fine.
+	sim, err := des.Run(des.Scenario{
+		Seed:         *seed,
+		Requests:     *n,
+		Keys:         *keys,
+		ZipfS:        *zipfS,
+		Rate:         float64(*n) / math.Max(elapsed.Seconds(), 1e-3),
+		Shards:       1,
+		Workers:      *c,
+		QueueDepth:   1 << 20, // a rejection would skew the denominator
+		CacheEntries: *cacheEntries,
+		ServiceNS:    500_000,
+		KeyRanks:     ranks,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := des.CheckConservation(sim); err != nil {
+		log.Fatal(err)
+	}
+	simRate := sim.HitRate()
+
+	fmt.Printf("simvalidate: %d requests, %d keys, zipf %.2f against %s (%.1f req/s)\n",
+		*n, *keys, *zipfS, *addr, float64(*n)/elapsed.Seconds())
+	fmt.Printf("  real  (/metrics):  %d hit + %d coalesced / %d  = %.4f\n", hits, coalesced, served, realRate)
+	fmt.Printf("  sim   (des):       %d hit + %d coalesced / %d  = %.4f\n", sim.Hits, sim.Coalesced, sim.OK, simRate)
+	diff := math.Abs(simRate - realRate)
+	fmt.Printf("  |Δ| = %.4f (tolerance %.4f)\n", diff, *tol)
+	if diff > *tol {
+		fmt.Println("FAIL: simulator hit-rate prediction outside tolerance")
+		os.Exit(1)
+	}
+	fmt.Println("ok: simulator prediction within tolerance of the real shard")
+}

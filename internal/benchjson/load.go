@@ -1,0 +1,116 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// LoadFile reads and validates a committed BENCH.json snapshot. It is
+// the one entry point everything that consumes the baseline shares —
+// cmd/benchdiff (the regression gate) and internal/des (the fleet
+// simulator's service-time model) — so a malformed or truncated
+// baseline fails loudly in one place instead of producing a silently
+// wrong gate or simulation.
+func LoadFile(path string) (Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("benchjson: read %s: %w", path, err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("benchjson: parse %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return Snapshot{}, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Validate checks the structural invariants every usable snapshot must
+// hold: a complete environment header (without it neither the gate's
+// same-env rule nor the simulator's env warning can work) and
+// well-formed benchmark records. A snapshot that fails Validate was
+// not produced by cmd/benchjson.
+func (s Snapshot) Validate() error {
+	if s.GOOS == "" || s.GOARCH == "" {
+		return fmt.Errorf("missing goos/goarch header (have %q/%q)", s.GOOS, s.GOARCH)
+	}
+	if s.GOMAXPROCS < 1 {
+		return fmt.Errorf("gomaxprocs %d, want >= 1", s.GOMAXPROCS)
+	}
+	if len(s.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark records")
+	}
+	for i, r := range s.Benchmarks {
+		switch {
+		case r.Name == "":
+			return fmt.Errorf("benchmark %d: empty name", i)
+		case r.Iters <= 0:
+			return fmt.Errorf("benchmark %d (%s): iters %d, want > 0", i, r.Name, r.Iters)
+		case !(r.NsPerOp > 0):
+			return fmt.Errorf("benchmark %d (%s): ns/op %v, want > 0", i, r.Name, r.NsPerOp)
+		}
+	}
+	return nil
+}
+
+// EnvMismatches compares the snapshot's recorded environment against a
+// runtime environment and returns one human-readable warning per
+// differing dimension (empty when they match). Wall-clock numbers from
+// a foreign environment are still usable as a *model* — the simulator
+// consumes them as relative service times — but every consumer must
+// surface the mismatch so nobody mistakes simulated nanoseconds for
+// predictions about the current machine.
+func (s Snapshot) EnvMismatches(goos, goarch string, gomaxprocs, numcpu int) []string {
+	var warns []string
+	if s.GOOS != goos || s.GOARCH != goarch {
+		warns = append(warns, fmt.Sprintf("platform %s/%s differs from snapshot %s/%s",
+			goos, goarch, s.GOOS, s.GOARCH))
+	}
+	if s.GOMAXPROCS != gomaxprocs {
+		warns = append(warns, fmt.Sprintf("GOMAXPROCS %d differs from snapshot %d",
+			gomaxprocs, s.GOMAXPROCS))
+	}
+	if s.NumCPU != numcpu {
+		warns = append(warns, fmt.Sprintf("CPU count %d differs from snapshot %d",
+			numcpu, s.NumCPU))
+	}
+	return warns
+}
+
+// Lookup returns the snapshot's record for the full benchmark name.
+// When the name appears several times (a -count=N run), ns/op is the
+// median across repeats — the "typical recorded speed" the regression
+// gate also compares against — and allocs/bytes take the minimum
+// (deterministic properties).
+func (s Snapshot) Lookup(name string) (Record, bool) {
+	var rs []Record
+	for _, r := range s.Benchmarks {
+		if r.Name == name {
+			rs = append(rs, r)
+		}
+	}
+	if len(rs) == 0 {
+		return Record{}, false
+	}
+	agg := rs[0]
+	times := make([]float64, len(rs))
+	for i, r := range rs {
+		times[i] = r.NsPerOp
+		if r.AllocsPerOp < agg.AllocsPerOp {
+			agg.AllocsPerOp = r.AllocsPerOp
+		}
+		if r.BytesPerOp < agg.BytesPerOp {
+			agg.BytesPerOp = r.BytesPerOp
+		}
+	}
+	sort.Float64s(times)
+	if n := len(times); n%2 == 0 {
+		agg.NsPerOp = (times[n/2-1] + times[n/2]) / 2
+	} else {
+		agg.NsPerOp = times[n/2]
+	}
+	return agg, true
+}

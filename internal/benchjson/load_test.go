@@ -1,0 +1,111 @@
+package benchjson
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const goodSnapshot = `{
+  "goos": "linux", "goarch": "amd64", "gomaxprocs": 1, "numcpu": 1,
+  "timestamp": "2026-01-01T00:00:00Z",
+  "benchmarks": [
+    {"name": "BenchmarkX/n=10", "procs": 1, "iters": 100, "ns_per_op": 50},
+    {"name": "BenchmarkX/n=10", "procs": 1, "iters": 100, "ns_per_op": 70},
+    {"name": "BenchmarkX/n=10", "procs": 1, "iters": 100, "ns_per_op": 60, "allocs_per_op": 3}
+  ]
+}`
+
+func TestLoadFileGood(t *testing.T) {
+	s, err := LoadFile(writeTemp(t, goodSnapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := s.Lookup("BenchmarkX/n=10")
+	if !ok {
+		t.Fatal("Lookup missed a present name")
+	}
+	if rec.NsPerOp != 60 {
+		t.Errorf("median ns/op = %v, want 60", rec.NsPerOp)
+	}
+	if rec.AllocsPerOp != 0 {
+		t.Errorf("min allocs/op = %d, want 0", rec.AllocsPerOp)
+	}
+	if _, ok := s.Lookup("BenchmarkMissing"); ok {
+		t.Error("Lookup found an absent name")
+	}
+}
+
+func TestLoadFileMalformed(t *testing.T) {
+	cases := map[string]string{
+		"truncated json": `{"goos": "linux", "benchmarks": [`,
+		"not json":       `go test output, not json`,
+		"no header":      `{"benchmarks": [{"name": "BenchmarkX", "iters": 1, "ns_per_op": 1}]}`,
+		"no benchmarks":  `{"goos": "linux", "goarch": "amd64", "gomaxprocs": 1, "benchmarks": []}`,
+		"zero gomaxprocs": `{"goos": "linux", "goarch": "amd64", "gomaxprocs": 0,
+		  "benchmarks": [{"name": "BenchmarkX", "iters": 1, "ns_per_op": 1}]}`,
+		"empty name": `{"goos": "linux", "goarch": "amd64", "gomaxprocs": 1,
+		  "benchmarks": [{"name": "", "iters": 1, "ns_per_op": 1}]}`,
+		"zero iters": `{"goos": "linux", "goarch": "amd64", "gomaxprocs": 1,
+		  "benchmarks": [{"name": "BenchmarkX", "iters": 0, "ns_per_op": 1}]}`,
+		"negative ns": `{"goos": "linux", "goarch": "amd64", "gomaxprocs": 1,
+		  "benchmarks": [{"name": "BenchmarkX", "iters": 1, "ns_per_op": -5}]}`,
+	}
+	for name, content := range cases {
+		if _, err := LoadFile(writeTemp(t, content)); err == nil {
+			t.Errorf("%s: LoadFile accepted a malformed snapshot", name)
+		}
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("LoadFile accepted a missing file")
+	}
+}
+
+func TestEnvMismatches(t *testing.T) {
+	s, err := LoadFile(writeTemp(t, goodSnapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warns := s.EnvMismatches("linux", "amd64", 1, 1); len(warns) != 0 {
+		t.Errorf("matching env produced warnings: %v", warns)
+	}
+	warns := s.EnvMismatches("darwin", "arm64", 8, 10)
+	if len(warns) != 3 {
+		t.Fatalf("foreign env produced %d warnings, want 3: %v", len(warns), warns)
+	}
+	joined := strings.Join(warns, "\n")
+	for _, want := range []string{"darwin/arm64", "GOMAXPROCS 8", "CPU count 10"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("warnings missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestCommittedBaselineLoads pins that the repo's own BENCH.json always
+// satisfies the loader's schema — the simulator and the regression gate
+// both read it, so a commit that breaks the schema should fail here,
+// not at simulation time.
+func TestCommittedBaselineLoads(t *testing.T) {
+	s, err := LoadFile("../../BENCH.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"BenchmarkE3Scaling/greedy/n=1000",
+		"BenchmarkE3Scaling/mpartition/n=1000",
+	} {
+		if _, ok := s.Lookup(name); !ok {
+			t.Errorf("committed BENCH.json missing %s (the simulator's service model reads it)", name)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package des
+
+import (
+	"fmt"
+
+	"repro/internal/ring"
+)
+
+// KeyMovement quantifies the disruption of removing one member from a
+// fleet's ring over a key population: how many keys change owner, and
+// whether every moved key was owned by the removed member (the
+// minimal-disruption property the paper's bounded-rebalancing lens
+// cares about: membership change must move only the keys it must).
+type KeyMovement struct {
+	Keys       int     // population size
+	Moved      int     // keys whose owner changed
+	VictimKeys int     // keys the victim owned before removal
+	Foreign    int     // moved keys the victim did NOT own (must be 0)
+	Fraction   float64 // Moved / Keys; ≈ 1/len(members) in expectation
+}
+
+// Movement computes the ownership diff of removing victim from the
+// fleet of n shards (named by ShardName) over the given key points.
+func Movement(points []uint64, shards, vnodes int, victim int) (KeyMovement, error) {
+	if victim < 0 || victim >= shards {
+		return KeyMovement{}, fmt.Errorf("des: victim %d outside fleet of %d", victim, shards)
+	}
+	names := make([]string, shards)
+	for i := range names {
+		names[i] = ShardName(i)
+	}
+	before := ring.New(names, vnodes)
+	after := before.Without(ShardName(victim))
+	mv := KeyMovement{Keys: len(points)}
+	for _, pt := range points {
+		ob, _ := before.Owner(pt)
+		oa, _ := after.Owner(pt)
+		if ob == ShardName(victim) {
+			mv.VictimKeys++
+		}
+		if ob != oa {
+			mv.Moved++
+			if ob != ShardName(victim) {
+				mv.Foreign++
+			}
+		}
+	}
+	if mv.Keys > 0 {
+		mv.Fraction = float64(mv.Moved) / float64(mv.Keys)
+	}
+	return mv, nil
+}
+
+// CheckConservation verifies the bookkeeping identities every run must
+// satisfy: no request is created or destroyed unaccounted. It returns
+// nil when they hold.
+func CheckConservation(r *Result) error {
+	if got := r.OK + r.Rejected + r.Dropped + r.Lost; got != r.Arrivals {
+		return fmt.Errorf("des: ok+rejected+dropped+lost = %d, arrivals = %d", got, r.Arrivals)
+	}
+	if got := r.Hits + r.Misses + r.Coalesced; got != r.OK {
+		return fmt.Errorf("des: hits+misses+coalesced = %d, ok = %d", got, r.OK)
+	}
+	if r.PeerFillHits > r.Misses {
+		return fmt.Errorf("des: peer_fill_hits %d exceed misses %d", r.PeerFillHits, r.Misses)
+	}
+	var perShardOK, perShardRej int64
+	for _, s := range r.Shards {
+		perShardOK += s.OK
+		perShardRej += s.Rejected
+	}
+	if perShardOK != r.OK || perShardRej != r.Rejected {
+		return fmt.Errorf("des: per-shard tallies (ok %d, rejected %d) disagree with totals (%d, %d)",
+			perShardOK, perShardRej, r.OK, r.Rejected)
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package des
+
+import (
+	"go/parser"
+	"go/token"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// base returns a scenario exercising most machinery: a 4-shard fleet,
+// Gamma arrivals, a kill and a rejoin, peer fill, and a bounded queue.
+func base() Scenario {
+	return Scenario{
+		Seed:         42,
+		Requests:     4000,
+		Keys:         256,
+		ZipfS:        1.1,
+		Arrival:      "gamma",
+		ArrivalCV:    2,
+		Rate:         4000,
+		Shards:       4,
+		Workers:      2,
+		QueueDepth:   16,
+		CacheEntries: 128,
+		ServiceNS:    700_000,
+		FillWindowMS: 2000,
+		Events: []FleetEvent{
+			{AtMS: 300, Shard: 1, Kind: "kill"},
+			{AtMS: 600, Shard: 1, Kind: "join"},
+		},
+		RecordLog: true,
+	}
+}
+
+func mustRun(t *testing.T, cfg Scenario) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSameSeedIdenticalLog pins the determinism contract: a scenario
+// and a seed reproduce the full event log byte for byte.
+func TestSameSeedIdenticalLog(t *testing.T) {
+	a := mustRun(t, base())
+	b := mustRun(t, base())
+	if a.Log == "" {
+		t.Fatal("RecordLog produced an empty log")
+	}
+	if a.Log != b.Log {
+		t.Fatal("same seed produced different event logs")
+	}
+	if a.OK != b.OK || a.Hits != b.Hits || a.Rejected != b.Rejected || a.Sojourn != b.Sojourn {
+		t.Fatal("same seed produced different tallies")
+	}
+	cfg := base()
+	cfg.Seed = 43
+	c := mustRun(t, cfg)
+	if c.Log == a.Log {
+		t.Fatal("different seeds produced identical event logs")
+	}
+}
+
+func TestConservation(t *testing.T) {
+	scenarios := map[string]Scenario{
+		"fleet-dynamics": base(),
+		"overload": {
+			Seed: 7, Requests: 3000, Keys: 64, ZipfS: 0.8, Rate: 20000,
+			Shards: 2, Workers: 1, QueueDepth: 4, CacheEntries: 16,
+			ServiceNS: 2_000_000,
+		},
+		"no-cache": {
+			Seed: 9, Requests: 2000, Keys: 100, Rate: 500,
+			Shards: 1, Workers: 1, QueueDepth: 1 << 20, CacheEntries: -1,
+			ServiceNS: 1_000_000, ServiceDist: "exp",
+		},
+	}
+	for name, cfg := range scenarios {
+		t.Run(name, func(t *testing.T) {
+			res := mustRun(t, cfg)
+			if err := CheckConservation(res); err != nil {
+				t.Fatal(err)
+			}
+			if res.Arrivals != int64(cfg.Requests) {
+				t.Fatalf("arrivals %d, want %d", res.Arrivals, cfg.Requests)
+			}
+		})
+	}
+}
+
+// TestMM1QueueWait cross-checks the simulator against closed-form
+// queueing theory: with Poisson arrivals, exponential service, one
+// worker, an effectively unbounded queue, and the cache disabled, the
+// system is M/M/1 and the mean queue wait must approach
+// Wq = λ/(μ(μ−λ)).
+func TestMM1QueueWait(t *testing.T) {
+	const (
+		lambda = 500.0 // arrivals/s
+		mu     = 1000.0
+	)
+	cfg := Scenario{
+		Seed:     1,
+		Requests: 60000,
+		Keys:     1 << 20, // irrelevant: cache disabled
+		ZipfS:    0.0001,  // explicit non-zero to dodge the default
+		Rate:     lambda,
+		Shards:   1, Workers: 1, QueueDepth: 1 << 20,
+		CacheEntries: -1,
+		ServiceNS:    int64(1e9 / mu),
+		ServiceDist:  "exp",
+	}
+	res := mustRun(t, cfg)
+	if res.Rejected != 0 || res.Dropped != 0 || res.Lost != 0 {
+		t.Fatalf("M/M/1 run lost work: %+v", res)
+	}
+	wantNS := lambda / (mu * (mu - lambda)) * 1e9
+	got := float64(res.QueueWait.MeanNS)
+	if rel := math.Abs(got-wantNS) / wantNS; rel > 0.12 {
+		t.Errorf("mean queue wait %.0f ns, analytic %.0f ns (off %.1f%%)", got, wantNS, 100*rel)
+	}
+	// Sojourn = wait + service: W = 1/(μ−λ).
+	wantSoj := 1 / (mu - lambda) * 1e9
+	gotSoj := float64(res.Sojourn.MeanNS)
+	if rel := math.Abs(gotSoj-wantSoj) / wantSoj; rel > 0.12 {
+		t.Errorf("mean sojourn %.0f ns, analytic %.0f ns (off %.1f%%)", gotSoj, wantSoj, 100*rel)
+	}
+}
+
+// TestSequentialHitRateExact: with one worker and an explicit key
+// sequence, cache behavior is a pure function of the sequence — hits
+// are exactly the non-first occurrences.
+func TestSequentialHitRateExact(t *testing.T) {
+	ranks := []int{0, 1, 0, 2, 1, 0, 3, 3}
+	cfg := Scenario{
+		Seed: 5, Requests: len(ranks), Keys: 4, Rate: 100,
+		Shards: 1, Workers: 1, QueueDepth: 64,
+		ServiceNS: 1000, KeyRanks: ranks,
+	}
+	res := mustRun(t, cfg)
+	if res.Hits != 4 || res.Misses != 4 {
+		t.Fatalf("hits=%d misses=%d, want 4/4", res.Hits, res.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	ranks := []int{0, 1, 2, 0}
+	cfg := Scenario{
+		Seed: 5, Requests: len(ranks), Keys: 4, Rate: 10,
+		Shards: 1, Workers: 1, QueueDepth: 64, CacheEntries: 2,
+		ServiceNS: 1000, KeyRanks: ranks,
+	}
+	res := mustRun(t, cfg)
+	if res.Hits != 0 || res.Misses != 4 || res.Evictions != 2 {
+		t.Fatalf("hits=%d misses=%d evictions=%d, want 0/4/2", res.Hits, res.Misses, res.Evictions)
+	}
+}
+
+// TestCoalescing: two near-simultaneous arrivals for the same key with
+// a slow solve — the second must attach to the first's flight.
+func TestCoalescing(t *testing.T) {
+	cfg := Scenario{
+		Seed: 5, Requests: 2, Keys: 2, Rate: 1e9,
+		Shards: 1, Workers: 2, QueueDepth: 64,
+		ServiceNS: 1_000_000_000, KeyRanks: []int{0, 0},
+	}
+	res := mustRun(t, cfg)
+	if res.Misses != 1 || res.Coalesced != 1 || res.OK != 2 {
+		t.Fatalf("misses=%d coalesced=%d ok=%d, want 1/1/2", res.Misses, res.Coalesced, res.OK)
+	}
+}
+
+// TestKillMovesOnlyVictimKeys pins the ring-placement invariant the
+// shard-kill hypothesis rests on: removing one member moves exactly
+// the victim's keys and nothing else, ≈K/N of the population.
+func TestKillMovesOnlyVictimKeys(t *testing.T) {
+	points := HashPoints(8192)
+	for _, shards := range []int{3, 5, 8} {
+		mv, err := Movement(points, shards, 0, shards-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mv.Foreign != 0 {
+			t.Errorf("shards=%d: %d keys moved that the victim did not own", shards, mv.Foreign)
+		}
+		if mv.Moved != mv.VictimKeys {
+			t.Errorf("shards=%d: moved %d != victim-owned %d", shards, mv.Moved, mv.VictimKeys)
+		}
+		fair := 1 / float64(shards)
+		if mv.Fraction < fair/2 || mv.Fraction > fair*2 {
+			t.Errorf("shards=%d: moved fraction %.3f far from fair share %.3f", shards, mv.Fraction, fair)
+		}
+	}
+}
+
+// TestPeerFillWarmsJoiner: a shard joining a warm fleet inside its
+// fill window serves misses from the previous owners' caches.
+func TestPeerFillWarmsJoiner(t *testing.T) {
+	cfg := base()
+	cfg.Events = []FleetEvent{{AtMS: 500, Shard: 3, Kind: "join"}}
+	cfg.InitialDown = []int{3}
+	cfg.FillWindowMS = 60_000
+	res := mustRun(t, cfg)
+	if res.PeerFillHits == 0 {
+		t.Fatalf("join inside the fill window produced no peer fills: %+v", res)
+	}
+	off := cfg
+	off.FillWindowMS = 0
+	resOff := mustRun(t, off)
+	if resOff.PeerFillHits != 0 || resOff.PeerFillMisses != 0 {
+		t.Fatalf("fill window 0 still peer-filled: %+v", resOff)
+	}
+}
+
+// TestFleetDynamicsLoseAndRecover: kills destroy in-flight work
+// (conservation still holds) and the router fails over until the probe
+// catches up.
+func TestFleetDynamicsLoseAndRecover(t *testing.T) {
+	cfg := base()
+	cfg.ServiceNS = 8_000_000 // keep the victim's queue non-empty at kill time
+	cfg.CacheEntries = 8
+	res := mustRun(t, cfg)
+	if res.Lost == 0 {
+		t.Error("kill with queued work lost nothing")
+	}
+	if res.Failovers == 0 {
+		t.Error("pre-probe traffic to the dead shard never failed over")
+	}
+	if err := CheckConservation(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoWallClock pins the acceptance rule that the event loop never
+// reads real time: the des package (tests aside) must not import
+// "time" at all.
+func TestNoWallClock(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "time" {
+				t.Errorf("%s imports %s: the simulator must be pure virtual-time", name, imp.Path.Value)
+			}
+		}
+	}
+	if _, err := os.Stat(filepath.Join(".", "des.go")); err != nil {
+		t.Fatal("expected des.go in package directory")
+	}
+}

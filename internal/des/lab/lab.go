@@ -1,0 +1,445 @@
+// Package lab is the hypothesis notebook on top of the fleet simulator
+// (internal/des): committed spec files state a falsifiable claim about
+// the serving fleet, the lab runs the simulated experiment, and the
+// committed result artifact records the verdict. The process follows
+// the two-type experiment discipline:
+//
+//   - deterministic — one seed, exact invariants. The claim is a hard
+//     property (conservation, minimal key movement, replayability); a
+//     violation is a simulator bug, not noise.
+//   - statistical — ≥3 seeds (42, 123, 456 by default). The claim
+//     predicts a direction for a primary metric between the first and
+//     last variant. It is SUPPORTED only when every seed moves in the
+//     claimed direction; the support is *significant* when the smallest
+//     per-seed effect exceeds 20%, and the whole experiment is
+//     INCONCLUSIVE when any seed's effect is under 10% (inside noise).
+//
+// Because the simulator is pure virtual time, even statistical
+// experiments are exactly reproducible: artifacts regenerate byte for
+// byte, which is what `make hypotheses-check` enforces in CI.
+package lab
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/benchjson"
+	"repro/internal/des"
+	"repro/internal/stats"
+)
+
+// Effect-size thresholds for statistical experiments, as fractions of
+// the baseline (first variant) metric.
+const (
+	SignificantEffect = 0.20 // min per-seed effect for a significant verdict
+	NoiseEffect       = 0.10 // any seed under this ⇒ inconclusive
+)
+
+// DefaultStatSeeds are the statistical replication seeds.
+var DefaultStatSeeds = []uint64{42, 123, 456}
+
+// DefaultDetSeed is the single deterministic-experiment seed.
+const DefaultDetSeed = 42
+
+// Variant is one experimental arm: a named JSON overlay applied to the
+// spec's base scenario (keys are Scenario's JSON tags).
+type Variant struct {
+	Name string                     `json:"name"`
+	Set  map[string]json.RawMessage `json:"set"`
+}
+
+// Spec is one committed hypothesis file (hypotheses/<name>.json).
+type Spec struct {
+	Name       string   `json:"name"`
+	Class      string   `json:"class"` // "deterministic" | "statistical"
+	Claim      string   `json:"claim"`
+	Prediction string   `json:"prediction"`
+	Metric     string   `json:"metric"`              // primary metric (des.MetricNames)
+	Direction  string   `json:"direction,omitempty"` // "increase" | "decrease" first→last variant
+	Seeds      []uint64 `json:"seeds,omitempty"`
+	// Invariants are exact checks for deterministic experiments:
+	// "conservation", "kill-movement", "replay". Conservation is always
+	// checked on every run regardless.
+	Invariants []string     `json:"invariants,omitempty"`
+	Base       des.Scenario `json:"base"`
+	Variants   []Variant    `json:"variants"`
+}
+
+// LoadSpec reads and validates a hypothesis spec file.
+func LoadSpec(path string) (Spec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("lab: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("lab: parse %s: %w", path, err)
+	}
+	if err := s.validate(); err != nil {
+		return Spec{}, fmt.Errorf("lab: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+func (s *Spec) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("missing name")
+	}
+	if s.Claim == "" || s.Prediction == "" {
+		return fmt.Errorf("%s: claim and prediction are required — a hypothesis states what it expects before running", s.Name)
+	}
+	if s.Metric == "" {
+		return fmt.Errorf("%s: missing metric", s.Name)
+	}
+	if len(s.Variants) == 0 {
+		return fmt.Errorf("%s: no variants", s.Name)
+	}
+	seen := map[string]bool{}
+	for _, v := range s.Variants {
+		if v.Name == "" {
+			return fmt.Errorf("%s: variant with empty name", s.Name)
+		}
+		if seen[v.Name] {
+			return fmt.Errorf("%s: duplicate variant %q", s.Name, v.Name)
+		}
+		seen[v.Name] = true
+	}
+	switch s.Class {
+	case "deterministic":
+		if len(s.Seeds) == 0 {
+			s.Seeds = []uint64{DefaultDetSeed}
+		}
+		if len(s.Seeds) != 1 {
+			return fmt.Errorf("%s: deterministic experiments use exactly one seed, got %d", s.Name, len(s.Seeds))
+		}
+		if len(s.Invariants) == 0 {
+			return fmt.Errorf("%s: deterministic experiment needs at least one invariant", s.Name)
+		}
+	case "statistical":
+		if len(s.Seeds) == 0 {
+			s.Seeds = append([]uint64(nil), DefaultStatSeeds...)
+		}
+		if len(s.Seeds) < 3 {
+			return fmt.Errorf("%s: statistical experiments need >= 3 seeds, got %d", s.Name, len(s.Seeds))
+		}
+		if s.Direction != "increase" && s.Direction != "decrease" {
+			return fmt.Errorf("%s: statistical experiment needs direction increase|decrease, got %q", s.Name, s.Direction)
+		}
+		if len(s.Variants) < 2 {
+			return fmt.Errorf("%s: statistical experiments compare >= 2 variants", s.Name)
+		}
+	default:
+		return fmt.Errorf("%s: class %q (want deterministic|statistical)", s.Name, s.Class)
+	}
+	for _, inv := range s.Invariants {
+		switch inv {
+		case "conservation", "kill-movement", "replay":
+		default:
+			return fmt.Errorf("%s: unknown invariant %q", s.Name, inv)
+		}
+	}
+	return nil
+}
+
+// scenario materializes one arm: base + variant overlay + seed. The
+// overlay round-trips through JSON with unknown fields rejected, so a
+// typoed key fails the experiment instead of silently testing nothing.
+func (s Spec) scenario(v Variant, seed uint64, bench *benchjson.Snapshot) (des.Scenario, error) {
+	raw, err := json.Marshal(s.Base)
+	if err != nil {
+		return des.Scenario{}, err
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return des.Scenario{}, err
+	}
+	for k, val := range v.Set {
+		m[k] = val
+	}
+	merged, err := json.Marshal(m)
+	if err != nil {
+		return des.Scenario{}, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(merged))
+	dec.DisallowUnknownFields()
+	var sc des.Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return des.Scenario{}, fmt.Errorf("variant %q: %w", v.Name, err)
+	}
+	sc.Seed = seed
+	sc.Bench = bench
+	return sc, nil
+}
+
+// cell is one (variant, seed) run's recorded values.
+type cell struct {
+	variant string
+	seed    uint64
+	primary float64
+	result  *des.Result
+}
+
+// Report is one executed experiment, renderable as the committed
+// artifact.
+type Report struct {
+	Spec    Spec
+	Cells   []cell   // variant-major, seed-minor
+	Checks  []string // invariant outcome lines ("PASS …")
+	Verdict string   // first line of the verdict section
+	Detail  string   // verdict explanation
+}
+
+// Run executes the experiment. Invariant violations and simulator
+// errors fail the run; a refuted statistical claim does not — it
+// produces a NOT SUPPORTED report.
+func Run(spec Spec, bench *benchjson.Snapshot) (*Report, error) {
+	rep := &Report{Spec: spec}
+	for _, v := range spec.Variants {
+		for _, seed := range spec.Seeds {
+			sc, err := spec.scenario(v, seed, bench)
+			if err != nil {
+				return nil, fmt.Errorf("lab: %s: %w", spec.Name, err)
+			}
+			res, err := des.Run(sc)
+			if err != nil {
+				return nil, fmt.Errorf("lab: %s variant %q: %w", spec.Name, v.Name, err)
+			}
+			// Conservation is non-negotiable on every run.
+			if err := des.CheckConservation(res); err != nil {
+				return nil, fmt.Errorf("lab: %s variant %q seed %d: %w", spec.Name, v.Name, seed, err)
+			}
+			p, err := res.Metric(spec.Metric)
+			if err != nil {
+				return nil, fmt.Errorf("lab: %s: %w", spec.Name, err)
+			}
+			rep.Cells = append(rep.Cells, cell{variant: v.Name, seed: seed, primary: p, result: res})
+		}
+	}
+	if err := rep.runInvariants(bench); err != nil {
+		return nil, err
+	}
+	rep.judge()
+	return rep, nil
+}
+
+func (r *Report) runInvariants(bench *benchjson.Snapshot) error {
+	spec := r.Spec
+	for _, inv := range spec.Invariants {
+		switch inv {
+		case "conservation":
+			// Already enforced per run; record it.
+			r.Checks = append(r.Checks,
+				fmt.Sprintf("PASS conservation: ok+rejected+dropped+lost == arrivals on all %d runs", len(r.Cells)))
+		case "replay":
+			for _, v := range spec.Variants {
+				sc, err := spec.scenario(v, spec.Seeds[0], bench)
+				if err != nil {
+					return err
+				}
+				sc.RecordLog = true
+				a, err := des.Run(sc)
+				if err != nil {
+					return err
+				}
+				b, err := des.Run(sc)
+				if err != nil {
+					return err
+				}
+				if a.Log != b.Log {
+					return fmt.Errorf("lab: %s: replay invariant violated: variant %q seed %d produced different event logs", spec.Name, v.Name, spec.Seeds[0])
+				}
+				r.Checks = append(r.Checks,
+					fmt.Sprintf("PASS replay: variant %q seed %d reproduces a byte-identical event log (%d bytes)",
+						v.Name, spec.Seeds[0], len(a.Log)))
+			}
+		case "kill-movement":
+			checked := false
+			for _, v := range spec.Variants {
+				sc, err := spec.scenario(v, spec.Seeds[0], bench)
+				if err != nil {
+					return err
+				}
+				for _, ev := range sc.Events {
+					if ev.Kind != "kill" {
+						continue
+					}
+					checked = true
+					keys := sc.Keys
+					if keys == 0 {
+						keys = des.DefaultKeys
+					}
+					mv, err := des.Movement(des.HashPoints(keys), max(sc.Shards, 1), sc.VNodes, ev.Shard)
+					if err != nil {
+						return fmt.Errorf("lab: %s variant %q: %w", spec.Name, v.Name, err)
+					}
+					if mv.Foreign != 0 || mv.Moved != mv.VictimKeys {
+						return fmt.Errorf("lab: %s: kill-movement invariant violated on variant %q: moved %d, victim-owned %d, foreign %d",
+							spec.Name, v.Name, mv.Moved, mv.VictimKeys, mv.Foreign)
+					}
+					r.Checks = append(r.Checks,
+						fmt.Sprintf("PASS kill-movement: variant %q (shards=%d) killing s%d moves %d/%d keys (%.1f%%, fair share %.1f%%), all victim-owned, 0 foreign",
+							v.Name, sc.Shards, ev.Shard, mv.Moved, mv.Keys, 100*mv.Fraction, 100/float64(sc.Shards)))
+				}
+			}
+			if !checked {
+				return fmt.Errorf("lab: %s: kill-movement invariant requires at least one kill event in some variant", spec.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// judge computes the verdict. Deterministic experiments rest entirely
+// on their invariants; statistical experiments apply the
+// direction+effect-size rules.
+func (r *Report) judge() {
+	spec := r.Spec
+	if spec.Class == "deterministic" {
+		r.Verdict = "HOLDS"
+		r.Detail = fmt.Sprintf("All %d invariant checks passed exactly (single seed %d; any violation is a bug, not noise).",
+			len(r.Checks), spec.Seeds[0])
+		return
+	}
+
+	first, last := spec.Variants[0].Name, spec.Variants[len(spec.Variants)-1].Name
+	consistent := true
+	minEffect := math.Inf(1)
+	anyNoise := false
+	var lines []string
+	for _, seed := range spec.Seeds {
+		vals := map[string]float64{}
+		for _, c := range r.Cells {
+			if c.seed == seed {
+				vals[c.variant] = c.primary
+			}
+		}
+		base, treat := vals[first], vals[last]
+		delta := treat - base
+		var effect float64
+		switch {
+		case base != 0:
+			effect = math.Abs(delta) / math.Abs(base)
+		case delta != 0:
+			effect = math.Inf(1)
+		}
+		dirOK := (spec.Direction == "increase" && delta > 0) || (spec.Direction == "decrease" && delta < 0)
+		// Directional consistency also requires the intermediate
+		// variants not to reverse the trend.
+		mono := true
+		prev := vals[spec.Variants[0].Name]
+		for _, v := range spec.Variants[1:] {
+			cur := vals[v.Name]
+			if (spec.Direction == "increase" && cur < prev) || (spec.Direction == "decrease" && cur > prev) {
+				mono = false
+			}
+			prev = cur
+		}
+		if !dirOK || !mono {
+			consistent = false
+		}
+		minEffect = math.Min(minEffect, effect)
+		if effect < NoiseEffect {
+			anyNoise = true
+		}
+		lines = append(lines, fmt.Sprintf("seed %d: %s %s → %s %s (Δ %+.4g, effect %.1f%%, direction %s)",
+			seed, first, trimFloat(base), last, trimFloat(treat), delta, 100*effect, map[bool]string{true: "ok", false: "REVERSED"}[dirOK && mono]))
+	}
+	switch {
+	case !consistent:
+		r.Verdict = "NOT SUPPORTED"
+		r.Detail = "At least one seed moved against the claimed direction — the effect is not directionally consistent."
+	case anyNoise:
+		r.Verdict = "INCONCLUSIVE"
+		r.Detail = fmt.Sprintf("Every seed moved in the claimed direction, but at least one effect is under %.0f%% — inside the noise band; the claim is neither supported nor refuted at this size.", 100*NoiseEffect)
+	case minEffect > SignificantEffect:
+		r.Verdict = "SUPPORTED (significant)"
+		r.Detail = fmt.Sprintf("All %d seeds moved in the claimed direction and the smallest per-seed effect (%.1f%%) clears the %.0f%% significance threshold.",
+			len(spec.Seeds), 100*minEffect, 100*SignificantEffect)
+	default:
+		r.Verdict = "SUPPORTED (moderate)"
+		r.Detail = fmt.Sprintf("All %d seeds moved in the claimed direction; the smallest per-seed effect (%.1f%%) sits between the %.0f%% noise band and the %.0f%% significance threshold.",
+			len(spec.Seeds), 100*minEffect, 100*NoiseEffect, 100*SignificantEffect)
+	}
+	r.Detail += "\n\n" + strings.Join(lines, "\n")
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// Markdown renders the committed artifact. Everything in it is a pure
+// function of the spec (no timestamps, no host environment), so
+// regeneration is byte-stable — the property `make hypotheses-check`
+// diffs in CI.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	spec := r.Spec
+	fmt.Fprintf(&b, "# %s\n\n", spec.Name)
+	fmt.Fprintf(&b, "- **class:** %s\n", spec.Class)
+	fmt.Fprintf(&b, "- **claim:** %s\n", spec.Claim)
+	fmt.Fprintf(&b, "- **prediction:** %s\n", spec.Prediction)
+	fmt.Fprintf(&b, "- **metric:** %s", spec.Metric)
+	if spec.Direction != "" {
+		fmt.Fprintf(&b, " (expected to %s)", spec.Direction)
+	}
+	b.WriteString("\n")
+	seeds := make([]string, len(spec.Seeds))
+	for i, s := range spec.Seeds {
+		seeds[i] = fmt.Sprint(s)
+	}
+	fmt.Fprintf(&b, "- **seeds:** %s\n", strings.Join(seeds, ", "))
+	fmt.Fprintf(&b, "- **spec:** `%s.json` (regenerate with `make hypotheses`)\n\n", spec.Name)
+
+	b.WriteString("## Runs\n\n```\n")
+	tbl := stats.NewTable("variant", "seed", spec.Metric, "hit_rate", "rejected_rate", "p99_sojourn_ms", "throughput_rps")
+	for _, c := range r.Cells {
+		hr, _ := c.result.Metric("hit_rate")
+		rr, _ := c.result.Metric("rejected_rate")
+		p99, _ := c.result.Metric("p99_sojourn_ms")
+		th, _ := c.result.Metric("throughput_rps")
+		tbl.Add(c.variant, fmt.Sprint(c.seed), trimFloat(c.primary),
+			trimFloat(hr), trimFloat(rr), trimFloat(p99), fmt.Sprintf("%.0f", th))
+	}
+	tbl.Render(&b)
+	b.WriteString("```\n\n")
+
+	if len(r.Checks) > 0 {
+		b.WriteString("## Invariants\n\n")
+		for _, c := range r.Checks {
+			fmt.Fprintf(&b, "- %s\n", c)
+		}
+		b.WriteString("\n")
+	}
+
+	fmt.Fprintf(&b, "## Verdict\n\n**%s** — %s\n", r.Verdict, r.Detail)
+	return b.String()
+}
+
+// ArtifactPath is the committed result file for a spec path:
+// hypotheses/<name>.json → hypotheses/<name>.md.
+func ArtifactPath(specPath string) string {
+	return strings.TrimSuffix(specPath, filepath.Ext(specPath)) + ".md"
+}
+
+// SpecPaths lists the hypothesis spec files in dir, sorted.
+func SpecPaths(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("lab: no hypothesis specs in %s", dir)
+	}
+	return paths, nil
+}

@@ -1,0 +1,187 @@
+package lab
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/des"
+)
+
+func raw(v any) json.RawMessage {
+	b, _ := json.Marshal(v)
+	return b
+}
+
+// statSpec is a small, fast statistical experiment with a real effect:
+// queue depth under overload moves p99 sojourn.
+func statSpec() Spec {
+	return Spec{
+		Name:       "t-queue",
+		Class:      "statistical",
+		Claim:      "deeper queues wait longer",
+		Prediction: "p99 up",
+		Metric:     "p99_sojourn_ms",
+		Direction:  "increase",
+		Base: des.Scenario{
+			Requests: 2000, Keys: 128, ZipfS: 1.1, Rate: 6000,
+			Shards: 1, Workers: 1, QueueDepth: 4, CacheEntries: -1,
+			ServiceNS: 1_000_000,
+		},
+		Variants: []Variant{
+			{Name: "qd4", Set: map[string]json.RawMessage{"queue_depth": raw(4)}},
+			{Name: "qd64", Set: map[string]json.RawMessage{"queue_depth": raw(64)}},
+		},
+	}
+}
+
+func TestStatisticalVerdictAndDeterminism(t *testing.T) {
+	spec := statSpec()
+	if err := spec.validate(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(rep.Verdict, "SUPPORTED") {
+		t.Fatalf("verdict %q for a 16x queue-depth effect", rep.Verdict)
+	}
+	rep2, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Markdown() != rep2.Markdown() {
+		t.Fatal("artifact is not byte-stable across reruns")
+	}
+	if len(rep.Cells) != len(spec.Variants)*len(spec.Seeds) {
+		t.Fatalf("ran %d cells, want %d", len(rep.Cells), len(spec.Variants)*len(spec.Seeds))
+	}
+}
+
+func TestReversedClaimNotSupported(t *testing.T) {
+	spec := statSpec()
+	spec.Direction = "decrease" // deeper queue decreasing p99 is false
+	if err := spec.validate(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != "NOT SUPPORTED" {
+		t.Fatalf("verdict %q for a reversed claim", rep.Verdict)
+	}
+}
+
+func TestOverlayRejectsUnknownKey(t *testing.T) {
+	spec := statSpec()
+	spec.Variants[1].Set["no_such_field"] = raw(1)
+	if err := spec.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(spec, nil); err == nil {
+		t.Fatal("typoed overlay key did not fail the experiment")
+	}
+}
+
+func TestDeterministicInvariants(t *testing.T) {
+	spec := Spec{
+		Name:       "t-kill",
+		Class:      "deterministic",
+		Claim:      "kills move only victim keys",
+		Prediction: "foreign == 0",
+		Metric:     "failovers",
+		Invariants: []string{"conservation", "kill-movement", "replay"},
+		Base: des.Scenario{
+			Requests: 1500, Keys: 256, ZipfS: 1.1, Rate: 4000,
+			Shards: 3, Workers: 2, QueueDepth: 16, CacheEntries: 64,
+			ServiceNS: 1_000_000,
+			Events:    []des.FleetEvent{{AtMS: 150, Shard: 0, Kind: "kill"}},
+		},
+		Variants: []Variant{{Name: "fleet3", Set: map[string]json.RawMessage{}}},
+	}
+	if err := spec.validate(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != "HOLDS" {
+		t.Fatalf("verdict %q", rep.Verdict)
+	}
+	// conservation + kill-movement + replay lines
+	if len(rep.Checks) != 3 {
+		t.Fatalf("got %d invariant lines, want 3: %v", len(rep.Checks), rep.Checks)
+	}
+}
+
+func TestLoadSpecValidation(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]string{
+		"unknown-top-level": `{"name":"x","class":"statistical","claim":"c","prediction":"p","metric":"ok","direction":"increase","surprise":1,"base":{},"variants":[{"name":"a","set":{}},{"name":"b","set":{}}]}`,
+		"bad-class":         `{"name":"x","class":"vibes","claim":"c","prediction":"p","metric":"ok","base":{},"variants":[{"name":"a","set":{}}]}`,
+		"no-direction":      `{"name":"x","class":"statistical","claim":"c","prediction":"p","metric":"ok","base":{},"variants":[{"name":"a","set":{}},{"name":"b","set":{}}]}`,
+		"det-no-invariant":  `{"name":"x","class":"deterministic","claim":"c","prediction":"p","metric":"ok","base":{},"variants":[{"name":"a","set":{}}]}`,
+		"dup-variant":       `{"name":"x","class":"deterministic","claim":"c","prediction":"p","metric":"ok","invariants":["replay"],"base":{},"variants":[{"name":"a","set":{}},{"name":"a","set":{}}]}`,
+		"no-claim":          `{"name":"x","class":"deterministic","claim":"","prediction":"p","metric":"ok","invariants":["replay"],"base":{},"variants":[{"name":"a","set":{}}]}`,
+		"bad-invariant":     `{"name":"x","class":"deterministic","claim":"c","prediction":"p","metric":"ok","invariants":["vibes"],"base":{},"variants":[{"name":"a","set":{}}]}`,
+	}
+	for name, body := range cases {
+		if _, err := LoadSpec(write(name+".json", body)); err == nil {
+			t.Errorf("%s: spec loaded without error", name)
+		}
+	}
+	good := `{"name":"x","class":"deterministic","claim":"c","prediction":"p","metric":"ok","invariants":["replay"],"base":{"requests":10,"service_ns":1000,"fill_window_ms":0},"variants":[{"name":"a","set":{}}]}`
+	s, err := LoadSpec(write("good.json", good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Seeds) != 1 || s.Seeds[0] != DefaultDetSeed {
+		t.Fatalf("deterministic seed default: %v", s.Seeds)
+	}
+}
+
+// TestCommittedSpecsRun pins that every committed hypothesis loads and
+// matches its artifact path convention. (The byte-for-byte artifact
+// check itself is `make hypotheses-check`, which CI runs.)
+func TestCommittedSpecsRun(t *testing.T) {
+	paths, err := SpecPaths("../../../hypotheses")
+	if err != nil {
+		t.Skipf("no committed hypotheses: %v", err)
+	}
+	det, stat := 0, 0
+	for _, p := range paths {
+		s, err := LoadSpec(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := strings.TrimSuffix(filepath.Base(p), ".json"); want != s.Name {
+			t.Errorf("%s: spec name %q != file name", p, s.Name)
+		}
+		if _, err := os.Stat(ArtifactPath(p)); err != nil {
+			t.Errorf("%s: missing committed artifact: %v", s.Name, err)
+		}
+		switch s.Class {
+		case "deterministic":
+			det++
+		case "statistical":
+			stat++
+		}
+	}
+	// The lab ships with at least one deterministic and two statistical
+	// experiments (three seeds each) — the floor the roadmap commits to.
+	if det < 1 || stat < 2 {
+		t.Errorf("committed hypotheses: %d deterministic, %d statistical — want >=1 and >=2", det, stat)
+	}
+}

@@ -1,0 +1,167 @@
+package des
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// LatencySummary aggregates one latency sample set (nanoseconds,
+// nearest-rank percentiles via internal/stats).
+type LatencySummary struct {
+	Count  int64 `json:"count"`
+	MeanNS int64 `json:"mean_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P90NS  int64 `json:"p90_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	MaxNS  int64 `json:"max_ns"`
+}
+
+func summarize(ns []int64) LatencySummary {
+	s := LatencySummary{Count: int64(len(ns))}
+	if len(ns) == 0 {
+		return s
+	}
+	xs := make([]float64, len(ns))
+	var sum int64
+	for i, v := range ns {
+		xs[i] = float64(v)
+		sum += v
+	}
+	sort.Float64s(xs)
+	s.MeanNS = sum / int64(len(ns))
+	s.P50NS = int64(stats.Percentile(xs, 50))
+	s.P90NS = int64(stats.Percentile(xs, 90))
+	s.P99NS = int64(stats.Percentile(xs, 99))
+	s.MaxNS = int64(xs[len(xs)-1])
+	return s
+}
+
+// Result is one simulation run's full tally.
+type Result struct {
+	// Conservation: Arrivals == OK + Rejected + Dropped + Lost, and
+	// OK == Hits + Misses + Coalesced. Both are invariant-checked by
+	// the lab's "conservation" check and the package tests.
+	Arrivals int64 `json:"arrivals"`
+	OK       int64 `json:"ok"`
+	Rejected int64 `json:"rejected"` // admission-queue 429 fail-fast
+	Dropped  int64 `json:"dropped"`  // no healthy shard to route to
+	Lost     int64 `json:"lost"`     // destroyed mid-service by a kill
+
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+
+	PeerFillHits   int64 `json:"peer_fill_hits"`
+	PeerFillMisses int64 `json:"peer_fill_misses"`
+	Evictions      int64 `json:"evictions"`
+	Failovers      int64 `json:"failovers"` // routed around a dead owner pre-probe
+
+	EndNS int64 `json:"end_ns"` // virtual time when the last event drained
+
+	Sojourn   LatencySummary `json:"sojourn"`    // arrival → completion
+	QueueWait LatencySummary `json:"queue_wait"` // arrival → service start
+
+	Shards []ShardStats `json:"shards"`
+
+	// Log is the event log when Scenario.RecordLog was set; same seed
+	// and scenario reproduce it byte for byte.
+	Log string `json:"-"`
+}
+
+// HitRate is (hits+coalesced)/served — the fraction of completed
+// requests that did not run the engine locally, the same formula
+// cmd/loadgen reports from real responses.
+func (r *Result) HitRate() float64 {
+	if r.OK == 0 {
+		return 0
+	}
+	return float64(r.Hits+r.Coalesced) / float64(r.OK)
+}
+
+// MetricNames lists every scalar the lab can select as a hypothesis's
+// primary metric, in rendering order.
+var MetricNames = []string{
+	"arrivals", "ok", "rejected", "dropped", "lost",
+	"hits", "misses", "coalesced", "hit_rate",
+	"engine_solves", "peer_fill_hits", "peer_fill_misses",
+	"evictions", "failovers",
+	"rejected_rate", "throughput_rps",
+	"mean_sojourn_ms", "p50_sojourn_ms", "p90_sojourn_ms", "p99_sojourn_ms",
+	"mean_queue_ms", "p99_queue_ms",
+	"post_join_misses", "post_join_hits",
+}
+
+// Metric returns a named scalar of the run. Unknown names error so a
+// spec typo fails the experiment instead of comparing zeros.
+func (r *Result) Metric(name string) (float64, error) {
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	switch name {
+	case "arrivals":
+		return float64(r.Arrivals), nil
+	case "ok":
+		return float64(r.OK), nil
+	case "rejected":
+		return float64(r.Rejected), nil
+	case "dropped":
+		return float64(r.Dropped), nil
+	case "lost":
+		return float64(r.Lost), nil
+	case "hits":
+		return float64(r.Hits), nil
+	case "misses":
+		return float64(r.Misses), nil
+	case "coalesced":
+		return float64(r.Coalesced), nil
+	case "hit_rate":
+		return r.HitRate(), nil
+	case "engine_solves":
+		// Requests that actually ran a local solve: misses minus the
+		// ones a peer's cache absorbed.
+		return float64(r.Misses - r.PeerFillHits), nil
+	case "peer_fill_hits":
+		return float64(r.PeerFillHits), nil
+	case "peer_fill_misses":
+		return float64(r.PeerFillMisses), nil
+	case "evictions":
+		return float64(r.Evictions), nil
+	case "failovers":
+		return float64(r.Failovers), nil
+	case "rejected_rate":
+		if r.Arrivals == 0 {
+			return 0, nil
+		}
+		return float64(r.Rejected) / float64(r.Arrivals), nil
+	case "throughput_rps":
+		if r.EndNS == 0 {
+			return 0, nil
+		}
+		return float64(r.OK) / (float64(r.EndNS) / 1e9), nil
+	case "mean_sojourn_ms":
+		return ms(r.Sojourn.MeanNS), nil
+	case "p50_sojourn_ms":
+		return ms(r.Sojourn.P50NS), nil
+	case "p90_sojourn_ms":
+		return ms(r.Sojourn.P90NS), nil
+	case "p99_sojourn_ms":
+		return ms(r.Sojourn.P99NS), nil
+	case "mean_queue_ms":
+		return ms(r.QueueWait.MeanNS), nil
+	case "p99_queue_ms":
+		return ms(r.QueueWait.P99NS), nil
+	case "post_join_misses":
+		var v int64
+		for _, s := range r.Shards {
+			v += s.PostJoinMiss
+		}
+		return float64(v), nil
+	case "post_join_hits":
+		var v int64
+		for _, s := range r.Shards {
+			v += s.PostJoinHits
+		}
+		return float64(v), nil
+	}
+	return 0, fmt.Errorf("des: unknown metric %q (see des.MetricNames)", name)
+}

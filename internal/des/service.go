@@ -1,0 +1,139 @@
+package des
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/benchjson"
+)
+
+// serviceModel produces engine service times for the simulated solves.
+// The mean comes from the committed BENCH.json — measured ns/op for the
+// scenario's solver — so simulated capacity planning rests on the same
+// numbers the perf regression gate enforces, not on invented constants.
+type serviceModel struct {
+	missNS float64 // mean engine time for a cache miss
+	hitNS  float64
+	peerNS float64
+	exp    bool // exponential service (M/M/c); false = deterministic
+}
+
+// benchCurvePrefixes are the benchmark families searched for a solver's
+// service curve, in order. E3Scaling carries per-size measurements
+// (greedy, mpartition) that interpolate across N; E5Comparison is the
+// single-size fallback covering the rest of the registry.
+var benchCurvePrefixes = []string{"BenchmarkE3Scaling/", "BenchmarkE5Comparison/"}
+
+// newServiceModel resolves the scenario's service-time parameters.
+func newServiceModel(cfg Scenario) (serviceModel, error) {
+	m := serviceModel{
+		hitNS:  float64(cfg.HitNS),
+		peerNS: float64(cfg.PeerNS),
+		exp:    cfg.ServiceDist == "exp",
+	}
+	if cfg.ServiceNS > 0 {
+		m.missNS = float64(cfg.ServiceNS)
+		return m, nil
+	}
+	if cfg.Bench == nil {
+		return m, fmt.Errorf("des: scenario needs service_ns or a BENCH.json snapshot (benchjson.LoadFile)")
+	}
+	ns, err := solverNS(*cfg.Bench, cfg.Solver, cfg.N)
+	if err != nil {
+		return m, err
+	}
+	m.missNS = ns
+	return m, nil
+}
+
+// solverNS extracts the solver's mean engine time at instance size n
+// from the snapshot. When the snapshot carries a per-size curve
+// (BenchmarkE3Scaling/<solver>/n=<k>) the result is log-log
+// interpolated between the two nearest measured sizes — solver costs
+// are polynomial in n, so they are straight lines in log space — and
+// extrapolated on the nearest segment's slope outside the measured
+// range. Otherwise the single E5Comparison measurement is used as-is.
+func solverNS(snap benchjson.Snapshot, solver string, n int) (float64, error) {
+	type pt struct{ n, ns float64 }
+	var curve []pt
+	var single float64
+	for _, r := range snap.Benchmarks {
+		for _, prefix := range benchCurvePrefixes {
+			rest, ok := strings.CutPrefix(r.Name, prefix)
+			if !ok {
+				continue
+			}
+			name, size, sized := strings.Cut(rest, "/n=")
+			if name != solver {
+				continue
+			}
+			if !sized {
+				single = r.NsPerOp
+				continue
+			}
+			k, err := strconv.Atoi(size)
+			if err != nil || k <= 0 {
+				continue
+			}
+			curve = append(curve, pt{n: float64(k), ns: r.NsPerOp})
+		}
+	}
+	if len(curve) == 0 {
+		if single > 0 {
+			return single, nil
+		}
+		return 0, fmt.Errorf("des: no service curve for solver %q in BENCH.json (families %v)",
+			solver, benchCurvePrefixes)
+	}
+	sort.Slice(curve, func(a, b int) bool { return curve[a].n < curve[b].n })
+	// Collapse -count repeats of the same size by averaging.
+	dedup := curve[:0]
+	for _, p := range curve {
+		if len(dedup) > 0 && dedup[len(dedup)-1].n == p.n {
+			dedup[len(dedup)-1].ns = (dedup[len(dedup)-1].ns + p.ns) / 2
+			continue
+		}
+		dedup = append(dedup, p)
+	}
+	curve = dedup
+	x := float64(n)
+	if len(curve) == 1 {
+		// One size: scale linearly in n (the mildest assumption).
+		return curve[0].ns * x / curve[0].n, nil
+	}
+	// Pick the segment containing x, or the nearest edge segment.
+	i := sort.Search(len(curve), func(i int) bool { return curve[i].n >= x })
+	switch {
+	case i == 0:
+		i = 1
+	case i == len(curve):
+		i = len(curve) - 1
+	}
+	a, b := curve[i-1], curve[i]
+	slope := (math.Log(b.ns) - math.Log(a.ns)) / (math.Log(b.n) - math.Log(a.n))
+	return math.Exp(math.Log(a.ns) + slope*(math.Log(x)-math.Log(a.n))), nil
+}
+
+// missDur draws one engine service time.
+func (m serviceModel) missDur(rng rngSource) int64 {
+	if !m.exp {
+		return int64(m.missNS)
+	}
+	return atLeast1(int64(rng.ExpFloat64() * m.missNS))
+}
+
+func (m serviceModel) hitDur() int64  { return atLeast1(int64(m.hitNS)) }
+func (m serviceModel) peerDur() int64 { return atLeast1(int64(m.peerNS)) }
+
+func atLeast1(ns int64) int64 {
+	if ns < 1 {
+		return 1
+	}
+	return ns
+}
+
+// rngSource is the slice of the workload RNG the service model needs.
+type rngSource interface{ ExpFloat64() float64 }

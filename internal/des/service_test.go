@@ -1,0 +1,90 @@
+package des
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/benchjson"
+)
+
+func snapWith(recs ...benchjson.Record) benchjson.Snapshot {
+	return benchjson.Snapshot{
+		GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 4, NumCPU: 4,
+		Benchmarks: recs,
+	}
+}
+
+func rec(name string, ns float64) benchjson.Record {
+	return benchjson.Record{Name: name, Iters: 1, NsPerOp: ns}
+}
+
+func TestSolverNSInterpolation(t *testing.T) {
+	// A perfect power law ns = 3·n^1.5 must interpolate and extrapolate
+	// exactly in log-log space.
+	pow := func(n float64) float64 { return 3 * math.Pow(n, 1.5) }
+	snap := snapWith(
+		rec("BenchmarkE3Scaling/greedy/n=100", pow(100)),
+		rec("BenchmarkE3Scaling/greedy/n=1000", pow(1000)),
+		rec("BenchmarkE3Scaling/greedy/n=10000", pow(10000)),
+	)
+	for _, n := range []int{100, 316, 1000, 5000, 10000, 20000} {
+		got, err := solverNS(snap, "greedy", n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := pow(float64(n))
+		if rel := math.Abs(got-want) / want; rel > 1e-9 {
+			t.Errorf("n=%d: got %.1f, want %.1f", n, got, want)
+		}
+	}
+}
+
+func TestSolverNSRepeatsAveraged(t *testing.T) {
+	snap := snapWith(
+		rec("BenchmarkE3Scaling/greedy/n=100", 100),
+		rec("BenchmarkE3Scaling/greedy/n=100", 300),
+	)
+	got, err := solverNS(snap, "greedy", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One (averaged) size ⇒ linear scaling: 200ns·(200/100).
+	if got != 400 {
+		t.Fatalf("got %.1f, want 400", got)
+	}
+}
+
+func TestSolverNSFallbackAndErrors(t *testing.T) {
+	snap := snapWith(rec("BenchmarkE5Comparison/refine", 5000))
+	got, err := solverNS(snap, "refine", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5000 {
+		t.Fatalf("E5 fallback: got %.1f, want 5000", got)
+	}
+	if _, err := solverNS(snap, "nosuch", 1000); err == nil {
+		t.Fatal("unknown solver must error")
+	}
+}
+
+// TestBenchBackedScenario pins that the committed BENCH.json drives a
+// runnable scenario end to end (solver curve → service model → run).
+func TestBenchBackedScenario(t *testing.T) {
+	snap, err := benchjson.LoadFile("../../BENCH.json")
+	if err != nil {
+		t.Skipf("no committed BENCH.json: %v", err)
+	}
+	cfg := Scenario{
+		Seed: 3, Requests: 500, Keys: 64, Rate: 2000,
+		Shards: 2, Solver: "mpartition", N: 1500,
+		Bench: &snap,
+	}
+	res := mustRun(t, cfg)
+	if err := CheckConservation(res); err != nil {
+		t.Fatal(err)
+	}
+	if res.OK == 0 {
+		t.Fatal("bench-backed scenario completed nothing")
+	}
+}

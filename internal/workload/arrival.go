@@ -1,0 +1,218 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf draws key ranks from a bounded Zipf (power-law) popularity
+// distribution over the population [0, K): rank r is drawn with
+// probability proportional to (r+1)^-s. It is the duplicate model for
+// cache experiments — a small set of hot canonical keys receives most
+// of the traffic, exactly the regime where a solution cache pays — and
+// is shared by cmd/loadgen (real traffic against a daemon) and
+// internal/des (simulated traffic), so measured and simulated hit
+// dynamics come from the same popularity law.
+//
+// Sampling is CDF inversion over a precomputed cumulative table, which
+// supports any s >= 0 (s = 0 degenerates to uniform) and is exactly
+// reproducible from the RNG stream — no rejection loop whose iteration
+// count could change with a float rounding difference.
+type Zipf struct {
+	rng *RNG
+	cum []float64 // cum[r] = P(rank <= r), cum[K-1] == 1
+}
+
+// NewZipf builds a sampler over ranks [0, k) with exponent s, drawing
+// from rng. It panics on k <= 0 or s < 0 (configs are authored in code
+// or validated specs).
+func NewZipf(rng *RNG, s float64, k int) *Zipf {
+	if k <= 0 {
+		panic(fmt.Sprintf("workload: Zipf population %d", k))
+	}
+	if s < 0 || math.IsNaN(s) {
+		panic(fmt.Sprintf("workload: Zipf exponent %v", s))
+	}
+	cum := make([]float64, k)
+	var total float64
+	for r := 0; r < k; r++ {
+		total += math.Pow(float64(r+1), -s)
+		cum[r] = total
+	}
+	for r := range cum {
+		cum[r] /= total
+	}
+	cum[k-1] = 1 // guard against rounding leaving the tail unreachable
+	return &Zipf{rng: rng, cum: cum}
+}
+
+// Sample returns the next rank in [0, K). Rank 0 is the hottest key.
+func (z *Zipf) Sample() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// ZipfSequence returns the first n ranks of the Zipf(s) stream over
+// [0, keys) seeded with seed. cmd/loadgen derives its duplicate
+// schedule from this exact function and cmd/simvalidate replays the
+// same call into the simulator, which is what lets the simulator
+// predict the real daemon's cache hit rate for a given burst: both
+// sides see the identical key sequence, not merely the same
+// distribution.
+func ZipfSequence(seed uint64, s float64, keys, n int) []int {
+	z := NewZipf(NewRNG(seed), s, keys)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = z.Sample()
+	}
+	return out
+}
+
+// ArrivalDist selects an interarrival-time distribution for open
+// arrivals.
+type ArrivalDist int
+
+const (
+	// ArrivalPoisson is a Poisson process: exponential interarrivals
+	// (CV = 1), the memoryless baseline of queueing theory.
+	ArrivalPoisson ArrivalDist = iota
+	// ArrivalGamma draws Gamma interarrivals with a configurable
+	// coefficient of variation: CV < 1 is smoother-than-Poisson traffic,
+	// CV > 1 is burstier (flash-crowd-like) traffic.
+	ArrivalGamma
+)
+
+// String names the distribution for flags and table output.
+func (d ArrivalDist) String() string {
+	switch d {
+	case ArrivalPoisson:
+		return "poisson"
+	case ArrivalGamma:
+		return "gamma"
+	}
+	return fmt.Sprintf("ArrivalDist(%d)", int(d))
+}
+
+// ParseArrivalDist resolves an arrival-process name ("poisson",
+// "gamma") to its enum, for CLI flags.
+func ParseArrivalDist(s string) (ArrivalDist, error) {
+	for _, d := range []ArrivalDist{ArrivalPoisson, ArrivalGamma} {
+		if d.String() == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown arrival distribution %q", s)
+}
+
+// Interarrival is an open-arrival interarrival-time sampler: requests
+// arrive at rate Rate per second with the gap distribution selected by
+// Dist. The zero CV on a Gamma process means CV 1 (which coincides
+// with Poisson).
+type Interarrival struct {
+	Dist ArrivalDist
+	// Rate is the mean arrival rate in requests per second; must be
+	// positive.
+	Rate float64
+	// CV is the coefficient of variation of the gaps (Gamma only):
+	// shape = 1/CV², scale chosen so the mean stays 1/Rate.
+	CV float64
+}
+
+// NextNS draws the next interarrival gap in nanoseconds (at least 1,
+// so arrival times are strictly increasing and event ordering never
+// depends on tie-breaking between two arrivals).
+func (a Interarrival) NextNS(rng *RNG) int64 {
+	if a.Rate <= 0 || math.IsNaN(a.Rate) {
+		panic(fmt.Sprintf("workload: arrival rate %v", a.Rate))
+	}
+	meanNS := 1e9 / a.Rate
+	var gap float64
+	switch a.Dist {
+	case ArrivalPoisson:
+		gap = rng.ExpFloat64() * meanNS
+	case ArrivalGamma:
+		cv := a.CV
+		if cv <= 0 {
+			cv = 1
+		}
+		shape := 1 / (cv * cv)
+		gap = rng.GammaFloat64(shape) / shape * meanNS
+	default:
+		panic(fmt.Sprintf("workload: unknown arrival dist %d", a.Dist))
+	}
+	ns := int64(gap)
+	if ns < 1 {
+		ns = 1
+	}
+	return ns
+}
+
+// ArrivalTimes returns the first n absolute arrival offsets (ns from
+// the start of the run) of the process seeded with seed. cmd/loadgen
+// uses it to pace an open-loop burst; internal/des draws the same
+// sampler incrementally inside the event loop.
+func ArrivalTimes(seed uint64, a Interarrival, n int) []int64 {
+	rng := NewRNG(seed)
+	out := make([]int64, n)
+	var t int64
+	for i := range out {
+		t += a.NextNS(rng)
+		out[i] = t
+	}
+	return out
+}
+
+// ExpFloat64 returns an exponential variate with mean 1 (inverse-CDF
+// on the open unit interval; the u == 0 draw is skipped so Log never
+// sees zero).
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		return -math.Log(u)
+	}
+}
+
+// GammaFloat64 returns a Gamma(shape, 1) variate via the
+// Marsaglia–Tsang squeeze (with the standard boost for shape < 1).
+// Every draw consumes RNG values through the same deterministic
+// splitmix64 stream, so Gamma-driven simulations replay exactly from a
+// seed.
+func (r *RNG) GammaFloat64(shape float64) float64 {
+	if shape <= 0 || math.IsNaN(shape) {
+		panic(fmt.Sprintf("workload: Gamma shape %v", shape))
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		for {
+			u := r.Float64()
+			if u == 0 {
+				continue
+			}
+			return r.GammaFloat64(shape+1) * math.Pow(u, 1/shape)
+		}
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfDeterministicAndBounded(t *testing.T) {
+	a := ZipfSequence(42, 1.1, 128, 5000)
+	b := ZipfSequence(42, 1.1, 128, 5000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d differs across identical seeds: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] < 0 || a[i] >= 128 {
+			t.Fatalf("rank %d out of population: %d", i, a[i])
+		}
+	}
+	c := ZipfSequence(43, 1.1, 128, 5000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// Heavier exponent concentrates mass on the head: rank 0's share
+	// must grow with s, and under s=1.2 the top 10% of keys should
+	// carry well over half the traffic.
+	freq := func(s float64) (head float64, top10 float64) {
+		const keys, n = 100, 20000
+		counts := make([]int, keys)
+		for _, r := range ZipfSequence(7, s, keys, n) {
+			counts[r]++
+		}
+		var top int
+		for r := 0; r < keys/10; r++ {
+			top += counts[r]
+		}
+		return float64(counts[0]) / n, float64(top) / n
+	}
+	h0, _ := freq(0)
+	h12, t12 := freq(1.2)
+	if h12 < 3*h0 {
+		t.Errorf("zipf 1.2 head share %.3f not much larger than uniform %.3f", h12, h0)
+	}
+	if t12 < 0.5 {
+		t.Errorf("zipf 1.2 top-10%% share %.3f, want > 0.5", t12)
+	}
+}
+
+func TestZipfUniformAtZero(t *testing.T) {
+	const keys, n = 16, 32000
+	counts := make([]int, keys)
+	for _, r := range ZipfSequence(3, 0, keys, n) {
+		counts[r]++
+	}
+	want := float64(n) / keys
+	for r, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.15 {
+			t.Errorf("rank %d count %d, want ~%.0f (uniform)", r, c, want)
+		}
+	}
+}
+
+func TestInterarrivalMeanRate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		a    Interarrival
+	}{
+		{"poisson", Interarrival{Dist: ArrivalPoisson, Rate: 1000}},
+		{"gamma-smooth", Interarrival{Dist: ArrivalGamma, Rate: 1000, CV: 0.25}},
+		{"gamma-bursty", Interarrival{Dist: ArrivalGamma, Rate: 1000, CV: 2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const n = 50000
+			times := ArrivalTimes(99, tc.a, n)
+			meanNS := float64(times[n-1]) / n
+			wantNS := 1e9 / tc.a.Rate
+			if math.Abs(meanNS-wantNS)/wantNS > 0.05 {
+				t.Errorf("mean gap %.0f ns, want ~%.0f", meanNS, wantNS)
+			}
+			for i := 1; i < n; i++ {
+				if times[i] <= times[i-1] {
+					t.Fatalf("arrival times not strictly increasing at %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestGammaCV(t *testing.T) {
+	// The sampler must realize the requested coefficient of variation,
+	// not just the mean — that is the whole point of the Gamma option.
+	for _, cv := range []float64{0.25, 1, 2} {
+		rng := NewRNG(5)
+		a := Interarrival{Dist: ArrivalGamma, Rate: 1, CV: cv}
+		const n = 60000
+		var sum, sumsq float64
+		for i := 0; i < n; i++ {
+			x := float64(a.NextNS(rng))
+			sum += x
+			sumsq += x * x
+		}
+		mean := sum / n
+		sd := math.Sqrt(sumsq/n - mean*mean)
+		got := sd / mean
+		if math.Abs(got-cv)/cv > 0.1 {
+			t.Errorf("CV=%.2f: sampled CV %.3f", cv, got)
+		}
+	}
+}
+
+func TestParseArrivalDist(t *testing.T) {
+	for _, d := range []ArrivalDist{ArrivalPoisson, ArrivalGamma} {
+		got, err := ParseArrivalDist(d.String())
+		if err != nil || got != d {
+			t.Errorf("ParseArrivalDist(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	if _, err := ParseArrivalDist("weibull"); err == nil {
+		t.Error("ParseArrivalDist accepted unknown name")
+	}
+}
