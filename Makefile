@@ -16,11 +16,12 @@ race:
 
 # race-fast covers only the concurrency-bearing packages (the worker
 # pool, the shared metric sinks, the engine registry, the solution
-# cache's single-flight layer, the dispatch core, the hash ring, the
-# routing tier, and the serving layer) — the quick pre-push check; `ci`
-# and `race` sweep the module.
+# cache's single-flight layer, the dispatch core and its session table,
+# the hash ring, the routing tier, the session and online layers, and
+# the serving layer) — the quick pre-push check; `ci` and `race` sweep
+# the module.
 race-fast:
-	$(GO) test -race ./internal/par ./internal/obs ./internal/engine ./internal/cache ./internal/dispatch ./internal/ring ./internal/router ./internal/server/...
+	$(GO) test -race ./internal/par ./internal/obs ./internal/engine ./internal/cache ./internal/dispatch ./internal/ring ./internal/router ./internal/session ./internal/online ./internal/server/...
 
 vet:
 	$(GO) vet ./...
@@ -38,8 +39,8 @@ bench:
 # baseline's per-name median (what bench-diff compares against) is
 # taken over five repeats.
 bench-json:
-	( $(GO) test -bench=. -benchmem -benchtime $(BENCHTIME) -run=^$$ . ./internal/server ; \
-	  $(GO) test -bench='$(BENCH_GATE_RE)' -benchmem -benchtime $(BENCHTIME) -count 4 -run=^$$ . ./internal/server ) \
+	( $(GO) test -bench=. -benchmem -benchtime $(BENCHTIME) -run=^$$ . ./internal/server ./internal/session ; \
+	  $(GO) test -bench='$(BENCH_GATE_RE)' -benchmem -benchtime $(BENCHTIME) -count 4 -run=^$$ . ./internal/server ./internal/session ) \
 	| $(GO) run ./cmd/benchjson -json BENCH.json
 
 # bench-diff is the performance regression gate: it re-runs the curated
@@ -61,9 +62,9 @@ bench-json:
 BENCHTIME ?= 1s
 BENCH_COUNT ?= 5
 BENCH_TOLERANCE ?= 0.20
-BENCH_GATE_RE = ^(BenchmarkCalibration|BenchmarkE2PartitionRatio|BenchmarkE3Scaling|BenchmarkE4PTAS|BenchmarkE11Ablation|BenchmarkServerSolveHit|BenchmarkServerSolveMiss|BenchmarkServerBatch)$$
+BENCH_GATE_RE = ^(BenchmarkCalibration|BenchmarkE2PartitionRatio|BenchmarkE3Scaling|BenchmarkE4PTAS|BenchmarkE11Ablation|BenchmarkServerSolveHit|BenchmarkServerSolveMiss|BenchmarkServerBatch|BenchmarkSessionDelta|BenchmarkSessionColdResolve)$$
 bench-diff:
-	$(GO) test -bench='$(BENCH_GATE_RE)' -benchmem -benchtime $(BENCHTIME) -count $(BENCH_COUNT) -run=^$$ . ./internal/server | $(GO) run ./cmd/benchdiff -baseline BENCH.json -tolerance $(BENCH_TOLERANCE)
+	$(GO) test -bench='$(BENCH_GATE_RE)' -benchmem -benchtime $(BENCHTIME) -count $(BENCH_COUNT) -run=^$$ . ./internal/server ./internal/session | $(GO) run ./cmd/benchdiff -baseline BENCH.json -tolerance $(BENCH_TOLERANCE)
 
 # bench-profile captures CPU and allocation profiles for the serving mix
 # benchmark (the loadgen-shaped 70/30 hit/miss traffic); inspect with
@@ -151,6 +152,7 @@ fuzz-short:
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzPartitionBudgetInvariants -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cache -run '^$$' -fuzz FuzzCanonicalHash -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/server -run '^$$' -fuzz FuzzServerSolve -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/session -run '^$$' -fuzz FuzzSessionDeltas -fuzztime $(FUZZTIME)
 
 # ci is the single gate: static checks, the full suite, and the race
 # detector over the whole module — which includes the server's admission

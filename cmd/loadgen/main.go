@@ -95,11 +95,48 @@ func main() {
 	arrival := flag.String("arrival", "poisson", "arrival process when -rate is set: poisson|gamma")
 	rate := flag.Float64("rate", 0, "offered load in req/s as paced open arrivals (0: closed loop, as fast as -c allows)")
 	cv := flag.Float64("cv", 1, "interarrival coefficient of variation for -arrival gamma")
+	sessions := flag.Int("sessions", 0, "session mode: open this many live rebalancing sessions and stream deltas at them instead of stateless solves")
+	coldEvery := flag.Int("cold-every", 25, "session mode: also cold-solve the mirrored instance every this many deltas as the baseline (0: no baseline)")
 	version := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
 
 	if *version {
 		fmt.Println(rebalance.Version())
+		return
+	}
+
+	if *sessions > 0 {
+		// Session mode: -n is the total delta count, split evenly across
+		// sessions; -rate (when set) is likewise the aggregate offered
+		// delta rate. Sessions are stateful and pinned to one daemon, so
+		// fleet routing does not apply.
+		if *fleet != "" {
+			log.Fatal("-sessions and -fleet are mutually exclusive: sessions are pinned to one daemon")
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		cl := client.New(*addr, nil)
+		if err := cl.Ready(ctx); err != nil {
+			log.Fatalf("daemon not ready at %s: %v", *addr, err)
+		}
+		perSession := *n / *sessions
+		if perSession < 1 {
+			perSession = 1
+		}
+		runSessions(ctx, cl, sessionOpts{
+			sessions:  *sessions,
+			deltas:    perSession,
+			workers:   *c,
+			m:         *m,
+			k:         *k,
+			maxSize:   *maxSize,
+			seed:      *seed,
+			coldEvery: *coldEvery,
+			rate:      *rate,
+			arrival:   *arrival,
+			cv:        *cv,
+			timeout:   *timeout,
+		})
 		return
 	}
 

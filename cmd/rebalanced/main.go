@@ -74,6 +74,8 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", server.DefaultMaxTimeout, "clamp on request-supplied timeout_ms")
 	cacheEntries := flag.Int("cache", server.DefaultCacheEntries, "solution cache LRU entries (0: default, negative: disable caching)")
 	maxBatch := flag.Int("max-batch", server.DefaultMaxBatch, "max requests per /v1/batch call")
+	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "max live rebalancing sessions; beyond it creates get 429")
+	sessionTTL := flag.Duration("session-ttl", server.DefaultSessionTTL, "idle lifetime of a rebalancing session before eviction")
 	shardID := flag.String("shard-id", "", "fleet identity stamped into every solve response (empty: standalone)")
 	peerFill := flag.Bool("peer-fill", false, "warm the cache from the peer named in X-Peer-Fill on local misses (fleet mode)")
 	peerTimeout := flag.Duration("peer-timeout", 2*time.Second, "bound on one peer cache-fill peek")
@@ -149,6 +151,8 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		CacheEntries:   *cacheEntries,
 		MaxBatch:       *maxBatch,
+		MaxSessions:    *maxSessions,
+		SessionTTL:     *sessionTTL,
 		ShardID:        *shardID,
 		PeerFill:       fill,
 		Obs:            sink,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 
+	"repro/internal/instance"
 	"repro/internal/obs"
 )
 
@@ -47,15 +48,28 @@ type scanEvent struct {
 }
 
 func newIncrementalScan(s *solver) *incrementalScan {
-	m := s.in.M
-	return &incrementalScan{
-		s:        s,
-		largeCnt: make([]int32, m),
-		a:        make([]int32, m),
-		b:        make([]int32, m),
-		c:        make([]int32, m),
-		order:    make([]int32, m),
+	ic := &incrementalScan{s: s}
+	ic.reset()
+	return ic
+}
+
+// reset sizes the per-processor state for the solver's current
+// processor count and zeroes it along with the aggregates. scan calls
+// it on entry, so a scan retained across solves of a mutating instance
+// (core.Warm) starts from exactly the state a freshly constructed one
+// would — the refresh diffs below are only correct when the aggregates
+// are consistent with the per-processor arrays.
+func (ic *incrementalScan) reset() {
+	m := ic.s.in.M
+	ic.largeCnt = instance.GrowSlice(ic.largeCnt, m)
+	ic.a = instance.GrowSlice(ic.a, m)
+	ic.b = instance.GrowSlice(ic.b, m)
+	ic.c = instance.GrowSlice(ic.c, m)
+	ic.order = instance.GrowSlice(ic.order, m)
+	for p := 0; p < m; p++ {
+		ic.largeCnt[p], ic.a[p], ic.b[p], ic.c[p] = 0, 0, 0, 0
 	}
+	ic.sumB, ic.largeTotal, ic.largeProcs = 0, 0, 0
 }
 
 // refresh recomputes processor p's state for threshold v in O(log n_p)
@@ -167,6 +181,7 @@ func (ic *incrementalScan) scan(ctx context.Context, k int) (int64, bool, error)
 	if err := ctx.Err(); err != nil {
 		return 0, false, err
 	}
+	ic.reset()
 	s := ic.s
 	in := s.in
 	lo, hi := in.LowerBound(), in.InitialMakespan()

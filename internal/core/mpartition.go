@@ -58,10 +58,22 @@ func MPartitionObs(in *instance.Instance, k int, mode SearchMode, sink *obs.Sink
 // returning ctx.Err() when the context is cancelled or its deadline
 // expires mid-search.
 func MPartitionCtx(ctx context.Context, in *instance.Instance, k int, mode SearchMode, sink *obs.Sink) (instance.Solution, error) {
+	s := newSolver(in, sink) // sort once; every probe reuses the order
+	return runMPartition(ctx, s, nil, k, mode)
+}
+
+// runMPartition is the mode-dispatched target search over an already
+// built solver — shared verbatim by the cold path (MPartitionCtx) and
+// the warm session path (Warm.Solve), which is what guarantees the two
+// produce identical solutions for identical solver states. ic, when
+// non-nil, is a caller-retained incremental scan whose buffers persist
+// across calls (it is reset before use); nil builds a fresh one when
+// the mode needs it.
+func runMPartition(ctx context.Context, s *solver, ic *incrementalScan, k int, mode SearchMode) (instance.Solution, error) {
 	if k < 0 {
 		k = 0
 	}
-	s := newSolver(in, sink) // sort once; every probe reuses the order
+	in, sink := s.in, s.sink
 
 	// finish stamps the accepted target (0 for the do-nothing fallback)
 	// on the returned solution's search_result event.
@@ -111,7 +123,10 @@ func MPartitionCtx(ctx context.Context, in *instance.Instance, k int, mode Searc
 			}
 		}
 	case IncrementalScan:
-		target, ok, err := newIncrementalScan(s).scan(ctx, k)
+		if ic == nil {
+			ic = newIncrementalScan(s)
+		}
+		target, ok, err := ic.scan(ctx, k)
 		if err != nil {
 			return instance.Solution{}, err
 		}

@@ -94,6 +94,14 @@ type Config struct {
 	// the finished solution before running the engine. Nil disables
 	// peer fill.
 	Fill FillFunc
+	// MaxSessions bounds the rebalancing-session table; a create beyond
+	// the bound (after expired sessions are evicted) fails with
+	// ErrSessionTableFull. ≤ 0 means DefaultMaxSessions.
+	MaxSessions int
+	// SessionTTL is the idle lifetime of a session: one that sees no
+	// create/get/delta traffic for this long is evicted. ≤ 0 means
+	// DefaultSessionTTL.
+	SessionTTL time.Duration
 }
 
 // task is one admitted solve request travelling from Do to a worker.
@@ -120,6 +128,7 @@ type Core struct {
 	inflight   sync.WaitGroup // queued + running tasks
 	inflightN  atomic.Int64   // same population, as a number for the gauge
 	workers    chan struct{}  // closed when the pool has exited
+	sessions   *sessionTable  // rebalancing sessions (session.go)
 
 	// solvers is the per-solver serving table, built once from the
 	// registry: interned names for allocation-free lookup plus the
@@ -148,6 +157,12 @@ func New(cfg Config) *Core {
 	if cfg.DefaultTimeout > cfg.MaxTimeout {
 		cfg.DefaultTimeout = cfg.MaxTimeout
 	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = DefaultSessionTTL
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Core{
 		cfg:        cfg,
@@ -155,7 +170,9 @@ func New(cfg Config) *Core {
 		rootCtx:    ctx,
 		rootCancel: cancel,
 		workers:    make(chan struct{}),
+		sessions:   &sessionTable{entries: make(map[string]*sessionEntry)},
 	}
+	go c.sessionJanitor()
 	if cfg.CacheEntries >= 0 {
 		// Flights run under rootCtx so a drain timeout cancels them.
 		c.cache = cache.New(cache.Config{
@@ -426,6 +443,11 @@ func (c *Core) Shutdown(ctx context.Context) error {
 		c.cfg.Obs.Count("server.drain_cancelled", 1)
 	}
 	c.rootCancel() // stops workers; cancels any straggler solve contexts
+	// Sessions close after rootCancel: in-flight deltas have either
+	// drained with the inflight group or see their contexts cancelled
+	// and release the per-session locks promptly, so the close cannot
+	// stall on a straggler.
+	c.closeSessions()
 	<-c.workers
 	return err
 }

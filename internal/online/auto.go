@@ -24,14 +24,15 @@ func (p *AutoPolicy) defaults() {
 // Imbalance returns the current makespan divided by the flat average
 // load (1.0 = perfect balance; 0 jobs reports 1.0).
 func (b *Balancer) Imbalance() float64 {
+	loads := b.s.Loads()
 	var total int64
-	for _, l := range b.loads {
+	for _, l := range loads {
 		total += l
 	}
 	if total == 0 {
 		return 1
 	}
-	return float64(b.Makespan()) * float64(b.m) / float64(total)
+	return float64(b.Makespan()) * float64(len(loads)) / float64(total)
 }
 
 // MaybeRebalance applies the policy: if the imbalance exceeds the

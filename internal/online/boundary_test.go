@@ -1,0 +1,56 @@
+package online
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestOnlineImportBoundary pins the session merge: the balancer is a
+// compatibility veneer over internal/session and must not grow a solve
+// path of its own. Before the merge this package called core.MPartition
+// directly — a second, siloed rebalancing path that the session
+// differential harness never exercised. If the balancer needs solver
+// behavior, the session grows a method; that keeps every delta source
+// (HTTP sessions, the in-process balancer) on one audited solve path.
+func TestOnlineImportBoundary(t *testing.T) {
+	forbidden := map[string]string{
+		"repro/internal/core":    "solves are owned by internal/session",
+		"repro/internal/movemin": "move bounding is owned by internal/session",
+		"repro/internal/exact":   "solves are owned by internal/session",
+		"repro/internal/engine":  "solver registry access is owned by internal/session",
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	checked := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(".", name), nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		checked++
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatalf("%s: unquote import %s: %v", name, imp.Path.Value, err)
+			}
+			if why, bad := forbidden[path]; bad {
+				t.Errorf("%s imports %s — %s", name, path, why)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no non-test Go files checked; is the test running in the package directory?")
+	}
+}

@@ -1,164 +1,119 @@
 // Package online maintains a live job-to-processor assignment under the
 // dynamic conditions the paper's introduction motivates: jobs (websites,
 // processes) arrive, grow, shrink and depart, and every so often the
-// operator rebalances with a bounded number of moves. It is the
-// incremental front-end to the §3.1 M-PARTITION algorithm: state is
-// updated in O(log n)-ish time and Rebalance(k) produces at most k
-// migrations with the 1.5 guarantee relative to the best k-move
-// rebalancing of the current state.
+// operator rebalances with a bounded number of moves.
+//
+// It is a compatibility veneer over internal/session — every operation
+// is a typed session delta and every rebalance rides the session's warm
+// M-PARTITION path (Rebalance(k): at most k migrations with the 1.5
+// guarantee relative to the best k-move rebalancing of the current
+// state). The package deliberately holds no solve path of its own; the
+// boundary test pins that it never imports the solver layers directly.
 package online
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
-	"repro/internal/core"
 	"repro/internal/instance"
+	"repro/internal/session"
 )
 
 // Move is one migration produced by Rebalance.
-type Move struct {
-	Job      int // caller-assigned job ID
-	From, To int // processors
-}
-
-type jobState struct {
-	size, cost int64
-	proc       int
-}
+type Move = session.Move
 
 // Balancer tracks jobs, their processors, and per-processor loads.
 // The zero value is unusable; construct with New.
 type Balancer struct {
-	m     int
-	jobs  map[int]jobState
-	loads []int64
+	s *session.Session
 }
 
 // New creates a balancer over m processors.
 func New(m int) (*Balancer, error) {
-	if m <= 0 {
-		return nil, fmt.Errorf("online: m = %d, want > 0", m)
+	s, err := session.New(session.Config{M: m})
+	if err != nil {
+		return nil, fmt.Errorf("online: %w", err)
 	}
-	return &Balancer{m: m, jobs: make(map[int]jobState), loads: make([]int64, m)}, nil
+	return &Balancer{s: s}, nil
 }
 
 // Add registers a new job. proc selects its processor; pass -1 to place
 // it on the currently least-loaded processor (Graham-style arrival).
 func (b *Balancer) Add(id int, size, cost int64, proc int) error {
-	if _, dup := b.jobs[id]; dup {
-		return fmt.Errorf("online: duplicate job id %d", id)
-	}
-	if size <= 0 || cost < 0 {
-		return fmt.Errorf("online: job %d has size %d cost %d", id, size, cost)
-	}
-	if proc == -1 {
-		proc = 0
-		for p := 1; p < b.m; p++ {
-			if b.loads[p] < b.loads[proc] {
-				proc = p
-			}
-		}
-	}
-	if proc < 0 || proc >= b.m {
-		return fmt.Errorf("online: job %d placed on processor %d, want [0,%d)", id, proc, b.m)
-	}
-	b.jobs[id] = jobState{size: size, cost: cost, proc: proc}
-	b.loads[proc] += size
-	return nil
+	return b.apply(session.Delta{Op: session.OpArrive, Job: id, Size: size, Cost: cost, Proc: proc})
 }
 
 // Update changes a job's size (its current load).
 func (b *Balancer) Update(id int, size int64) error {
-	st, ok := b.jobs[id]
-	if !ok {
-		return fmt.Errorf("online: unknown job id %d", id)
-	}
-	if size <= 0 {
-		return fmt.Errorf("online: job %d resized to %d", id, size)
-	}
-	b.loads[st.proc] += size - st.size
-	st.size = size
-	b.jobs[id] = st
-	return nil
+	return b.apply(session.Delta{Op: session.OpResize, Job: id, Size: size})
 }
 
 // Remove deletes a departed job.
 func (b *Balancer) Remove(id int) error {
-	st, ok := b.jobs[id]
-	if !ok {
-		return fmt.Errorf("online: unknown job id %d", id)
+	return b.apply(session.Delta{Op: session.OpDepart, Job: id})
+}
+
+func (b *Balancer) apply(d session.Delta) error {
+	if _, err := b.s.Apply(context.Background(), d); err != nil {
+		return fmt.Errorf("online: %w", err)
 	}
-	b.loads[st.proc] -= st.size
-	delete(b.jobs, id)
 	return nil
 }
 
 // Len returns the number of live jobs.
-func (b *Balancer) Len() int { return len(b.jobs) }
+func (b *Balancer) Len() int { return b.s.Len() }
 
 // Loads returns a copy of the per-processor loads.
-func (b *Balancer) Loads() []int64 { return append([]int64(nil), b.loads...) }
+func (b *Balancer) Loads() []int64 { return b.s.Loads() }
 
 // Makespan returns the current maximum processor load.
-func (b *Balancer) Makespan() int64 {
-	var max int64
-	for _, l := range b.loads {
-		if l > max {
-			max = l
-		}
-	}
-	return max
-}
+func (b *Balancer) Makespan() int64 { return b.s.Makespan() }
 
 // ProcOf returns the processor currently hosting the job.
-func (b *Balancer) ProcOf(id int) (int, bool) {
-	st, ok := b.jobs[id]
-	return st.proc, ok
-}
+func (b *Balancer) ProcOf(id int) (int, bool) { return b.s.ProcOf(id) }
 
 // Snapshot materializes the current state as an Instance plus the
 // position→caller-ID mapping (instance job j is caller job ids[j]).
 // IDs are sorted so snapshots are deterministic.
 func (b *Balancer) Snapshot() (*instance.Instance, []int) {
-	ids := make([]int, 0, len(b.jobs))
-	for id := range b.jobs {
-		ids = append(ids, id)
-	}
+	raw, rawIDs := b.s.Snapshot()
+	ids := append([]int(nil), rawIDs...)
 	sort.Ints(ids)
+	slot := make(map[int]int, len(rawIDs))
+	for j, id := range rawIDs {
+		slot[id] = j
+	}
 	sizes := make([]int64, len(ids))
 	costs := make([]int64, len(ids))
 	assign := make([]int, len(ids))
 	for j, id := range ids {
-		st := b.jobs[id]
-		sizes[j] = st.size
-		costs[j] = st.cost
-		assign[j] = st.proc
+		raw := raw.Jobs[slot[id]]
+		sizes[j] = raw.Size
+		costs[j] = raw.Cost
+		assign[j] = b.mustProc(id)
 	}
-	return instance.MustNew(b.m, sizes, costs, assign), ids
+	return instance.MustNew(b.s.M(), sizes, costs, assign), ids
 }
 
-// Rebalance runs M-PARTITION with move budget k on the current state,
-// applies the resulting migrations, and returns them. The post-state
-// makespan is at most 1.5× the best achievable with k moves.
-func (b *Balancer) Rebalance(k int) []Move {
-	if len(b.jobs) == 0 || k <= 0 {
-		return nil
+func (b *Balancer) mustProc(id int) int {
+	p, ok := b.s.ProcOf(id)
+	if !ok {
+		panic(fmt.Sprintf("online: snapshot id %d vanished", id))
 	}
-	in, ids := b.Snapshot()
-	sol := core.MPartition(in, k, core.BinarySearch)
-	var moves []Move
-	for j, p := range sol.Assign {
-		if p == in.Assign[j] {
-			continue
-		}
-		id := ids[j]
-		st := b.jobs[id]
-		moves = append(moves, Move{Job: id, From: st.proc, To: p})
-		b.loads[st.proc] -= st.size
-		b.loads[p] += st.size
-		st.proc = p
-		b.jobs[id] = st
+	return p
+}
+
+// Rebalance runs the session's warm M-PARTITION with move budget k on
+// the current state, applies the resulting migrations, and returns
+// them. The post-state makespan is at most 1.5× the best achievable
+// with k moves.
+func (b *Balancer) Rebalance(k int) []Move {
+	moves, err := b.s.Rebalance(context.Background(), k)
+	if err != nil {
+		// Only context cancellation can surface here, and Background
+		// never fires; treat it as "no rebalance happened".
+		return nil
 	}
 	return moves
 }

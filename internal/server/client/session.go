@@ -1,0 +1,97 @@
+// The typed session handle: a client-side view of one server-held
+// rebalancing session. OpenSession round-trips POST /v1/session; the
+// handle's methods wrap the delta and state endpoints with the session
+// id baked in.
+package client
+
+import (
+	"context"
+	"net/http"
+
+	"repro/internal/server"
+)
+
+// Session is a handle on one live server-side rebalancing session.
+// Methods are safe for concurrent use (the server serializes deltas per
+// session); a 404 from any method means the session expired or the
+// server drained.
+type Session struct {
+	c  *Client
+	id string
+}
+
+// ID returns the server-assigned session id.
+func (s *Session) ID() string { return s.id }
+
+// OpenSession creates a session and returns its handle plus the
+// initial state.
+func (c *Client) OpenSession(ctx context.Context, req server.SessionRequest) (*Session, *server.SessionState, error) {
+	var st server.SessionState
+	if err := c.do(ctx, http.MethodPost, "/v1/session", req, &st); err != nil {
+		return nil, nil, err
+	}
+	return &Session{c: c, id: st.ID}, &st, nil
+}
+
+// AttachSession returns a handle on an existing session id (e.g. one
+// persisted across client restarts) without a round trip; the first
+// method call surfaces a 404 if it no longer exists.
+func (c *Client) AttachSession(id string) *Session {
+	return &Session{c: c, id: id}
+}
+
+// Delta applies one typed delta and returns the post-delta state and
+// migrations.
+func (s *Session) Delta(ctx context.Context, req server.SessionDeltaRequest) (*server.SessionDeltaResult, error) {
+	var res server.SessionDeltaResult
+	if err := s.c.do(ctx, http.MethodPost, "/v1/session/"+s.id+"/delta", req, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Arrive adds a job on the given processor (-1 or any negative value =
+// least-loaded placement).
+func (s *Session) Arrive(ctx context.Context, job int, size, cost int64, proc int) (*server.SessionDeltaResult, error) {
+	req := server.SessionDeltaRequest{Op: "arrive", Job: job, Size: size, Cost: cost}
+	if proc >= 0 {
+		req.Proc = &proc
+	}
+	return s.Delta(ctx, req)
+}
+
+// Depart removes a job.
+func (s *Session) Depart(ctx context.Context, job int) (*server.SessionDeltaResult, error) {
+	return s.Delta(ctx, server.SessionDeltaRequest{Op: "depart", Job: job})
+}
+
+// Resize changes a job's size.
+func (s *Session) Resize(ctx context.Context, job int, size int64) (*server.SessionDeltaResult, error) {
+	return s.Delta(ctx, server.SessionDeltaRequest{Op: "resize", Job: job, Size: size})
+}
+
+// AddProc grows the farm by one processor.
+func (s *Session) AddProc(ctx context.Context) (*server.SessionDeltaResult, error) {
+	return s.Delta(ctx, server.SessionDeltaRequest{Op: "proc_add"})
+}
+
+// DrainProc empties and removes a processor; the result's Forced moves
+// carry the forced migrations.
+func (s *Session) DrainProc(ctx context.Context, proc int) (*server.SessionDeltaResult, error) {
+	return s.Delta(ctx, server.SessionDeltaRequest{Op: "proc_drain", Proc: &proc})
+}
+
+// Rebalance runs one explicit budget-k rebalance (the manual-session
+// entry point).
+func (s *Session) Rebalance(ctx context.Context, k int) (*server.SessionDeltaResult, error) {
+	return s.Delta(ctx, server.SessionDeltaRequest{Op: "rebalance", K: k})
+}
+
+// State fetches the session's current state.
+func (s *Session) State(ctx context.Context) (*server.SessionState, error) {
+	var st server.SessionState
+	if err := s.c.do(ctx, http.MethodGet, "/v1/session/"+s.id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

@@ -8,6 +8,9 @@
 //     worker pool; per-item results and statuses.
 //   - POST /v1/peek    — probe the solution cache without solving; the
 //     read side of the fleet's peer cache-fill protocol.
+//   - POST /v1/session — open an incremental rebalancing session; apply
+//     typed deltas at POST /v1/session/{id}/delta and read state at
+//     GET /v1/session/{id} (DESIGN.md §15).
 //   - GET  /v1/solvers — the solver catalog, generated from the registry.
 //   - GET  /healthz    — liveness (200 while the process runs).
 //   - GET  /readyz     — readiness (503 once draining begins).
@@ -69,6 +72,8 @@ const (
 	DefaultCacheEntries = dispatch.DefaultCacheEntries
 	DefaultMaxBodySize  = 64 << 20
 	DefaultMaxBatch     = 256
+	DefaultMaxSessions  = dispatch.DefaultMaxSessions
+	DefaultSessionTTL   = dispatch.DefaultSessionTTL
 )
 
 // FillFunc re-exports the core's peer cache-fill hook type for callers
@@ -105,6 +110,13 @@ type Config struct {
 	// MaxBatch bounds the number of requests in one /v1/batch call.
 	// ≤ 0 means DefaultMaxBatch.
 	MaxBatch int
+	// MaxSessions bounds the rebalancing-session table; creates beyond
+	// it answer 429. ≤ 0 means DefaultMaxSessions.
+	MaxSessions int
+	// SessionTTL is a session's idle lifetime; one idle longer is
+	// evicted and later access answers 404. ≤ 0 means
+	// DefaultSessionTTL.
+	SessionTTL time.Duration
 	// ShardID, when set, identifies this process within a fleet: every
 	// solve response carries it as "shard_id" so routers and tests can
 	// verify key→shard placement. Empty (the default) omits the field.
@@ -172,6 +184,8 @@ func New(cfg Config) *Server {
 		CacheEntries:   cfg.CacheEntries,
 		Obs:            cfg.Obs,
 		Fill:           cfg.PeerFill,
+		MaxSessions:    cfg.MaxSessions,
+		SessionTTL:     cfg.SessionTTL,
 	})
 	return &Server{cfg: cfg, core: core, shardSafe: plainJSONSafe(cfg.ShardID)}
 }
@@ -183,6 +197,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/peek", s.handlePeek)
+	mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
+	mux.HandleFunc("POST /v1/session/{id}/delta", s.handleSessionDelta)
+	mux.HandleFunc("GET /v1/session/{id}", s.handleSessionGet)
 	mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -217,15 +234,19 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// statusFor maps a core error onto an HTTP status: queue rejection
-// 429, unknown solver 404, unusable request 400, infeasible instance
-// 422, deadline 504, cancellation (drain or disconnect) 503, anything
-// else 500.
+// statusFor maps a core error onto an HTTP status: queue or session
+// table rejection 429, unknown solver or session 404, unusable request
+// 400, infeasible instance or delta 422, deadline 504, cancellation
+// (drain or disconnect) 503, anything else 500.
 func statusFor(err error) int {
 	var bad *dispatch.BadRequestError
 	switch {
 	case errors.Is(err, dispatch.ErrQueueFull):
 		return http.StatusTooManyRequests
+	case errors.Is(err, dispatch.ErrSessionTableFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, dispatch.ErrSessionNotFound):
+		return http.StatusNotFound
 	case errors.As(err, &bad):
 		return http.StatusBadRequest
 	case errors.Is(err, dispatch.ErrUnknownSolver):

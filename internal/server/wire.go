@@ -89,6 +89,24 @@ type BatchResponse struct {
 	Items []BatchItem `json:"items"`
 }
 
+// SessionRequest is the body of POST /v1/session: the core's canonical
+// session-create shape.
+type SessionRequest = dispatch.SessionRequest
+
+// SessionDeltaRequest is the body of POST /v1/session/{id}/delta.
+type SessionDeltaRequest = dispatch.SessionDeltaRequest
+
+// SessionState is the body of GET /v1/session/{id} and the create
+// response.
+type SessionState = dispatch.SessionState
+
+// SessionDeltaResult is the success body of a delta: the post-delta
+// state plus the forced and rebalance migrations.
+type SessionDeltaResult = dispatch.SessionDeltaResult
+
+// SessionMove is one migration on the wire.
+type SessionMove = dispatch.SessionMove
+
 // ErrorResponse is the body of every non-2xx API response.
 type ErrorResponse struct {
 	Error string `json:"error"`

@@ -1,0 +1,259 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/engine"
+	"repro/internal/instance"
+	"repro/internal/workload"
+)
+
+// streamState mirrors the caller-visible session surface while a
+// random delta stream is generated: live ids and the processor count.
+type streamState struct {
+	rng    *workload.RNG
+	nextID int
+	live   []int
+	m      int
+}
+
+// next draws one delta — mostly valid, with a deliberate tail of
+// invalid and infeasible ones so the error paths run under the same
+// differential lockstep as the happy path.
+func (st *streamState) next() Delta {
+	switch r := st.rng.Intn(100); {
+	case r < 35: // arrive
+		id := st.nextID
+		st.nextID++
+		proc := st.rng.Intn(st.m + 1)
+		if proc == st.m {
+			proc = -1 // least-loaded placement
+		}
+		return Delta{Op: OpArrive, Job: id, Size: 1 + st.rng.Int63n(60), Cost: st.rng.Int63n(4), Proc: proc}
+	case r < 50: // depart
+		if len(st.live) == 0 {
+			id := st.nextID
+			st.nextID++
+			return Delta{Op: OpArrive, Job: id, Size: 1 + st.rng.Int63n(60), Proc: -1}
+		}
+		return Delta{Op: OpDepart, Job: st.live[st.rng.Intn(len(st.live))]}
+	case r < 65: // resize
+		if len(st.live) == 0 {
+			id := st.nextID
+			st.nextID++
+			return Delta{Op: OpArrive, Job: id, Size: 1 + st.rng.Int63n(60), Proc: -1}
+		}
+		return Delta{Op: OpResize, Job: st.live[st.rng.Intn(len(st.live))], Size: 1 + st.rng.Int63n(60)}
+	case r < 72: // proc add
+		return Delta{Op: OpProcAdd}
+	case r < 85: // proc drain (infeasible when m == 1)
+		return Delta{Op: OpProcDrain, Proc: st.rng.Intn(st.m)}
+	case r < 90: // invalid: depart unknown id
+		return Delta{Op: OpDepart, Job: -1 - st.rng.Intn(1000)}
+	case r < 93: // invalid: duplicate arrival
+		if len(st.live) == 0 {
+			return Delta{Op: OpDepart, Job: -7}
+		}
+		return Delta{Op: OpArrive, Job: st.live[0], Size: 5}
+	case r < 96: // invalid: resize to zero
+		if len(st.live) == 0 {
+			return Delta{Op: OpResize, Job: -7, Size: 0}
+		}
+		return Delta{Op: OpResize, Job: st.live[0], Size: 0}
+	case r < 98: // invalid: arrival on an out-of-range processor
+		id := st.nextID
+		st.nextID++
+		return Delta{Op: OpArrive, Job: id, Size: 5, Proc: st.m + 3}
+	default: // invalid: drain of an out-of-range processor
+		return Delta{Op: OpProcDrain, Proc: st.m + 2}
+	}
+}
+
+// note updates the mirror after a delta was accepted.
+func (st *streamState) note(d Delta) {
+	switch d.Op {
+	case OpArrive:
+		st.live = append(st.live, d.Job)
+	case OpDepart:
+		for i, id := range st.live {
+			if id == d.Job {
+				st.live = append(st.live[:i], st.live[i+1:]...)
+				break
+			}
+		}
+	case OpProcAdd:
+		st.m++
+	case OpProcDrain:
+		st.m--
+	}
+}
+
+// assertSameState fails unless the two sessions hold byte-identical
+// materialized states.
+func assertSameState(t *testing.T, tag string, warm, cold *Session) {
+	t.Helper()
+	wi, wids := warm.Snapshot()
+	ci, cids := cold.Snapshot()
+	if wi.M != ci.M || wi.N() != ci.N() {
+		t.Fatalf("%s: warm state %s != cold state %s", tag, wi, ci)
+	}
+	for j := range wids {
+		if wids[j] != cids[j] {
+			t.Fatalf("%s: slot %d holds job %d warm, %d cold", tag, j, wids[j], cids[j])
+		}
+		if wi.Jobs[j] != ci.Jobs[j] || wi.Assign[j] != ci.Assign[j] {
+			t.Fatalf("%s: slot %d: warm %+v@%d, cold %+v@%d",
+				tag, j, wi.Jobs[j], wi.Assign[j], ci.Jobs[j], ci.Assign[j])
+		}
+	}
+}
+
+// runDifferentialStream drives one random delta stream through a warm
+// session and a cold-oracle session in lockstep: after EVERY delta the
+// incremental result must equal the fresh full solve on the
+// materialized instance (the cold arm re-solves from a snapshot each
+// time), the move count must respect the budget, and typed rejections
+// must match and leave both states untouched.
+func runDifferentialStream(t *testing.T, seed uint64, deltas int) {
+	rng := workload.NewRNG(seed)
+	cfg := Config{
+		M:             2 + rng.Intn(4),
+		AutoRebalance: true,
+	}
+	if rng.Intn(4) == 0 {
+		cfg.Target = 40 + rng.Int63n(100)
+	} else {
+		cfg.MoveBudget = rng.Intn(7)
+	}
+	warmCfg, coldCfg := cfg, cfg
+	coldCfg.Cold = true
+	warm, err := New(warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := New(coldCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &streamState{rng: rng, m: cfg.M}
+	for i := 0; i < deltas; i++ {
+		d := st.next()
+		tag := fmt.Sprintf("seed %d delta %d (%s job %d size %d proc %d)", seed, i, d.Op, d.Job, d.Size, d.Proc)
+		preSnap, _ := warm.Snapshot()
+		wout, werr := warm.Apply(context.Background(), d)
+		cout, cerr := cold.Apply(context.Background(), d)
+		if (werr == nil) != (cerr == nil) {
+			t.Fatalf("%s: warm err %v, cold err %v", tag, werr, cerr)
+		}
+		if werr != nil {
+			// Same typed class, and the state is untouched.
+			for _, sentinel := range []error{ErrUnknownJob, ErrDuplicateJob, ErrBadDelta, ErrInfeasible} {
+				if errors.Is(werr, sentinel) != errors.Is(cerr, sentinel) {
+					t.Fatalf("%s: warm %v and cold %v classify differently on %v", tag, werr, cerr, sentinel)
+				}
+			}
+			if !errors.Is(werr, ErrUnknownJob) && !errors.Is(werr, ErrDuplicateJob) &&
+				!errors.Is(werr, ErrBadDelta) && !errors.Is(werr, ErrInfeasible) {
+				t.Fatalf("%s: untyped rejection %v", tag, werr)
+			}
+			postSnap, _ := warm.Snapshot()
+			if preSnap.String() != postSnap.String() || preSnap.InitialMakespan() != postSnap.InitialMakespan() {
+				t.Fatalf("%s: rejected delta mutated state: %s -> %s", tag, preSnap, postSnap)
+			}
+			assertSameState(t, tag, warm, cold)
+			continue
+		}
+		st.note(d)
+		// The cold arm's makespan IS the fresh-full-solve answer on the
+		// materialized instance; the warm arm must match it exactly.
+		if wout.Makespan != cout.Makespan {
+			t.Fatalf("%s: incremental makespan %d != fresh full solve %d", tag, wout.Makespan, cout.Makespan)
+		}
+		if cfg.Target == 0 && len(wout.Moves) > cfg.MoveBudget {
+			t.Fatalf("%s: %d rebalance moves exceed budget %d", tag, len(wout.Moves), cfg.MoveBudget)
+		}
+		if len(wout.Moves) != len(cout.Moves) {
+			t.Fatalf("%s: warm made %d moves, cold %d", tag, len(wout.Moves), len(cout.Moves))
+		}
+		// Lockstep assignments: equality must hold state-for-state, not
+		// just on summary numbers, or divergence could compound silently.
+		assertSameState(t, tag, warm, cold)
+		// Loads bookkeeping stays consistent with a fresh recompute.
+		snap, _ := warm.Snapshot()
+		fresh := snap.Loads(snap.Assign)
+		for p, l := range warm.Loads() {
+			if l != fresh[p] {
+				t.Fatalf("%s: incremental load[%d] = %d, fresh %d", tag, p, l, fresh[p])
+			}
+		}
+		if wout.M != st.m || wout.N != len(st.live) {
+			t.Fatalf("%s: outcome n=%d m=%d, mirror n=%d m=%d", tag, wout.N, wout.M, len(st.live), st.m)
+		}
+	}
+}
+
+// TestSessionDifferential is the acceptance harness: ≥200 random delta
+// streams, every delta cross-checked against a fresh full solve.
+func TestSessionDifferential(t *testing.T) {
+	streams, deltas := 220, 15
+	if testing.Short() {
+		streams = 40
+	}
+	for seed := 0; seed < streams; seed++ {
+		runDifferentialStream(t, uint64(seed), deltas)
+	}
+}
+
+// TestSessionMetamorphicCanonicalKey is the metamorphic arm: a delta
+// stream and a snapshot-equivalent permutation of it (the same arrival
+// multiset applied in a different order, explicit placements, no
+// rebalancing) must materialize instances with identical canonical
+// cache keys — the cache's canonical form erases arrival order, so any
+// divergence means session state depends on history it shouldn't.
+func TestSessionMetamorphicCanonicalKey(t *testing.T) {
+	spec, ok := engine.Lookup("mpartition")
+	if !ok {
+		t.Fatal("mpartition not registered")
+	}
+	for seed := uint64(0); seed < 40; seed++ {
+		rng := workload.NewRNG(seed)
+		m := 2 + rng.Intn(4)
+		n := 5 + rng.Intn(20)
+		deltas := make([]Delta, n)
+		for i := range deltas {
+			deltas[i] = Delta{
+				Op: OpArrive, Job: i,
+				Size: 1 + rng.Int63n(50), Cost: rng.Int63n(3),
+				Proc: rng.Intn(m),
+			}
+		}
+		perm := rng.Perm(n)
+
+		build := func(order []int) cache.Key {
+			s, err := New(Config{M: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, i := range order {
+				if _, err := s.Apply(context.Background(), deltas[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			snap, _ := s.Snapshot()
+			ext := instance.Extended{Instance: *snap}
+			return cache.Canonicalize("mpartition", spec.Caps, &ext, engine.Params{K: 3}).Key
+		}
+
+		identity := make([]int, n)
+		for i := range identity {
+			identity[i] = i
+		}
+		if build(identity) != build(perm) {
+			t.Fatalf("seed %d: canonical keys diverge between a stream and its permutation", seed)
+		}
+	}
+}
